@@ -1,0 +1,109 @@
+// AAL3/4 vs AAL5 under the same lossy link: the per-cell sequence
+// numbers AAL5 dropped make fused PDUs (splices) structurally
+// impossible — every loss event aborts the current PDU instead of
+// silently merging two. The price is 4 bytes of every 48 (8.3 % of
+// goodput) plus a weaker per-cell CRC-10 in place of AAL5's per-packet
+// CRC-32: the design trade the paper's error model interrogates.
+#include <cstdio>
+#include <set>
+#include <iostream>
+
+#include "atm/aal34.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "util/hash.hpp"
+
+using namespace cksum;
+
+namespace {
+
+struct Aal34Result {
+  std::uint64_t cells_in = 0;
+  std::uint64_t cells_lost = 0;
+  std::uint64_t delivered_intact = 0;
+  std::uint64_t delivered_fused = 0;  // must stay zero
+  std::uint64_t aborted = 0;
+  std::uint64_t seq_violations = 0;
+};
+
+Aal34Result run(double loss_rate, double burst, double scale) {
+  const fsgen::Filesystem fs(fsgen::profile("sics.se:/opt"), 0.5 * scale);
+  const net::FlowConfig flow = core::paper_flow_config();
+  util::Rng rng(0x34);
+
+  Aal34Result out;
+  for (std::size_t f = 0; f < fs.file_count(); ++f) {
+    const util::Bytes file = fs.file(f);
+    const auto pkts = net::segment_file(flow, util::ByteView(file));
+
+    std::set<std::uint64_t> good;
+    std::vector<atm::Sar34Cell> stream;
+    std::uint8_t sn = 0;
+    for (const auto& p : pkts) {
+      good.insert(util::hash64(p.ip_bytes()));
+      auto cells = atm::aal34_segment(p.ip_bytes(), 42, sn);
+      sn = static_cast<std::uint8_t>((sn + cells.size()) & 0xf);
+      stream.insert(stream.end(), cells.begin(), cells.end());
+    }
+    out.cells_in += stream.size();
+
+    // Bursty loss, same process as atm::transmit's first pass.
+    atm::Aal34Reassembler reasm;
+    bool in_burst = false;
+    for (const auto& cell : stream) {
+      bool lost = false;
+      if (in_burst) {
+        lost = true;
+        in_burst = rng.chance(burst);
+      } else if (rng.chance(loss_rate)) {
+        lost = true;
+        in_burst = rng.chance(burst);
+      }
+      if (lost) {
+        ++out.cells_lost;
+        continue;
+      }
+      const auto done = reasm.push(cell);
+      if (done && done->complete) {
+        if (good.count(util::hash64(util::ByteView(done->bytes))) > 0) {
+          ++out.delivered_intact;
+        } else {
+          ++out.delivered_fused;
+        }
+      }
+    }
+    out.aborted += reasm.aborted_pdus();
+    out.seq_violations += reasm.sequence_violations();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = core::scale_from_env();
+  std::printf(
+      "== AAL3/4 under cell loss: the splice-immune baseline ==\n"
+      "(same corpus and loss process as bench_lossmodel)\n\n");
+  core::TextTable t({"loss rate", "cells", "lost", "intact PDUs",
+                     "aborted PDUs", "seq violations", "FUSED PDUs"});
+  for (const double rate : {0.001, 0.01, 0.05}) {
+    const Aal34Result r = run(rate, 0.5, scale);
+    char label[16];
+    std::snprintf(label, sizeof label, "%.1f%%", 100 * rate);
+    t.add_row({label, core::fmt_count(r.cells_in),
+               core::fmt_count(r.cells_lost),
+               core::fmt_count(r.delivered_intact),
+               core::fmt_count(r.aborted),
+               core::fmt_count(r.seq_violations),
+               core::fmt_count(r.delivered_fused)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: FUSED PDUs is zero at every loss rate — the 4-bit\n"
+      "sequence number catches every in-order drop shorter than 16 cells,\n"
+      "so AAL3/4 never needs the transport checksum to catch a splice.\n"
+      "AAL5 bought 8.3%% more goodput by removing that field; this paper's\n"
+      "splice analysis is the bill.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// §7 ablation: "the 16-bit TCP checksum performed about as well as a
+// 10-bit CRC" — sweep the AAL5 CRC width from 6 to 32 bits and find
+// where a w-bit CRC's splice miss rate crosses the TCP checksum's
+// measured rate on the same corpus.
+//
+// CRCs scatter uniformly even over skewed data, so a w-bit CRC misses
+// at ~2^-w; the TCP checksum's real-data rate (~1e-3) sits near the
+// 10-bit CRC line, exactly the paper's claim.
+#include <bit>
+#include <cstdio>
+#include <iostream>
+
+#include "checksum/generic_crc.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+namespace {
+
+struct WidthResult {
+  std::uint64_t remaining = 0;
+  std::uint64_t missed = 0;
+};
+
+/// Mini splice simulation with a w-bit CRC in the AAL5 role. Header
+/// gating is the dominant fast-path case (first cell = pkt1's header,
+/// equal lengths); the rare freak cases are irrelevant at this
+/// granularity.
+WidthResult run_width(const alg::GenericCrc& g, const fsgen::Filesystem& fs) {
+  const net::FlowConfig flow = core::paper_flow_config();
+  const auto c48 = g.combiner(48);
+  const auto c44 = g.combiner(44);
+  WidthResult out;
+
+  for (std::size_t f = 0; f < fs.file_count(); ++f) {
+    const util::Bytes file = fs.file(f);
+    const auto pkts = core::packetize_file(flow, util::ByteView(file));
+    std::vector<std::vector<std::uint32_t>> gcells(pkts.size());
+    std::vector<std::uint32_t> gcontent(pkts.size());
+    std::vector<std::uint32_t> glast44(pkts.size());
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      const auto& pdu = pkts[i].pdu;
+      for (std::size_t c = 0; c < pdu.num_cells(); ++c)
+        gcells[i].push_back(g.compute(pdu.cell(c)));
+      gcontent[i] =
+          g.compute(pdu.bytes().first(pdu.bytes().size() - 4));
+      glast44[i] = g.compute(pdu.cell(pdu.num_cells() - 1).first(44));
+    }
+
+    for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+      const auto& p1 = pkts[i];
+      const auto& p2 = pkts[i + 1];
+      if (p1.total_len != p2.total_len || !p2.fast_path_ok) continue;
+      const std::size_t n2 = p2.pdu.num_cells();
+      atm::for_each_splice(
+          p1.pdu.num_cells(), n2, [&](const atm::SpliceSpec& s) {
+            if (!(s.mask1 & 1u)) return;  // caught by header checks
+            // Identical-data gate via the precomputed cell hashes.
+            bool ident1 = true, ident2 = true;
+            std::size_t pos = 0;
+            std::uint32_t crc = 0;
+            bool first = true;
+            auto take = [&](const core::SimPacket& src,
+                            const std::vector<std::uint32_t>& gsrc,
+                            unsigned idx) {
+              ident1 = ident1 && src.cells[idx].hash == p1.cells[pos].hash;
+              ident2 = ident2 && src.cells[idx].hash == p2.cells[pos].hash;
+              crc = first ? gsrc[idx] : c48.combine(crc, gsrc[idx]);
+              first = false;
+              ++pos;
+            };
+            for (std::uint32_t m = s.mask1; m; m &= m - 1)
+              take(p1, gcells[i],
+                   static_cast<unsigned>(std::countr_zero(m)));
+            for (std::uint32_t m = s.mask2; m; m &= m - 1)
+              take(p2, gcells[i + 1],
+                   static_cast<unsigned>(std::countr_zero(m)));
+            if (ident1) ident1 = p1.eom_cov_hash == p2.eom_cov_hash;
+            if (ident1 || ident2) return;  // benign
+            crc = c44.combine(crc, glast44[i + 1]);
+            ++out.remaining;
+            if (crc == gcontent[i + 1]) ++out.missed;
+          });
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = core::scale_from_env();
+  const auto& prof = fsgen::profile("sics.se:/opt");
+  const fsgen::Filesystem fs(prof, 0.5 * scale);
+
+  // Reference: the real TCP checksum on the same profile.
+  net::PacketConfig tcp_cfg;
+  const core::SpliceStats tcp = core::run_profile(prof, tcp_cfg, 0.5 * scale);
+  const double tcp_rate =
+      tcp.remaining ? static_cast<double>(tcp.missed_transport) /
+                          static_cast<double>(tcp.remaining)
+                    : 0.0;
+
+  std::printf(
+      "== Ablation: CRC width sweep vs the 16-bit TCP checksum "
+      "(sics.se:/opt) ==\n\n");
+  std::printf("TCP checksum (16 bits) missed: %s%%\n\n",
+              core::fmt_pct(tcp_rate).c_str());
+
+  core::TextTable t({"CRC width", "missed", "remaining", "miss%",
+                     "expected 2^-w %"});
+  for (const int width : {6, 8, 10, 12, 14, 16, 20, 24, 32}) {
+    const alg::GenericCrc g(width, alg::standard_poly(width));
+    const WidthResult r = run_width(g, fs);
+    t.add_row({std::to_string(width) + "-bit", core::fmt_count(r.missed),
+               core::fmt_count(r.remaining),
+               core::fmt_pct(r.missed, r.remaining),
+               core::fmt_pct(1.0 / g.value_space())});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper §7): the TCP line (%s%%) falls between the "
+      "10-bit and 12-bit CRC rows — \"the 16-bit TCP checksum performed "
+      "about as well as a 10-bit CRC\".\n",
+      core::fmt_pct(tcp_rate).c_str());
+  return 0;
+}

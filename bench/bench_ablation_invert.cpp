@@ -1,0 +1,36 @@
+// §6.3 ablation: storing the inverted checksum (TCP standard) vs the
+// raw sum. With the IP header filled in, the two are nearly identical
+// — the inversion conjecture from the SIGCOMM '95 paper did not
+// survive the corrected simulator.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+int main() {
+  const double scale = core::scale_from_env();
+  std::printf(
+      "== Ablation (paper §6.3): inverted vs non-inverted stored checksum "
+      "==\n\n");
+  core::TextTable t(
+      {"filesystem", "inverted miss%", "non-inverted miss%"});
+  for (const char* name : {"sics.se:/opt", "smeg.stanford.edu:/u1",
+                           "sics.se:/src1"}) {
+    const auto& prof = fsgen::profile(name);
+    net::PacketConfig inv;
+    net::PacketConfig raw;
+    raw.invert_checksum = false;
+    const core::SpliceStats a = core::run_profile(prof, inv, scale);
+    const core::SpliceStats b = core::run_profile(prof, raw, scale);
+    t.add_row({name, core::fmt_pct(a.missed_transport, a.remaining),
+               core::fmt_pct(b.missed_transport, b.remaining)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): \"The results with the non-inverted "
+      "checksum were almost identical to the results with an inverted "
+      "checksum.\"\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// §6.2 ablation: filling in the IP header (IP ID, TTL, frag, header
+// checksum) vs leaving those 8 bytes zero, as the SIGCOMM '95
+// simulator did. The unfilled header makes header cells of all-zero
+// packets zero-congruent with their neighbours, inflating the miss
+// rate by orders of magnitude — the biggest correction between the
+// paper's two versions.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+int main() {
+  const double scale = core::scale_from_env();
+  std::printf(
+      "== Ablation (paper §6.2): filled vs unfilled IP header bytes ==\n"
+      "\"legacy95\" reproduces the SIGCOMM '95 simulator exactly: the 8 IP\n"
+      "bytes outside the pseudo-header left zero and the IP total length\n"
+      "in the pseudo-header, which makes zero-payload header cells\n"
+      "zero-congruent with zero data cells.\n\n");
+  core::TextTable t({"filesystem", "filled miss%", "no-ipck miss%",
+                     "legacy95 miss%", "legacy/filled"});
+  for (const char* name : {"sics.se:/opt", "sics.se:/solaris", "nsc05"}) {
+    const auto& prof = fsgen::profile(name);
+    net::PacketConfig filled;
+    net::PacketConfig unfilled;
+    unfilled.fill_ip_header = false;
+    net::PacketConfig legacy;
+    legacy.legacy95_headers = true;
+    const core::SpliceStats a = core::run_profile(prof, filled, scale);
+    const core::SpliceStats b = core::run_profile(prof, unfilled, scale);
+    const core::SpliceStats c = core::run_profile(prof, legacy, scale);
+    const auto rate = [](const core::SpliceStats& st) {
+      return st.remaining ? static_cast<double>(st.missed_transport) /
+                                static_cast<double>(st.remaining)
+                          : 0.0;
+    };
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.0fx",
+                  rate(a) > 0 ? rate(c) / rate(a) : 0.0);
+    t.add_row({name, core::fmt_pct(rate(a)), core::fmt_pct(rate(b)),
+               core::fmt_pct(rate(c)), ratio});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): the legacy simulator inflates the miss "
+      "rate by orders of magnitude (the paper saw up to 3); merely "
+      "skipping the IP checksum (no-ipck) barely matters.\n");
+  return 0;
+}

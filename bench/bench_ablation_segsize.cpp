@@ -1,0 +1,45 @@
+// Segment-size ablation. The paper fixed TCP segments at 256 bytes
+// (7 AAL5 cells). Larger segments mean more cells per packet, hence
+// more splices per pair but longer substitutions on average — and
+// Corollary 3 says longer substitutions are (slightly) more uniform.
+// This sweep shows how the TCP miss rate and the identical-data
+// fraction move with segment size on a fixed corpus.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+int main() {
+  const double scale = core::scale_from_env();
+  // Splices per pair grow as C(2c-2, c-1) in the cell count c, so the
+  // sweep stays below ~9 cells (12,869 splices/pair); 256 bytes — the
+  // paper's choice — is already 923.
+  const fsgen::Filesystem fs(fsgen::profile("sics.se:/opt"), 0.3 * scale);
+
+  std::printf(
+      "== Ablation: TCP segment size (sics.se:/opt; paper used 256) "
+      "==\n\n");
+  core::TextTable t({"segment", "cells/pkt", "splices", "identical%",
+                     "TCP miss%"});
+  for (const std::size_t segment : {64u, 128u, 192u, 256u, 320u, 384u}) {
+    core::SpliceRunConfig cfg;
+    cfg.flow = core::paper_flow_config();
+    cfg.flow.segment_size = segment;
+    cfg.threads = 0;
+    const core::SpliceStats st = core::run_filesystem(cfg, fs);
+    const std::size_t cells = (segment + 40 + 8 + 47) / 48;
+    t.add_row({std::to_string(segment), std::to_string(cells),
+               core::fmt_count(st.total),
+               core::fmt_pct(st.identical, st.total),
+               core::fmt_pct(st.missed_transport, st.remaining)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: splice count grows combinatorially with cell "
+      "count (C(2c-2,c-1)); the miss rate drifts down as substitutions "
+      "lengthen (Corollary 3), but stays far above the uniform "
+      "0.0015%%.\n");
+  return 0;
+}

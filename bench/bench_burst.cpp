@@ -1,0 +1,62 @@
+// §2's error-detection guarantees as a measured table: detection rate
+// of each check code against random bursts of increasing length over a
+// 296-byte packet-sized buffer. Shows the guarantee cliffs — TCP at
+// 16 bits, Fletcher at 16, CRC-32 at 33 — and each code's residual
+// miss rate beyond its guarantee (≈ 2^-width).
+#include <cstdio>
+#include <iostream>
+
+#include "checksum/checksum.hpp"
+#include "core/error_inject.hpp"
+#include "core/report.hpp"
+#include "util/rng.hpp"
+
+using namespace cksum;
+
+int main() {
+  constexpr std::size_t kBufBytes = 296;
+  constexpr int kTrials = 60000;
+
+  util::Bytes data(kBufBytes);
+  util::Rng data_rng(0xdada);
+  data_rng.fill(data);
+  const util::ByteView view(data.data(), data.size());
+
+  const std::uint16_t tcp_good = alg::ones_canonical(alg::internet_sum(view));
+  const auto f255_good = alg::fletcher_block(view, alg::FletcherMod::kOnes255);
+  const auto f256_good = alg::fletcher_block(view, alg::FletcherMod::kTwos256);
+  const std::uint32_t crc_good = alg::crc32(view);
+
+  std::printf(
+      "== Burst-error detection rates (%% of %d random bursts missed, "
+      "%zu-byte buffer) ==\n\n",
+      kTrials, kBufBytes);
+  core::TextTable t({"burst bits", "TCP miss%", "F-255 miss%", "F-256 miss%",
+                     "CRC-32 miss%"});
+  util::Rng rng(0xb0);
+  for (const unsigned len :
+       {1u, 4u, 8u, 15u, 16u, 17u, 24u, 31u, 32u, 33u, 40u, 48u, 64u}) {
+    std::uint64_t miss_tcp = 0, miss_f255 = 0, miss_f256 = 0, miss_crc = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      util::Bytes corrupted = data;
+      core::apply_burst(corrupted, core::random_burst(rng, 8 * kBufBytes, len));
+      const util::ByteView cv(corrupted.data(), corrupted.size());
+      if (alg::ones_canonical(alg::internet_sum(cv)) == tcp_good) ++miss_tcp;
+      if (alg::fletcher_block(cv, alg::FletcherMod::kOnes255) == f255_good)
+        ++miss_f255;
+      if (alg::fletcher_block(cv, alg::FletcherMod::kTwos256) == f256_good)
+        ++miss_f256;
+      if (alg::crc32(cv) == crc_good) ++miss_crc;
+    }
+    t.add_row({std::to_string(len), core::fmt_pct(miss_tcp, kTrials),
+               core::fmt_pct(miss_f255, kTrials),
+               core::fmt_pct(miss_f256, kTrials),
+               core::fmt_pct(miss_crc, kTrials)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper §2): zeros up to each code's guarantee "
+      "(TCP/Fletcher 15 bits, CRC-32 32 bits), then ~2^-16 for the 16-bit "
+      "codes and ~2^-32 (i.e. 0 at this sample size) for CRC-32.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// §6.1 — "The Role of Zero Data": is zero special because it is the
+// additive identity? The paper's answer: no — adding a constant to
+// every 16-bit word of the filesystem permutes the checksum
+// distribution without changing its shape, so match probabilities and
+// splice failure rates stay (almost) put. The residual movement comes
+// from 0xFFFF words (the second ones-complement zero), which the paper
+// flags as the real way zero is special.
+#include <cstdio>
+#include <iostream>
+
+#include "core/cellstats.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/splice_sim.hpp"
+
+using namespace cksum;
+
+namespace {
+
+/// Add `delta` to every big-endian 16-bit word (mod 2^16), the paper's
+/// thought experiment made concrete.
+util::Bytes shift_words(util::ByteView file, std::uint16_t delta) {
+  util::Bytes out(file.begin(), file.end());
+  for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+    const std::uint16_t w = util::load_be16(out.data() + i);
+    util::store_be16(out.data() + i, static_cast<std::uint16_t>(w + delta));
+  }
+  return out;
+}
+
+struct Measured {
+  double pmax = 0;
+  double match = 0;
+  double miss_rate = 0;
+};
+
+Measured measure(const fsgen::Filesystem& fs, std::uint16_t delta) {
+  core::CellStatsConfig ccfg;
+  ccfg.ks = {1};
+  core::CellStatsCollector cells(ccfg);
+
+  core::SpliceRunConfig scfg;
+  scfg.flow = core::paper_flow_config();
+  core::SpliceStats splices;
+
+  for (std::size_t i = 0; i < fs.file_count(); ++i) {
+    const util::Bytes file = fs.file(i);
+    const util::Bytes shifted = shift_words(util::ByteView(file), delta);
+    cells.add_file(util::ByteView(shifted));
+    splices.merge(core::run_file(scfg, util::ByteView(shifted)));
+  }
+
+  Measured m;
+  m.pmax = cells.tcp_cells().pmax();
+  m.match = cells.tcp_cells().match_probability();
+  m.miss_rate = splices.remaining == 0
+                    ? 0.0
+                    : static_cast<double>(splices.missed_transport) /
+                          static_cast<double>(splices.remaining);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = core::scale_from_env();
+  const fsgen::Filesystem fs(fsgen::profile("sics.se:/opt"), 0.5 * scale);
+
+  std::printf(
+      "== Conjecture (paper §6.1): add a constant to every word — is "
+      "zero special? ==\n(corpus sics.se:/opt)\n\n");
+  core::TextTable t({"word shift", "cell PMax %", "P[match] %",
+                     "TCP splice miss %"});
+  for (const std::uint16_t delta : {0u, 1u, 0x1234u, 0x8000u, 0xFFFFu}) {
+    const Measured m = measure(fs, delta);
+    char label[16];
+    std::snprintf(label, sizeof label, "+0x%04x", delta);
+    t.add_row({label, core::fmt_pct(m.pmax), core::fmt_pct(m.match),
+               core::fmt_pct(m.miss_rate)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): all rows nearly equal — the distribution "
+      "is permuted, not flattened, so the failure rate barely moves. The "
+      "small drift is the 0xFFFF≡0x0000 congruence the paper footnotes.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Fragmentation-and-reassembly error model (paper abstract / §7).
+//
+// Error model: two adjacent datagrams are fragmented; a confused
+// reassembler (stale state, colliding IP IDs) substitutes same-offset
+// fragments of packet 2 into packet 1. Unlike AAL5 splices, nothing
+// *moves*: every substituted fragment keeps its original offset.
+//
+// The paper's colouring theory then predicts something striking:
+// Fletcher's advantage over the TCP checksum should VANISH — the B
+// term only helped because splices reshuffle cell offsets — while the
+// trailer-placed checksum keeps its advantage (its colour comes from
+// the sequence-number difference, not from movement).
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "net/fragment.hpp"
+
+using namespace cksum;
+
+namespace {
+
+struct FragStats {
+  std::uint64_t pairs = 0;
+  std::uint64_t substitutions = 0;
+  std::uint64_t identical = 0;
+  std::uint64_t remaining = 0;
+  std::uint64_t missed = 0;
+};
+
+FragStats run_frag_model(const net::PacketConfig& pkt_cfg,
+                         const fsgen::Filesystem& fs, std::size_t mtu) {
+  net::FlowConfig flow;
+  flow.packet = pkt_cfg;
+  flow.segment_size = 1440;  // large datagrams so fragmentation bites
+
+  FragStats st;
+  for (std::size_t fi = 0; fi < fs.file_count(); ++fi) {
+    const util::Bytes file = fs.file(fi);
+    const auto pkts = net::segment_file(flow, util::ByteView(file));
+    for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+      const auto& p1 = pkts[i];
+      const auto& p2 = pkts[i + 1];
+      if (p1.bytes.size() != p2.bytes.size()) continue;
+      const auto f1 = net::fragment_datagram(p1.ip_bytes(), mtu);
+      const auto f2 = net::fragment_datagram(p2.ip_bytes(), mtu);
+      if (f1.size() != f2.size() || f1.size() < 2 || f1.size() > 16) continue;
+      ++st.pairs;
+
+      // Canonical (defragmented) form of packet 1: reassembly clears
+      // the fragment bits and recomputes the IP checksum, so the
+      // identical-data comparison must use this form, not the
+      // original wire bytes.
+      const util::Bytes p1_canonical = *net::reassemble(f1);
+
+      const std::size_t check_at =
+          pkt_cfg.placement == net::ChecksumPlacement::kHeader
+              ? net::kIpv4HeaderLen + 16
+              : p1.bytes.size() - net::kTrailerCheckLen;
+
+      // All non-trivial substitution patterns.
+      const unsigned n = static_cast<unsigned>(f1.size());
+      for (unsigned mask = 1; mask + 1 < (1u << n); ++mask) {
+        ++st.substitutions;
+        std::vector<net::Fragment> mixed = f1;
+        for (unsigned b = 0; b < n; ++b)
+          if (mask & (1u << b)) mixed[b] = f2[b];
+        const auto rebuilt = net::reassemble(std::move(mixed));
+        if (!rebuilt) continue;  // cannot happen: same tiling
+
+        // Identical data (check field excluded)?
+        bool identical = true;
+        for (std::size_t k = 0; k < rebuilt->size() && identical; ++k) {
+          if (k == check_at) {
+            ++k;
+            continue;
+          }
+          identical = (*rebuilt)[k] == p1_canonical[k];
+        }
+        if (identical) {
+          ++st.identical;
+          continue;
+        }
+        ++st.remaining;
+        if (net::verify_transport_checksum(pkt_cfg,
+                                           util::ByteView(*rebuilt)))
+          ++st.missed;
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = core::scale_from_env();
+  const fsgen::Filesystem fs(fsgen::profile("sics.se:/opt"), 0.5 * scale);
+  constexpr std::size_t kMtu = 380;  // 360-byte fragment payloads
+
+  std::printf(
+      "== Fragmentation-substitution error model (MTU %zu, 1440-byte "
+      "segments, sics.se:/opt) ==\n\n",
+      kMtu);
+  core::TextTable t(
+      {"checksum", "substitutions", "identical", "remaining", "missed",
+       "miss%"});
+  for (const auto& [label, transport, placement] :
+       {std::tuple{"TCP (header)", alg::Algorithm::kInternet,
+                   net::ChecksumPlacement::kHeader},
+        std::tuple{"TCP (trailer)", alg::Algorithm::kInternet,
+                   net::ChecksumPlacement::kTrailer},
+        std::tuple{"F-255", alg::Algorithm::kFletcher255,
+                   net::ChecksumPlacement::kHeader},
+        std::tuple{"F-256", alg::Algorithm::kFletcher256,
+                   net::ChecksumPlacement::kHeader}}) {
+    net::PacketConfig cfg;
+    cfg.transport = transport;
+    cfg.placement = placement;
+    const FragStats st = run_frag_model(cfg, fs, kMtu);
+    t.add_row({label, core::fmt_count(st.substitutions),
+               core::fmt_count(st.identical), core::fmt_count(st.remaining),
+               core::fmt_count(st.missed),
+               core::fmt_pct(st.missed, st.remaining)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (colouring theory): substituted fragments keep "
+      "their offsets, so Fletcher's positional advantage disappears — "
+      "TCP, F-255 and F-256 miss at similar rates — while the trailer "
+      "checksum keeps its sequence-number colour and stays far ahead.\n");
+  return 0;
+}

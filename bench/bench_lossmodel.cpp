@@ -1,0 +1,158 @@
+// §7 end-to-end: how much splice exposure survives each switch
+// discard policy. Files are packetised, segmented into 53-byte ATM
+// cells, pushed through a bursty lossy link, reassembled by the AAL5
+// state machine, and run through the receiver checks.
+//
+//   plain cell loss  -> fused PDUs form; length/CRC/TCP must catch them
+//   PPD              -> fusions have detectably wrong lengths
+//   EPD              -> no fusion can form at all
+//
+// The "TCP only" column ignores the AAL5 CRC — the paper's warning
+// about links where the TCP checksum is the primary error detection
+// (SLIP: "That's probably not wise").
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "atm/loss.hpp"
+#include "atm/reassembler.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "net/validate.hpp"
+#include "util/hash.hpp"
+
+using namespace cksum;
+
+namespace {
+
+struct PolicyResult {
+  atm::LossStats loss;
+  std::uint64_t candidates = 0;
+  std::uint64_t intact = 0;
+  std::uint64_t rej_length = 0;
+  std::uint64_t rej_crc = 0;
+  std::uint64_t rej_header = 0;
+  std::uint64_t rej_tcp = 0;
+  std::uint64_t undetected = 0;           // all checks pass, data corrupt
+  std::uint64_t undetected_tcp_only = 0;  // CRC ignored (SLIP-like)
+};
+
+PolicyResult run_policy(atm::DiscardPolicy policy, double loss_rate,
+                        double scale) {
+  const net::FlowConfig flow = core::paper_flow_config();
+  const fsgen::Filesystem fs(fsgen::profile("sics.se:/opt"), scale);
+
+  PolicyResult out;
+  atm::LossConfig loss_cfg;
+  loss_cfg.cell_loss_rate = loss_rate;
+  loss_cfg.burst_continue = 0.5;
+  loss_cfg.policy = policy;
+  util::Rng rng(0x105e + static_cast<std::uint64_t>(policy));
+
+  for (std::size_t f = 0; f < fs.file_count(); ++f) {
+    const util::Bytes file = fs.file(f);
+    const auto pkts = net::segment_file(flow, util::ByteView(file));
+
+    // Known-good datagrams of this flow, for corruption detection.
+    std::set<std::uint64_t> good;
+    std::vector<atm::Cell> stream;
+    for (const auto& p : pkts) {
+      good.insert(util::hash64(p.ip_bytes()));
+      const atm::CpcsPdu pdu = atm::CpcsPdu::frame(p.ip_bytes());
+      const auto cells = atm::segment_pdu(pdu, 0, 32);
+      stream.insert(stream.end(), cells.begin(), cells.end());
+    }
+
+    atm::LossStats ls;
+    const auto survivors = atm::transmit(stream, loss_cfg, rng, &ls);
+    out.loss.cells_in += ls.cells_in;
+    out.loss.cells_lost += ls.cells_lost;
+    out.loss.cells_policy_drop += ls.cells_policy_drop;
+
+    atm::Reassembler reasm;
+    for (const auto& cell : survivors) {
+      auto done = reasm.push(cell);
+      if (!done) continue;
+      ++out.candidates;
+      if (!done->length_ok) {
+        ++out.rej_length;
+        continue;
+      }
+      const std::size_t len =
+          atm::parse_trailer(util::ByteView(done->bytes)).length;
+      const util::ByteView datagram = util::ByteView(done->bytes).first(len);
+      const bool hdr_ok =
+          net::check_headers(datagram, len, true) == net::HeaderCheck::kOk;
+      const bool tcp_ok =
+          hdr_ok && net::verify_transport_checksum(flow.packet, datagram);
+      const bool data_ok = good.count(util::hash64(datagram)) > 0;
+
+      // SLIP-like reception: no CRC.
+      if (hdr_ok && tcp_ok && !data_ok) ++out.undetected_tcp_only;
+
+      if (!done->crc_ok) {
+        ++out.rej_crc;
+        continue;
+      }
+      if (!hdr_ok) {
+        ++out.rej_header;
+        continue;
+      }
+      if (!tcp_ok) {
+        ++out.rej_tcp;
+        continue;
+      }
+      if (data_ok) {
+        ++out.intact;
+      } else {
+        ++out.undetected;
+      }
+    }
+  }
+  return out;
+}
+
+const char* policy_name(atm::DiscardPolicy p) {
+  switch (p) {
+    case atm::DiscardPolicy::kNone: return "plain cell loss";
+    case atm::DiscardPolicy::kPartialPacketDiscard: return "PPD";
+    case atm::DiscardPolicy::kEarlyPacketDiscard: return "EPD";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const double scale = core::scale_from_env();
+  const double loss_rate = 0.01;
+  std::printf(
+      "== Loss-model pipeline (paper §7): cells through a bursty lossy "
+      "link ==\n(cell loss rate %.2f%%, burst continue 0.5, corpus "
+      "sics.se:/opt)\n\n",
+      100 * loss_rate);
+
+  core::TextTable t({"policy", "cells lost", "candidates", "intact",
+                     "rej len", "rej CRC", "rej hdr", "rej TCP",
+                     "undetected", "undetected TCP-only"});
+  for (const auto policy :
+       {atm::DiscardPolicy::kNone, atm::DiscardPolicy::kPartialPacketDiscard,
+        atm::DiscardPolicy::kEarlyPacketDiscard}) {
+    const PolicyResult r = run_policy(policy, loss_rate, scale);
+    t.add_row({policy_name(policy),
+               core::fmt_count(r.loss.cells_lost + r.loss.cells_policy_drop),
+               core::fmt_count(r.candidates), core::fmt_count(r.intact),
+               core::fmt_count(r.rej_length), core::fmt_count(r.rej_crc),
+               core::fmt_count(r.rej_header), core::fmt_count(r.rej_tcp),
+               core::fmt_count(r.undetected),
+               core::fmt_count(r.undetected_tcp_only)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): with plain loss, fused PDUs appear and "
+      "the checks must work; PPD turns fusions into length failures; EPD "
+      "eliminates candidates entirely. Undetected corruption with the CRC "
+      "in place requires ~2^32 exposures — 'much less than 1 in 10^19' "
+      "overall.\n");
+  return 0;
+}

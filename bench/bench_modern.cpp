@@ -1,0 +1,43 @@
+// Extension: the paper's experiment on a 2026-style filesystem mix.
+//
+// Modern home directories are dominated by already-compressed formats
+// (media, archives, packaged software) whose bytes look uniform to a
+// checksum — the paper's own Table 7 in ambient form. What keeps the
+// TCP checksum above its uniform rate today is thesurviving
+// structured minority: source trees, build artifacts, profiling data.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+int main() {
+  const double scale = core::scale_from_env();
+  net::PacketConfig cfg;
+  core::TextTable t({"filesystem", "remaining", "TCP missed", "miss%",
+                     "x uniform"});
+  for (const char* name : {"sics.se:/opt", "modern:/home"}) {
+    const core::SpliceStats st =
+        core::run_profile(fsgen::profile(name), cfg, scale);
+    const double rate = st.remaining
+                            ? static_cast<double>(st.missed_transport) /
+                                  static_cast<double>(st.remaining)
+                            : 0.0;
+    char xunif[32];
+    std::snprintf(xunif, sizeof xunif, "%.1f",
+                  rate * 65535.0);
+    t.add_row({name, core::fmt_count(st.remaining),
+               core::fmt_count(st.missed_transport), core::fmt_pct(rate),
+               xunif});
+  }
+  std::printf(
+      "== Extension: the 1995 experiment on a 2026-style filesystem "
+      "mix ==\n\n");
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: the modern mix sits far below 1995's /opt — "
+      "compression ate most of the paper's effect — but build/profiling "
+      "artifacts still hold it above the uniform 0.0015%%.\n");
+  return 0;
+}

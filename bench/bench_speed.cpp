@@ -1,0 +1,147 @@
+// §2's performance claim: "measurements have typically shown the TCP
+// checksum to be two to four times faster [than Fletcher]", with CRC
+// slower still. google-benchmark over the algorithm engines.
+#include <benchmark/benchmark.h>
+
+#include "checksum/checksum.hpp"
+#include "core/pdu_model.hpp"
+#include "core/splice_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cksum::util::ByteView;
+using cksum::util::Bytes;
+
+Bytes make_buffer(std::size_t n) {
+  Bytes b(n);
+  cksum::util::Rng rng(0xbeef);
+  rng.fill(b);
+  return b;
+}
+
+const Bytes& buffer() {
+  static const Bytes b = make_buffer(64 * 1024);
+  return b;
+}
+
+void BM_InternetChecksum(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cksum::alg::internet_sum(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_InternetChecksumWide(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cksum::alg::internet_sum_wide(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Fletcher255(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        cksum::alg::fletcher_block(data, cksum::alg::FletcherMod::kOnes255));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Fletcher256(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        cksum::alg::fletcher_block(data, cksum::alg::FletcherMod::kTwos256));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Fletcher255Naive(benchmark::State& state) {
+  // Per-byte modulo, the implementation Nakassis warns against.
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cksum::alg::fletcher_block_naive(
+        data, cksum::alg::FletcherMod::kOnes255));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Adler32(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(cksum::alg::adler32(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Crc32Bitwise(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cksum::alg::crc32_bitwise(0, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Crc32Table(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cksum::alg::crc32_table(0, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Crc32Slice8(benchmark::State& state) {
+  const ByteView data(buffer().data(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cksum::alg::crc32_slice8(0, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Crc32CellCombine(benchmark::State& state) {
+  // The splice simulator's hot operation: fold a per-cell CRC into a
+  // running splice CRC.
+  const cksum::alg::CrcCombiner comb(48);
+  std::uint32_t a = 0x12345678, b = 0x9abcdef0;
+  for (auto _ : state) {
+    a = comb.combine(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+
+void BM_SpliceEvaluatePair(benchmark::State& state) {
+  // The simulator's unit of work: all 923 splices of one adjacent
+  // full-size packet pair, classified via per-cell partial sums.
+  cksum::net::FlowConfig flow;
+  cksum::util::Bytes file(512);
+  cksum::util::Rng rng(0x51);
+  rng.fill(file);
+  const auto pkts =
+      cksum::core::packetize_file(flow, cksum::util::ByteView(file));
+  cksum::core::SpliceStats stats;
+  for (auto _ : state) {
+    cksum::core::evaluate_pair(flow.packet, pkts[0], pkts[1], stats);
+    benchmark::DoNotOptimize(stats.total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          923);  // splices per pair
+}
+
+}  // namespace
+
+// 48-byte ATM cell, 296-byte packet, 4KB page, 64KB bulk.
+BENCHMARK(BM_InternetChecksum)->Arg(48)->Arg(296)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_InternetChecksumWide)->Arg(48)->Arg(296)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Fletcher255)->Arg(48)->Arg(296)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Fletcher256)->Arg(48)->Arg(296)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Fletcher255Naive)->Arg(296)->Arg(65536);
+BENCHMARK(BM_Adler32)->Arg(296)->Arg(65536);
+BENCHMARK(BM_Crc32Bitwise)->Arg(296)->Arg(4096);
+BENCHMARK(BM_Crc32Table)->Arg(296)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Crc32Slice8)->Arg(296)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Crc32CellCombine);
+BENCHMARK(BM_SpliceEvaluatePair);
+
+BENCHMARK_MAIN();

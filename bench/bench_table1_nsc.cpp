@@ -1,0 +1,10 @@
+// Table 1: CRC and TCP Checksum Results — 256-byte packets on the
+// nine Network Systems Corporation filesystems.
+#include "table_common.hpp"
+
+int main() {
+  cksum::bench::print_crc_tcp_table(
+      "Table 1: CRC and TCP checksum results (NSC systems)",
+      cksum::fsgen::nsc_profiles());
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table 2: CRC and TCP Checksum Results — 256-byte packets on the
+// eight Swedish Institute of Computer Science filesystems.
+#include "table_common.hpp"
+
+int main() {
+  cksum::bench::print_crc_tcp_table(
+      "Table 2: CRC and TCP checksum results (SICS systems)",
+      cksum::fsgen::sics_profiles());
+  return 0;
+}

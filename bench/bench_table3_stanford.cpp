@@ -1,0 +1,10 @@
+// Table 3: CRC and TCP Checksum Results — 256-byte packets on the two
+// Stanford filesystems.
+#include "table_common.hpp"
+
+int main() {
+  cksum::bench::print_crc_tcp_table(
+      "Table 3: CRC and TCP checksum results (Stanford systems)",
+      cksum::fsgen::stanford_profiles());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 7: CRC and TCP checksum results over LZW-compressed data —
+// compressing sics.se:/opt (the paper's worst filesystem for the TCP
+// checksum) restores near-uniform behaviour.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+int main() {
+  const double scale = core::scale_from_env();
+  const auto& prof = fsgen::profile("sics.se:/opt");
+  const net::PacketConfig cfg;
+
+  const core::SpliceStats raw = core::run_profile(prof, cfg, scale, false);
+  const core::SpliceStats packed = core::run_profile(prof, cfg, scale, true);
+
+  std::printf(
+      "== Table 7: CRC and TCP checksum results, LZW-compressed data "
+      "(sics.se:/opt) ==\n\n");
+  core::TextTable t({"", "uncompressed", "compressed"});
+  t.add_row({"Total", core::fmt_count(raw.total), core::fmt_count(packed.total)});
+  t.add_row({"Caught by Header", core::fmt_count(raw.caught_by_header),
+             core::fmt_count(packed.caught_by_header)});
+  t.add_row({"Identical data", core::fmt_count(raw.identical),
+             core::fmt_count(packed.identical)});
+  t.add_row({"Remaining", core::fmt_count(raw.remaining),
+             core::fmt_count(packed.remaining)});
+  t.add_row({"Missed by CRC (%)", core::fmt_pct(raw.missed_crc, raw.remaining),
+             core::fmt_pct(packed.missed_crc, packed.remaining)});
+  t.add_row({"Missed by TCP (%)",
+             core::fmt_pct(raw.missed_transport, raw.remaining),
+             core::fmt_pct(packed.missed_transport, packed.remaining)});
+  t.print(std::cout);
+
+  const double uniform = alg::uniform_miss_rate(alg::Algorithm::kInternet);
+  std::printf(
+      "\nuniform-data expectation: %s%%. Paper: compression brings the "
+      "miss rate from ~0.17%% back to ~the uniform rate (a ~100x "
+      "improvement).\n",
+      core::fmt_pct(uniform).c_str());
+  return 0;
+}

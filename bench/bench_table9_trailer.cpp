@@ -1,0 +1,47 @@
+// Table 9: Trailer checksum results — the standard header-placed TCP
+// checksum vs the same sum placed in a packet trailer, on five
+// filesystems. Separating the check value from the header it covers
+// breaks fate-sharing and adds a third "colour" to every splice; the
+// paper measured a 20-50x improvement.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+int main() {
+  const double scale = core::scale_from_env();
+  std::printf("== Table 9: trailer checksum results (256-byte packets) ==\n\n");
+  core::TextTable t({"filesystem", "TCP misses %", "Trailer misses %",
+                     "improvement", "uniform %"});
+  const double uniform = alg::uniform_miss_rate(alg::Algorithm::kInternet);
+  for (const char* name :
+       {"sics.se:/opt", "smeg.stanford.edu:/u1",
+        "pompano.stanford.edu:/usr/local", "sics.se:/src1", "sics.se:/src2"}) {
+    const auto& prof = fsgen::profile(name);
+    net::PacketConfig header_cfg;
+    net::PacketConfig trailer_cfg;
+    trailer_cfg.placement = net::ChecksumPlacement::kTrailer;
+    const core::SpliceStats h = core::run_profile(prof, header_cfg, scale);
+    const core::SpliceStats tr = core::run_profile(prof, trailer_cfg, scale);
+    const double hr = h.remaining ? static_cast<double>(h.missed_transport) /
+                                        static_cast<double>(h.remaining)
+                                  : 0.0;
+    const double trr = tr.remaining
+                           ? static_cast<double>(tr.missed_transport) /
+                                 static_cast<double>(tr.remaining)
+                           : 0.0;
+    char improvement[32];
+    std::snprintf(improvement, sizeof improvement, "%.1fx",
+                  trr > 0 ? hr / trr : 0.0);
+    t.add_row({name, core::fmt_pct(hr), core::fmt_pct(trr), improvement,
+               core::fmt_pct(uniform)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): trailer misses 20-50x less often than "
+      "header; on some systems below the uniform rate (non-uniformity "
+      "*helping* for once).\n");
+  return 0;
+}

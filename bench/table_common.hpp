@@ -1,0 +1,57 @@
+// Shared helpers for the table-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "stats/binomial.hpp"
+
+namespace cksum::bench {
+
+/// Print one Table 1/2/3-style block for a filesystem profile: totals,
+/// header-caught, identical, remaining, and CRC/TCP miss rates, with
+/// the uniform-data expectation alongside.
+inline void print_crc_tcp_block(const fsgen::FsProfile& prof, double scale) {
+  const net::PacketConfig cfg;  // standard TCP, header checksum
+  const core::SpliceStats st = core::run_profile(prof, cfg, scale);
+
+  std::printf("%-28s %10s files  %12s pkts\n", prof.full_name().c_str(),
+              core::fmt_count(st.files).c_str(),
+              core::fmt_count(st.packets).c_str());
+  core::TextTable t({"", "count", "% remaining splices"});
+  t.add_row({"Total", core::fmt_count(st.total), ""});
+  t.add_row({"Caught by Header", core::fmt_count(st.caught_by_header), ""});
+  t.add_row({"Identical data", core::fmt_count(st.identical), ""});
+  t.add_row({"Remaining splices", core::fmt_count(st.remaining), "100"});
+  t.add_row({"Missed by CRC", core::fmt_count(st.missed_crc),
+             core::fmt_pct(st.missed_crc, st.remaining)});
+  t.add_row({"Missed by TCP", core::fmt_count(st.missed_transport),
+             core::fmt_pct(st.missed_transport, st.remaining)});
+  t.print(std::cout);
+  const stats::Interval ci =
+      stats::wilson_interval(st.missed_transport, st.remaining);
+  std::printf("  TCP miss rate 95%% CI: [%s%%, %s%%]\n",
+              core::fmt_pct(ci.lo).c_str(), core::fmt_pct(ci.hi).c_str());
+  std::printf(
+      "  (uniform-data expectation: CRC %s%%, TCP %s%%; missed by both: "
+      "%s)\n\n",
+      core::fmt_pct(alg::uniform_miss_rate(alg::Algorithm::kCrc32)).c_str(),
+      core::fmt_pct(alg::uniform_miss_rate(alg::Algorithm::kInternet)).c_str(),
+      core::fmt_count(st.missed_both).c_str());
+}
+
+inline void print_crc_tcp_table(const char* title,
+                                std::span<const fsgen::FsProfile> profiles) {
+  const double scale = core::scale_from_env();
+  std::printf("== %s ==\n", title);
+  std::printf(
+      "(256-byte TCP segments over AAL5; synthetic filesystem profiles — "
+      "see DESIGN.md; scale=%.2f via CKSUMLAB_SCALE)\n\n",
+      scale);
+  for (const auto& prof : profiles) print_crc_tcp_block(prof, scale);
+}
+
+}  // namespace cksum::bench

@@ -1,0 +1,100 @@
+// End-to-end ATM pipeline walkthrough: one file becomes TCP packets,
+// AAL5 PDUs, and 53-byte cells; the cells cross a bursty lossy link;
+// the AAL5 reassembler and receiver checks sort out what survived.
+// Run it twice to compare discard policies:
+//
+//   $ ./examples/loss_pipeline            # plain cell loss
+//   $ ./examples/loss_pipeline epd        # Early Packet Discard
+//   $ ./examples/loss_pipeline ppd 0.05   # PPD at 5% cell loss
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "atm/loss.hpp"
+#include "atm/reassembler.hpp"
+#include "core/experiments.hpp"
+#include "net/validate.hpp"
+#include "util/hash.hpp"
+
+using namespace cksum;
+
+int main(int argc, char** argv) {
+  atm::LossConfig loss;
+  loss.cell_loss_rate = argc > 2 ? std::atof(argv[2]) : 0.02;
+  loss.burst_continue = 0.5;
+  const char* policy_name = "plain cell loss";
+  if (argc > 1 && std::strcmp(argv[1], "ppd") == 0) {
+    loss.policy = atm::DiscardPolicy::kPartialPacketDiscard;
+    policy_name = "partial packet discard";
+  } else if (argc > 1 && std::strcmp(argv[1], "epd") == 0) {
+    loss.policy = atm::DiscardPolicy::kEarlyPacketDiscard;
+    policy_name = "early packet discard";
+  }
+
+  // A zero-heavy file: the worst case for the TCP checksum.
+  const util::Bytes file =
+      fsgen::generate_file(fsgen::FileKind::kGmonProfile, 42, 120000);
+  const net::FlowConfig flow = core::paper_flow_config();
+  const auto pkts = net::segment_file(flow, util::ByteView(file));
+
+  std::vector<atm::Cell> stream;
+  std::set<std::uint64_t> good;
+  for (const auto& p : pkts) {
+    good.insert(util::hash64(p.ip_bytes()));
+    const auto cells =
+        atm::segment_pdu(atm::CpcsPdu::frame(p.ip_bytes()), 0, 32);
+    stream.insert(stream.end(), cells.begin(), cells.end());
+  }
+  std::printf("sender: %zu bytes -> %zu packets -> %zu cells (%zu bytes "
+              "on the wire)\n",
+              file.size(), pkts.size(), stream.size(),
+              stream.size() * atm::kCellLen);
+
+  util::Rng rng(7);
+  atm::LossStats ls;
+  const auto survivors = atm::transmit(stream, loss, rng, &ls);
+  std::printf("link (%s, %.1f%% loss, bursty): %llu cells lost, %llu more "
+              "dropped by policy\n",
+              policy_name, 100 * loss.cell_loss_rate,
+              static_cast<unsigned long long>(ls.cells_lost),
+              static_cast<unsigned long long>(ls.cells_policy_drop));
+
+  atm::Reassembler reasm;
+  std::size_t intact = 0, rej_len = 0, rej_crc = 0, rej_tcp = 0, corrupt = 0;
+  for (const auto& cell : survivors) {
+    auto done = reasm.push(cell);
+    if (!done) continue;
+    if (!done->length_ok) {
+      ++rej_len;
+      continue;
+    }
+    if (!done->crc_ok) {
+      ++rej_crc;
+      continue;
+    }
+    const std::size_t len =
+        atm::parse_trailer(util::ByteView(done->bytes)).length;
+    const util::ByteView datagram = util::ByteView(done->bytes).first(len);
+    if (net::check_headers(datagram, len, true) != net::HeaderCheck::kOk ||
+        !net::verify_transport_checksum(flow.packet, datagram)) {
+      ++rej_tcp;
+      continue;
+    }
+    if (good.count(util::hash64(datagram)) > 0) {
+      ++intact;
+    } else {
+      ++corrupt;  // every check passed on corrupted data
+    }
+  }
+
+  std::printf(
+      "receiver: %zu intact datagrams; rejected %zu by AAL5 length, %zu "
+      "by CRC-32, %zu by header/TCP checks; %zu UNDETECTED corruptions\n",
+      intact, rej_len, rej_crc, rej_tcp, corrupt);
+  std::printf(
+      "\n(the paper's §7: with EPD no fused PDU can even form; with PPD "
+      "fusions die on the length check; with plain loss the CRC carries "
+      "the load and the TCP checksum is the last, leaky line of "
+      "defence)\n");
+  return 0;
+}

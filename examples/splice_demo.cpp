@@ -1,0 +1,86 @@
+// Splice demo: build two adjacent TCP/IP-over-AAL5 packets from
+// zero-heavy "profiling" data, enumerate every cell splice, and show a
+// concrete splice that the 16-bit TCP checksum accepts while the AAL5
+// CRC-32 catches it — the paper's Figure 1 scenario made tangible.
+//
+//   $ ./examples/splice_demo
+#include <cstdio>
+
+#include "atm/splice.hpp"
+#include "core/experiments.hpp"
+#include "core/pdu_model.hpp"
+#include "core/splice_sim.hpp"
+#include "fsgen/generator.hpp"
+
+using namespace cksum;
+
+namespace {
+
+void describe(const atm::SpliceSpec& s, std::size_t n1, std::size_t n2) {
+  std::printf("  splice keeps pkt1 cells [");
+  for (std::size_t i = 0; i + 1 < n1; ++i)
+    if (s.mask1 & (1u << i)) std::printf(" %zu", i);
+  std::printf(" ] ++ pkt2 cells [");
+  for (std::size_t j = 0; j + 1 < n2; ++j)
+    if (s.mask2 & (1u << j)) std::printf(" %zu", j);
+  std::printf(" %zu(EOM) ]\n", n2 - 1);
+}
+
+}  // namespace
+
+int main() {
+  // gmon-style data: mostly zeros with sparse identical counters — the
+  // paper's canonical TCP-checksum pathology (§5.5).
+  const util::Bytes file =
+      fsgen::generate_file(fsgen::FileKind::kGmonProfile, 2024, 40000);
+
+  const net::FlowConfig flow = core::paper_flow_config();
+  const auto pkts = core::packetize_file(flow, util::ByteView(file));
+  std::printf("transfer: %zu bytes -> %zu packets of 256-byte segments\n",
+              file.size(), pkts.size());
+
+  std::size_t shown = 0;
+  std::uint64_t total = 0, missed = 0;
+  for (std::size_t i = 0; i + 1 < pkts.size() && shown < 3; ++i) {
+    const auto& p1 = pkts[i];
+    const auto& p2 = pkts[i + 1];
+    atm::for_each_splice(
+        p1.pdu.num_cells(), p2.pdu.num_cells(),
+        [&](const atm::SpliceSpec& s) {
+          ++total;
+          const core::SpliceOutcome o =
+              core::evaluate_splice_reference(flow.packet, p1, p2, s);
+          if (o.caught_by_header || o.identical) return;
+          if (o.transport_pass) {
+            ++missed;
+            if (shown < 3) {
+              ++shown;
+              std::printf(
+                  "\nundetected corruption between packets %zu and %zu "
+                  "(seq %u / %u):\n",
+                  i, i + 1, 1 + 256 * static_cast<unsigned>(i),
+                  1 + 256 * static_cast<unsigned>(i + 1));
+              describe(s, p1.pdu.num_cells(), p2.pdu.num_cells());
+              std::printf(
+                  "  TCP checksum: PASS (corrupted data delivered!)\n"
+                  "  AAL5 CRC-32 : %s\n",
+                  o.crc_pass ? "PASS (!!)" : "FAIL (splice caught)");
+            }
+          }
+        });
+  }
+  if (shown == 0) {
+    std::printf(
+        "\nno TCP-missed splice among the first pairs (try another seed); "
+        "the full filesystem runs in bench_table1..3 always find them.\n");
+  }
+  std::printf(
+      "\nacross the first pairs examined: %llu splices, %llu passed the "
+      "TCP checksum despite corrupting data.\n",
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(missed));
+  std::printf(
+      "Moral (the paper's): the ones-complement sum cannot tell cells "
+      "with equal sums apart, and real data is full of them.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Trailer vs header checksums (§5.3): the same 16-bit Internet
+// checksum, placed in the TCP header vs appended after the payload,
+// over one filesystem — plus the false-positive trade-off and the
+// distribution-colouring explanation.
+//
+//   $ ./examples/trailer_vs_header [profile]
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+using namespace cksum;
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "sics.se:/opt";
+  const auto& prof = fsgen::profile(name);
+  const double scale = core::scale_from_env();
+
+  net::PacketConfig header_cfg;
+  net::PacketConfig trailer_cfg;
+  trailer_cfg.placement = net::ChecksumPlacement::kTrailer;
+
+  const core::SpliceStats h = core::run_profile(prof, header_cfg, scale);
+  const core::SpliceStats t = core::run_profile(prof, trailer_cfg, scale);
+
+  std::printf("== header vs trailer TCP checksum on %s ==\n\n", name);
+  core::TextTable table({"", "header", "trailer"});
+  table.add_row({"splices inspected", core::fmt_count(h.total),
+                 core::fmt_count(t.total)});
+  table.add_row({"undetected corruption", core::fmt_count(h.pass_changed),
+                 core::fmt_count(t.pass_changed)});
+  table.add_row({"miss rate (% of remaining)",
+                 core::fmt_pct(h.pass_changed, h.remaining),
+                 core::fmt_pct(t.pass_changed, t.remaining)});
+  table.add_row({"benign splices rejected", core::fmt_count(h.fail_identical),
+                 core::fmt_count(t.fail_identical)});
+  table.print(std::cout);
+
+  std::printf(
+      "\nWhy the trailer wins (the paper's colouring argument):\n"
+      "  With a header checksum, the check value and the header it covers\n"
+      "  travel in the same cell — they share fate. A splice made of data\n"
+      "  cells drawn from the same local distribution needs only an exact\n"
+      "  checksum collision, and skewed data makes exact collisions common.\n"
+      "  A trailer checksum comes from packet 2 while the header comes from\n"
+      "  packet 1, so every splice must bridge a third 'colour' — the\n"
+      "  difference between two sequence numbers — and P[X - Y = c] is\n"
+      "  always <= P[X = Y] (Lemma 9).\n"
+      "\n"
+      "The cost: splices whose payload was accidentally correct now fail\n"
+      "the checksum (%s here). That only triggers a retransmission that\n"
+      "was already due — cells were lost either way.\n",
+      core::fmt_count(t.fail_identical).c_str());
+  return 0;
+}

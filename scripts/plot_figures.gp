@@ -1,0 +1,28 @@
+# gnuplot script regenerating Figure 2(a) and Figure 3 from the CSV
+# dumps of the bench binaries:
+#
+#   build/bench/bench_fig2_blockdist --csv > fig2.csv
+#   build/bench/bench_fig3_cellpdf  --csv > fig3.csv
+#   gnuplot -e "fig2='fig2.csv'; fig3='fig3.csv'" scripts/plot_figures.gp
+#
+# Produces fig2.png and fig3.png in the working directory.
+set datafile separator ","
+set terminal pngcairo size 900,600
+
+set output "fig2.png"
+set logscale xy
+set xlabel "checksum value rank (sorted by frequency)"
+set ylabel "probability"
+set title "Figure 2(a): TCP checksum distribution over k-cell blocks"
+plot fig2 using 1:2 with lines title "k=1", \
+     fig2 using 1:3 with lines title "k=2", \
+     fig2 using 1:4 with lines title "k=4", \
+     fig2 using 1:5 with lines title "k=8", \
+     fig2 using 1:6 with lines dashtype 2 title "predict (k=2)", \
+     fig2 using 1:7 with lines dashtype 3 title "uniform"
+
+set output "fig3.png"
+set title "Figure 3: cell checksum PDFs (most common values)"
+plot fig3 using 1:2 with lines title "IP/TCP", \
+     fig3 using 1:3 with lines title "F255", \
+     fig3 using 1:4 with lines title "F256"

@@ -1,0 +1,30 @@
+#!/bin/sh
+# One-command reproduction: build, test, regenerate every table and
+# figure, and capture the outputs next to EXPERIMENTS.md.
+#
+#   scripts/repro.sh [scale]
+#
+# `scale` multiplies every synthetic corpus (default 1; the paper-sized
+# runs used in EXPERIMENTS.md). Expect ~1 minute at scale 1.
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1}"
+export CKSUMLAB_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt and bench_output.txt refreshed (scale $SCALE)"

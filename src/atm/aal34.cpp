@@ -1,0 +1,173 @@
+#include "atm/aal34.hpp"
+
+#include <algorithm>
+
+namespace cksum::atm {
+
+std::uint16_t crc10(util::ByteView data) noexcept {
+  // MSB-first, generator 0x633 (x^10+x^9+x^5+x^4+x+1), init 0. The
+  // register lives in the top 10 bits of a 16-bit word.
+  std::uint16_t reg = 0;
+  for (std::uint8_t byte : data) {
+    reg ^= static_cast<std::uint16_t>(byte << 2);  // align to bit 9..2
+    for (int b = 0; b < 8; ++b) {
+      reg = static_cast<std::uint16_t>((reg & 0x200) ? (reg << 1) ^ 0x633
+                                                     : (reg << 1));
+    }
+    reg &= 0x3ff;
+  }
+  return reg;
+}
+
+std::array<std::uint8_t, 48> Sar34Cell::encode() const noexcept {
+  std::array<std::uint8_t, 48> out{};
+  out[0] = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(st) << 6) | ((sn & 0xf) << 2) |
+      ((mid >> 8) & 0x3));
+  out[1] = static_cast<std::uint8_t>(mid & 0xff);
+  std::copy(payload.begin(), payload.end(), out.begin() + 2);
+  // Trailer: LI(6) in the top bits, CRC-10 zeroed for computation.
+  out[46] = static_cast<std::uint8_t>((li & 0x3f) << 2);
+  out[47] = 0;
+  const std::uint16_t crc = crc10(util::ByteView(out.data(), out.size()));
+  out[46] |= static_cast<std::uint8_t>((crc >> 8) & 0x3);
+  out[47] = static_cast<std::uint8_t>(crc & 0xff);
+  return out;
+}
+
+std::optional<Sar34Cell> Sar34Cell::decode(util::ByteView bytes) noexcept {
+  if (bytes.size() < 48) return std::nullopt;
+  // Verify: recompute with CRC bits zeroed.
+  std::array<std::uint8_t, 48> copy{};
+  std::copy_n(bytes.begin(), 48, copy.begin());
+  const std::uint16_t stored =
+      static_cast<std::uint16_t>(((copy[46] & 0x3) << 8) | copy[47]);
+  copy[46] &= 0xfc;
+  copy[47] = 0;
+  if (crc10(util::ByteView(copy.data(), copy.size())) != stored)
+    return std::nullopt;
+
+  Sar34Cell cell;
+  cell.st = static_cast<SegmentType>(copy[0] >> 6);
+  cell.sn = static_cast<std::uint8_t>((copy[0] >> 2) & 0xf);
+  cell.mid = static_cast<std::uint16_t>(((copy[0] & 0x3) << 8) | copy[1]);
+  std::copy_n(copy.begin() + 2, kSar34Payload, cell.payload.begin());
+  cell.li = static_cast<std::uint8_t>(copy[46] >> 2);
+  if (cell.li > kSar34Payload) return std::nullopt;
+  return cell;
+}
+
+std::vector<Sar34Cell> aal34_segment(util::ByteView cpcs_pdu,
+                                     std::uint16_t mid,
+                                     std::uint8_t initial_sn) {
+  std::vector<Sar34Cell> out;
+  const std::size_t n =
+      std::max<std::size_t>(1, (cpcs_pdu.size() + kSar34Payload - 1) /
+                                   kSar34Payload);
+  out.reserve(n);
+  std::uint8_t sn = initial_sn & 0xf;
+  for (std::size_t i = 0; i < n; ++i) {
+    Sar34Cell cell;
+    cell.mid = mid & 0x3ff;
+    cell.sn = sn;
+    sn = static_cast<std::uint8_t>((sn + 1) & 0xf);
+    const std::size_t off = i * kSar34Payload;
+    const std::size_t len =
+        std::min(kSar34Payload, cpcs_pdu.size() - off);
+    std::copy_n(cpcs_pdu.begin() + off, len, cell.payload.begin());
+    cell.li = static_cast<std::uint8_t>(len);
+    if (n == 1) {
+      cell.st = SegmentType::kSsm;
+    } else if (i == 0) {
+      cell.st = SegmentType::kBom;
+    } else if (i + 1 == n) {
+      cell.st = SegmentType::kEom;
+    } else {
+      cell.st = SegmentType::kCom;
+    }
+    out.push_back(cell);
+  }
+  return out;
+}
+
+util::Bytes cpcs34_frame(util::ByteView payload, std::uint8_t tag) {
+  const std::size_t padded = (payload.size() + 3) / 4 * 4;
+  util::Bytes out(4 + padded + 4, 0);
+  out[0] = 0;    // CPI
+  out[1] = tag;  // Btag
+  util::store_be16(out.data() + 2,
+                   static_cast<std::uint16_t>(payload.size()));  // BASize
+  std::copy(payload.begin(), payload.end(), out.begin() + 4);
+  std::uint8_t* trailer = out.data() + 4 + padded;
+  trailer[0] = 0;    // AL
+  trailer[1] = tag;  // Etag
+  util::store_be16(trailer + 2, static_cast<std::uint16_t>(payload.size()));
+  return out;
+}
+
+std::optional<Cpcs34Payload> cpcs34_parse(util::ByteView pdu) {
+  if (pdu.size() < 8 || pdu.size() % 4 != 0) return std::nullopt;
+  const std::uint8_t btag = pdu[1];
+  const std::uint8_t etag = pdu[pdu.size() - 3];
+  if (btag != etag) return std::nullopt;
+  const std::uint16_t basize = util::load_be16(pdu.data() + 2);
+  const std::uint16_t length = util::load_be16(pdu.data() + pdu.size() - 2);
+  if (length != basize) return std::nullopt;  // our sender sets BASize exactly
+  if (4 + static_cast<std::size_t>(length) + 4 > pdu.size())
+    return std::nullopt;
+  // Pad must make the payload area end exactly at the trailer.
+  if ((static_cast<std::size_t>(length) + 3) / 4 * 4 + 8 != pdu.size())
+    return std::nullopt;
+  Cpcs34Payload out;
+  out.tag = btag;
+  out.payload.assign(pdu.begin() + 4, pdu.begin() + 4 + length);
+  return out;
+}
+
+std::optional<Aal34Reassembler::Result> Aal34Reassembler::push(
+    const Sar34Cell& cell) {
+  // Sequence check: every received cell must continue the mod-16
+  // chain of its MID stream; a gap means loss and aborts any PDU in
+  // progress. (This is the structural splice immunity.)
+  if (have_last_sn_ &&
+      cell.sn != static_cast<std::uint8_t>((last_sn_ + 1) & 0xf)) {
+    ++seq_errors_;
+    abort_current();
+  }
+  last_sn_ = cell.sn;
+  have_last_sn_ = true;
+
+  switch (cell.st) {
+    case SegmentType::kBom:
+      abort_current();
+      in_progress_ = true;
+      buffer_.assign(cell.payload.begin(), cell.payload.begin() + cell.li);
+      return std::nullopt;
+    case SegmentType::kCom:
+      if (!in_progress_) return std::nullopt;  // orphan continuation
+      buffer_.insert(buffer_.end(), cell.payload.begin(),
+                     cell.payload.begin() + cell.li);
+      return std::nullopt;
+    case SegmentType::kEom: {
+      if (!in_progress_) return std::nullopt;  // orphan end
+      buffer_.insert(buffer_.end(), cell.payload.begin(),
+                     cell.payload.begin() + cell.li);
+      Result r;
+      r.bytes = std::move(buffer_);
+      r.complete = true;
+      buffer_.clear();
+      in_progress_ = false;
+      return r;
+    }
+    case SegmentType::kSsm: {
+      abort_current();
+      Result r;
+      r.bytes.assign(cell.payload.begin(), cell.payload.begin() + cell.li);
+      r.complete = true;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cksum::atm

@@ -1,0 +1,86 @@
+#include "atm/aal5.hpp"
+
+#include <stdexcept>
+
+#include "checksum/crc32.hpp"
+
+namespace cksum::atm {
+
+CpcsPdu CpcsPdu::frame(util::ByteView payload, std::uint8_t uu,
+                       std::uint8_t cpi) {
+  if (payload.size() > 0xffff)
+    throw std::invalid_argument("CpcsPdu::frame: payload too large");
+  const std::size_t with_trailer = payload.size() + kAal5TrailerLen;
+  const std::size_t cells =
+      (with_trailer + kCellPayload - 1) / kCellPayload;
+  const std::size_t total = cells * kCellPayload;
+
+  CpcsPdu pdu;
+  pdu.payload_len_ = payload.size();
+  pdu.bytes_.assign(total, 0);
+  std::copy(payload.begin(), payload.end(), pdu.bytes_.begin());
+
+  std::uint8_t* trailer = pdu.bytes_.data() + total - kAal5TrailerLen;
+  trailer[0] = uu;
+  trailer[1] = cpi;
+  util::store_be16(trailer + 2,
+                   static_cast<std::uint16_t>(payload.size()));
+  // CRC over everything with the CRC field still zero.
+  const std::uint32_t crc =
+      alg::crc32(util::ByteView(pdu.bytes_.data(), total - 4));
+  util::store_be32(trailer + 4, crc);
+  return pdu;
+}
+
+std::optional<CpcsPdu> CpcsPdu::from_bytes(util::Bytes bytes) {
+  if (bytes.empty() || bytes.size() % kCellPayload != 0) return std::nullopt;
+  CpcsPdu pdu;
+  pdu.payload_len_ = parse_trailer(util::ByteView(bytes)).length;
+  pdu.bytes_ = std::move(bytes);
+  if (pdu.payload_len_ + kAal5TrailerLen > pdu.bytes_.size()) return std::nullopt;
+  return pdu;
+}
+
+Aal5Trailer CpcsPdu::trailer() const noexcept {
+  return parse_trailer(util::ByteView(bytes_));
+}
+
+Aal5Trailer parse_trailer(util::ByteView pdu_bytes) {
+  if (pdu_bytes.size() < kAal5TrailerLen)
+    throw std::invalid_argument("parse_trailer: PDU too small");
+  const std::uint8_t* t = pdu_bytes.data() + pdu_bytes.size() - kAal5TrailerLen;
+  Aal5Trailer out;
+  out.uu = t[0];
+  out.cpi = t[1];
+  out.length = util::load_be16(t + 2);
+  out.crc = util::load_be32(t + 4);
+  return out;
+}
+
+bool crc_ok(util::ByteView pdu_bytes) {
+  if (pdu_bytes.size() < kAal5TrailerLen) return false;
+  const Aal5Trailer t = parse_trailer(pdu_bytes);
+  const std::uint32_t computed =
+      alg::crc32(pdu_bytes.first(pdu_bytes.size() - 4));
+  return computed == t.crc;
+}
+
+bool residue_ok(util::ByteView pdu_bytes) {
+  if (pdu_bytes.size() < kAal5TrailerLen) return false;
+  // Residue-style verification: run the CRC over the message and the
+  // stored check value and compare against a constant. Our software
+  // CRC is the reflected (zlib/Ethernet) convention, whose constant-
+  // residue identity holds when the check value enters the register
+  // least-significant byte first; the trailer stores it big-endian
+  // (as AAL5 transmits it), so feed the 4 stored bytes reversed.
+  const std::size_t n = pdu_bytes.size();
+  std::uint32_t c = alg::crc32(pdu_bytes.first(n - 4));
+  const std::uint8_t le[4] = {pdu_bytes[n - 1], pdu_bytes[n - 2],
+                              pdu_bytes[n - 3], pdu_bytes[n - 4]};
+  c = alg::crc32(c, util::ByteView(le, 4));
+  // crc32(M || LE(crc32(M))) == 0x2144DF1C — the reflected-domain
+  // image of the classical 0xC704DD7B residue.
+  return c == 0x2144DF1Cu;
+}
+
+}  // namespace cksum::atm

@@ -1,0 +1,82 @@
+// AAL5 CPCS framing over ATM cells.
+//
+// A CPCS-PDU is the user payload padded to a 48-byte multiple with a
+// trailer in the last 8 bytes: UU(1) CPI(1) Length(2, big-endian)
+// CRC-32(4, big-endian). The CRC covers the entire PDU with the CRC
+// field zeroed. The PDU is carried in 48-byte cells; the final cell
+// is marked end-of-message in the ATM header (we model the EOM flag as
+// "last cell of the PDU" — cell headers themselves carry no payload
+// and are not part of any checksum, so they are not materialised).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace cksum::atm {
+
+inline constexpr std::size_t kCellPayload = 48;
+inline constexpr std::size_t kAal5TrailerLen = 8;
+
+struct Aal5Trailer {
+  std::uint8_t uu = 0;
+  std::uint8_t cpi = 0;
+  std::uint16_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+class CpcsPdu {
+ public:
+  /// Default state: an empty (invalid) PDU, usable only as a
+  /// placeholder before assignment.
+  CpcsPdu() = default;
+
+  /// Frame a payload: pad + trailer + CRC. Payload may be empty only
+  /// in tests; the simulator never frames empty packets.
+  static CpcsPdu frame(util::ByteView payload, std::uint8_t uu = 0,
+                       std::uint8_t cpi = 0);
+
+  /// Adopt raw PDU bytes (must be a non-zero multiple of 48).
+  static std::optional<CpcsPdu> from_bytes(util::Bytes bytes);
+
+  std::size_t num_cells() const noexcept {
+    return bytes_.size() / kCellPayload;
+  }
+  util::ByteView cell(std::size_t i) const {
+    return util::slice(util::ByteView(bytes_), i * kCellPayload, kCellPayload);
+  }
+  util::ByteView bytes() const noexcept { return {bytes_.data(), bytes_.size()}; }
+  std::size_t payload_len() const noexcept { return payload_len_; }
+  util::ByteView payload() const noexcept { return {bytes_.data(), payload_len_}; }
+
+  Aal5Trailer trailer() const noexcept;
+
+ private:
+  util::Bytes bytes_;
+  std::size_t payload_len_ = 0;
+};
+
+/// Parse the trailer from the last 8 bytes of raw PDU bytes.
+Aal5Trailer parse_trailer(util::ByteView pdu_bytes);
+
+/// Is `length` consistent with a PDU of `num_cells` cells?
+/// (length + trailer must fit in the cells, with less than one cell of
+/// slack — this is the receiver's first check on a reassembled PDU.)
+constexpr bool length_consistent(std::size_t num_cells,
+                                 std::size_t length) noexcept {
+  if (num_cells == 0 || length == 0) return false;
+  const std::size_t need = length + kAal5TrailerLen;
+  return need <= num_cells * kCellPayload &&
+         need > (num_cells - 1) * kCellPayload;
+}
+
+/// Receiver CRC check: recompute over everything except the stored
+/// CRC and compare.
+bool crc_ok(util::ByteView pdu_bytes);
+
+/// Equivalent residue-style check: CRC over the whole PDU (stored CRC
+/// included) leaves the AAL5 magic residue.
+bool residue_ok(util::ByteView pdu_bytes);
+
+}  // namespace cksum::atm

@@ -1,0 +1,76 @@
+#include "atm/cell.hpp"
+
+#include <algorithm>
+
+namespace cksum::atm {
+
+std::uint8_t compute_hec(const std::uint8_t header4[4]) noexcept {
+  // CRC-8, polynomial x^8 + x^2 + x + 1, MSB-first, init 0.
+  std::uint8_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc ^= header4[i];
+    for (int b = 0; b < 8; ++b)
+      crc = static_cast<std::uint8_t>((crc & 0x80) ? (crc << 1) ^ 0x07
+                                                   : (crc << 1));
+  }
+  return static_cast<std::uint8_t>(crc ^ 0x55);  // I.432 coset
+}
+
+void CellHeader::write(std::uint8_t* out) const noexcept {
+  out[0] = static_cast<std::uint8_t>((gfc << 4) | ((vpi >> 4) & 0xf));
+  out[1] = static_cast<std::uint8_t>((vpi << 4) | ((vci >> 12) & 0xf));
+  out[2] = static_cast<std::uint8_t>(vci >> 4);
+  out[3] = static_cast<std::uint8_t>((vci << 4) | ((pti & 0x7) << 1) |
+                                     (clp ? 1 : 0));
+  out[4] = compute_hec(out);
+}
+
+std::optional<CellHeader> CellHeader::parse(util::ByteView bytes) noexcept {
+  if (bytes.size() < kCellHeaderLen) return std::nullopt;
+  if (compute_hec(bytes.data()) != bytes[4]) return std::nullopt;
+  CellHeader h;
+  h.gfc = static_cast<std::uint8_t>(bytes[0] >> 4);
+  h.vpi = static_cast<std::uint8_t>((bytes[0] << 4) | (bytes[1] >> 4));
+  h.vci = static_cast<std::uint16_t>(((bytes[1] & 0xf) << 12) |
+                                     (bytes[2] << 4) | (bytes[3] >> 4));
+  h.pti = static_cast<std::uint8_t>((bytes[3] >> 1) & 0x7);
+  h.clp = (bytes[3] & 0x1) != 0;
+  return h;
+}
+
+util::Bytes Cell::to_bytes() const {
+  util::Bytes out(kCellLen);
+  header.write(out.data());
+  std::copy(payload.begin(), payload.end(), out.begin() + kCellHeaderLen);
+  return out;
+}
+
+std::optional<Cell> Cell::from_bytes(util::ByteView bytes) noexcept {
+  if (bytes.size() < kCellLen) return std::nullopt;
+  const auto header = CellHeader::parse(bytes);
+  if (!header) return std::nullopt;
+  Cell c;
+  c.header = *header;
+  std::copy_n(bytes.begin() + kCellHeaderLen, kCellPayload,
+              c.payload.begin());
+  return c;
+}
+
+std::vector<Cell> segment_pdu(const CpcsPdu& pdu, std::uint8_t vpi,
+                              std::uint16_t vci) {
+  std::vector<Cell> cells;
+  const std::size_t n = pdu.num_cells();
+  cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell c;
+    c.header.vpi = vpi;
+    c.header.vci = vci;
+    c.header.set_end_of_message(i + 1 == n);
+    const auto src = pdu.cell(i);
+    std::copy(src.begin(), src.end(), c.payload.begin());
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+}  // namespace cksum::atm

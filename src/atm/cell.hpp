@@ -1,0 +1,63 @@
+// ATM cell layer: 53-byte cells (5-byte header + 48-byte payload),
+// including HEC (Header Error Control, CRC-8 over the first four
+// header bytes with the ITU coset 0x55) and the PTI bit AAL5 uses to
+// mark the end of a CPCS-PDU.
+//
+// The splice enumerator reasons about cells abstractly; this module
+// provides the concrete wire format so the reassembler (and its
+// tests) can drive the exact end-of-message logic the error model
+// assumes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "atm/aal5.hpp"
+#include "util/bytes.hpp"
+
+namespace cksum::atm {
+
+inline constexpr std::size_t kCellHeaderLen = 5;
+inline constexpr std::size_t kCellLen = kCellHeaderLen + kCellPayload;  // 53
+
+/// HEC: CRC-8 with generator x^8 + x^2 + x + 1 (0x07) over the first
+/// 4 header bytes, XORed with the ITU-T I.432 coset 0x55.
+std::uint8_t compute_hec(const std::uint8_t header4[4]) noexcept;
+
+struct CellHeader {
+  std::uint8_t gfc = 0;    ///< generic flow control (UNI) — 4 bits
+  std::uint8_t vpi = 0;    ///< virtual path identifier — 8 bits (UNI)
+  std::uint16_t vci = 0;   ///< virtual channel identifier — 16 bits
+  std::uint8_t pti = 0;    ///< payload type indicator — 3 bits
+  bool clp = false;        ///< cell loss priority
+
+  /// AAL5 marks the last cell of a PDU with PTI bit 0 (AUU = 1).
+  bool end_of_message() const noexcept { return (pti & 0x1) != 0; }
+  void set_end_of_message(bool eom) noexcept {
+    pti = static_cast<std::uint8_t>(eom ? (pti | 0x1) : (pti & ~0x1));
+  }
+
+  /// Serialise the 5 header bytes (computes the HEC).
+  void write(std::uint8_t* out) const noexcept;
+
+  /// Parse 5 header bytes; returns nullopt when the HEC mismatches
+  /// (a real receiver discards such cells).
+  static std::optional<CellHeader> parse(util::ByteView bytes) noexcept;
+};
+
+/// A full 53-byte cell.
+struct Cell {
+  CellHeader header;
+  std::array<std::uint8_t, kCellPayload> payload{};
+
+  util::Bytes to_bytes() const;
+  static std::optional<Cell> from_bytes(util::ByteView bytes) noexcept;
+};
+
+/// Segment a CPCS-PDU into 53-byte cells on the given VPI/VCI, the
+/// last cell marked end-of-message.
+std::vector<Cell> segment_pdu(const CpcsPdu& pdu, std::uint8_t vpi,
+                              std::uint16_t vci);
+
+}  // namespace cksum::atm

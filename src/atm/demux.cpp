@@ -1,0 +1,27 @@
+#include "atm/demux.hpp"
+
+namespace cksum::atm {
+
+std::optional<VcDemux::Delivery> VcDemux::push(const Cell& cell) {
+  const Key key{cell.header.vpi, cell.header.vci};
+  auto done = channels_[key].push(cell);
+  if (!done) return std::nullopt;
+  Delivery d;
+  d.vpi = cell.header.vpi;
+  d.vci = cell.header.vci;
+  d.pdu = std::move(*done);
+  return d;
+}
+
+std::size_t VcDemux::pending_cells() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, reasm] : channels_) total += reasm.pending_cells();
+  return total;
+}
+
+void VcDemux::reset_channel(std::uint8_t vpi, std::uint16_t vci) {
+  const auto it = channels_.find(Key{vpi, vci});
+  if (it != channels_.end()) it->second.reset();
+}
+
+}  // namespace cksum::atm

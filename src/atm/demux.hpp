@@ -1,0 +1,41 @@
+// Per-VC demultiplexing: a real ATM link interleaves cells of many
+// virtual channels; AAL5 reassembly state is per-VC. The demux routes
+// each cell to its channel's reassembler (creating state on first
+// sight), discards cells whose HEC failed upstream, and surfaces
+// completed candidate PDUs tagged with their VC.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "atm/reassembler.hpp"
+
+namespace cksum::atm {
+
+class VcDemux {
+ public:
+  struct Delivery {
+    std::uint8_t vpi = 0;
+    std::uint16_t vci = 0;
+    Reassembler::Pdu pdu;
+  };
+
+  /// Feed one cell; returns a completed PDU when this cell ends one.
+  std::optional<Delivery> push(const Cell& cell);
+
+  /// Number of channels with reassembly state.
+  std::size_t channel_count() const noexcept { return channels_.size(); }
+
+  /// Cells buffered across all channels (diagnosing stuck partial
+  /// reassemblies after EOM loss).
+  std::size_t pending_cells() const noexcept;
+
+  /// Drop a channel's partial state (e.g. on VC teardown).
+  void reset_channel(std::uint8_t vpi, std::uint16_t vci);
+
+ private:
+  using Key = std::pair<std::uint8_t, std::uint16_t>;
+  std::map<Key, Reassembler> channels_;
+};
+
+}  // namespace cksum::atm

@@ -1,0 +1,74 @@
+#include "atm/loss.hpp"
+
+namespace cksum::atm {
+
+std::vector<Cell> transmit(const std::vector<Cell>& stream,
+                           const LossConfig& cfg, util::Rng& rng,
+                           LossStats* stats) {
+  std::vector<Cell> out;
+  out.reserve(stream.size());
+  LossStats local;
+  local.cells_in = stream.size();
+
+  // First pass: the raw loss process (independent or bursty).
+  std::vector<bool> lost(stream.size(), false);
+  bool in_burst = false;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (in_burst) {
+      lost[i] = true;
+      in_burst = rng.chance(cfg.burst_continue);
+    } else if (rng.chance(cfg.cell_loss_rate)) {
+      lost[i] = true;
+      in_burst = rng.chance(cfg.burst_continue);
+    }
+    if (lost[i]) ++local.cells_lost;
+  }
+
+  // Second pass: discard policy, applied per PDU (EOM-delimited).
+  std::size_t pdu_start = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (!stream[i].header.end_of_message() && i + 1 != stream.size())
+      continue;
+    const std::size_t pdu_end = i + 1;
+    bool any_lost = false;
+    std::size_t first_lost = pdu_end;
+    for (std::size_t j = pdu_start; j < pdu_end; ++j) {
+      if (lost[j]) {
+        any_lost = true;
+        first_lost = std::min(first_lost, j);
+        break;
+      }
+    }
+    if (any_lost) {
+      switch (cfg.policy) {
+        case DiscardPolicy::kNone:
+          break;
+        case DiscardPolicy::kPartialPacketDiscard:
+          for (std::size_t j = first_lost; j < pdu_end; ++j) {
+            if (!lost[j]) {
+              lost[j] = true;
+              ++local.cells_policy_drop;
+            }
+          }
+          break;
+        case DiscardPolicy::kEarlyPacketDiscard:
+          for (std::size_t j = pdu_start; j < pdu_end; ++j) {
+            if (!lost[j]) {
+              lost[j] = true;
+              ++local.cells_policy_drop;
+            }
+          }
+          break;
+      }
+    }
+    pdu_start = pdu_end;
+  }
+
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    if (!lost[i]) out.push_back(stream[i]);
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace cksum::atm

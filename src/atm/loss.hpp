@@ -1,0 +1,53 @@
+// Cell-loss models and switch discard policies (paper §7).
+//
+// The splice error model needs cells dropped *independently* within a
+// packet. §7's "good news" is that switches stopped doing that:
+//
+//  * Partial Packet Discard (PPD): once one cell of a PDU is lost,
+//    drop all its remaining cells (including the EOM). The trailer is
+//    then only delivered when every preceding cell was, so a fused
+//    PDU has a detectably wrong length.
+//  * Early Packet Discard (EPD): drop whole PDUs. No splice can ever
+//    form.
+//
+// The LossyLink applies a base loss process (independent per-cell or
+// Gilbert-style bursty) and then the chosen discard policy, so
+// bench_lossmodel can measure splice exposure under each regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atm/cell.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::atm {
+
+enum class DiscardPolicy {
+  kNone,                 ///< plain cell loss — the splice-friendly regime
+  kPartialPacketDiscard,
+  kEarlyPacketDiscard,
+};
+
+struct LossConfig {
+  double cell_loss_rate = 1e-3;  ///< probability a cell enters a loss event
+  /// Probability the loss event continues with the next cell (0 makes
+  /// losses independent; >0 gives Gilbert-style bursts).
+  double burst_continue = 0.0;
+  DiscardPolicy policy = DiscardPolicy::kNone;
+};
+
+struct LossStats {
+  std::uint64_t cells_in = 0;
+  std::uint64_t cells_lost = 0;        ///< by the loss process itself
+  std::uint64_t cells_policy_drop = 0; ///< additionally dropped by PPD/EPD
+};
+
+/// Pass a cell stream through the lossy link. Cells keep their order;
+/// PDU boundaries are tracked via the end-of-message bit (policy
+/// decisions never straddle an EOM).
+std::vector<Cell> transmit(const std::vector<Cell>& stream,
+                           const LossConfig& cfg, util::Rng& rng,
+                           LossStats* stats = nullptr);
+
+}  // namespace cksum::atm

@@ -1,0 +1,25 @@
+#include "atm/reassembler.hpp"
+
+namespace cksum::atm {
+
+std::optional<Reassembler::Pdu> Reassembler::push(const Cell& cell) {
+  if (buffer_.size() + kCellPayload > kMaxPduBytes) {
+    // The in-progress PDU can no longer be legal; a real SAR entity
+    // discards and resynchronises at the next EOM.
+    ++oversize_;
+    buffer_.clear();
+  }
+  buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
+  if (!cell.header.end_of_message()) return std::nullopt;
+
+  Pdu out;
+  out.bytes = std::move(buffer_);
+  buffer_.clear();
+  const Aal5Trailer trailer = parse_trailer(util::ByteView(out.bytes));
+  out.length_ok =
+      length_consistent(out.bytes.size() / kCellPayload, trailer.length);
+  out.crc_ok = crc_ok(util::ByteView(out.bytes));
+  return out;
+}
+
+}  // namespace cksum::atm

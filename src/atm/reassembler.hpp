@@ -1,0 +1,58 @@
+// AAL5 reassembly state machine — the receiver the error model
+// assumes. Cells of one virtual channel are accumulated until an
+// end-of-message cell arrives; the buffer then becomes a candidate
+// CPCS-PDU, checked for length consistency and CRC. Cell drops in the
+// middle of the stream silently fuse packets — this is exactly how
+// packet splices are born (paper §3.1), and the tests validate the
+// splice enumerator against exhaustive drop patterns fed through this
+// state machine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "atm/cell.hpp"
+
+namespace cksum::atm {
+
+class Reassembler {
+ public:
+  struct Pdu {
+    util::Bytes bytes;  ///< concatenated cell payloads
+    bool length_ok = false;
+    bool crc_ok = false;
+
+    /// The delivered payload (first `length` bytes) when both checks
+    /// pass.
+    util::ByteView payload() const {
+      return util::ByteView(bytes).first(parse_trailer(util::ByteView(bytes)).length);
+    }
+  };
+
+  /// Feed one cell (assumed already filtered to this VC). Returns a
+  /// completed candidate PDU when the cell is marked end-of-message.
+  std::optional<Pdu> push(const Cell& cell);
+
+  /// Cells buffered for the in-progress PDU.
+  std::size_t pending_cells() const noexcept {
+    return buffer_.size() / kCellPayload;
+  }
+
+  /// Drop any partial reassembly state.
+  void reset() noexcept { buffer_.clear(); }
+
+  /// PDUs abandoned because they outgrew the maximum CPCS-PDU size
+  /// (the EOM cell was lost so long ago that the buffer overflowed).
+  std::uint64_t oversize_discards() const noexcept { return oversize_; }
+
+ private:
+  // Maximum CPCS-PDU: 65535-byte payload + trailer + padding.
+  static constexpr std::size_t kMaxPduBytes =
+      ((65535 + kAal5TrailerLen + kCellPayload - 1) / kCellPayload) *
+      kCellPayload;
+
+  util::Bytes buffer_;
+  std::uint64_t oversize_ = 0;
+};
+
+}  // namespace cksum::atm

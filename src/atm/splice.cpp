@@ -1,0 +1,26 @@
+#include "atm/splice.hpp"
+
+namespace cksum::atm {
+
+util::Bytes materialize_splice(const CpcsPdu& p1, const CpcsPdu& p2,
+                               const SpliceSpec& s) {
+  util::Bytes out;
+  out.reserve((s.k1 + s.k2 + 1) * kCellPayload);
+  for (std::size_t i = 0; i + 1 < p1.num_cells(); ++i) {
+    if (s.mask1 & (1u << i)) {
+      const auto cell = p1.cell(i);
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+  for (std::size_t j = 0; j + 1 < p2.num_cells(); ++j) {
+    if (s.mask2 & (1u << j)) {
+      const auto cell = p2.cell(j);
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+  const auto eom = p2.cell(p2.num_cells() - 1);
+  out.insert(out.end(), eom.begin(), eom.end());
+  return out;
+}
+
+}  // namespace cksum::atm

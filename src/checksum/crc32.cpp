@@ -1,0 +1,136 @@
+#include "checksum/crc32.hpp"
+
+namespace cksum::alg {
+
+namespace {
+
+struct Tables {
+  // t[0] is the classic byte table; t[1..7] extend it for slice-by-8.
+  std::uint32_t t[8][256];
+
+  constexpr Tables() : t{} {
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (kCrc32Poly ^ (c >> 1)) : (c >> 1);
+      t[0][n] = c;
+    }
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = t[0][n];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[s][n] = c;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32_bitwise(std::uint32_t crc, util::ByteView data) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c ^= byte;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (kCrc32Poly ^ (c >> 1)) : (c >> 1);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_table(std::uint32_t crc, util::ByteView data) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data)
+    c = kTables.t[0][(c ^ byte) & 0xffu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_slice8(std::uint32_t crc, util::ByteView data) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  (static_cast<std::uint32_t>(p[1]) << 8) |
+                                  (static_cast<std::uint32_t>(p[2]) << 16) |
+                                  (static_cast<std::uint32_t>(p[3]) << 24));
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             (static_cast<std::uint32_t>(p[5]) << 8) |
+                             (static_cast<std::uint32_t>(p[6]) << 16) |
+                             (static_cast<std::uint32_t>(p[7]) << 24);
+    c = kTables.t[7][lo & 0xffu] ^ kTables.t[6][(lo >> 8) & 0xffu] ^
+        kTables.t[5][(lo >> 16) & 0xffu] ^ kTables.t[4][lo >> 24] ^
+        kTables.t[3][hi & 0xffu] ^ kTables.t[2][(hi >> 8) & 0xffu] ^
+        kTables.t[1][(hi >> 16) & 0xffu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) c = kTables.t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::uint32_t crc, util::ByteView data) noexcept {
+  return crc32_slice8(crc, data);
+}
+
+std::uint32_t crc32(util::ByteView data) noexcept { return crc32(0, data); }
+
+Gf2Matrix Gf2Matrix::zero_byte_operator() noexcept {
+  // Operator for one zero *bit*, squared three times -> one zero byte.
+  Gf2Matrix bit;
+  bit.rows_[0] = kCrc32Poly;
+  std::uint32_t row = 1;
+  for (int i = 1; i < 32; ++i) {
+    bit.rows_[static_cast<std::size_t>(i)] = row;
+    row <<= 1;
+  }
+  Gf2Matrix two = square(bit);
+  Gf2Matrix four = square(two);
+  return square(four);
+}
+
+Gf2Matrix Gf2Matrix::square(const Gf2Matrix& m) noexcept {
+  Gf2Matrix out;
+  for (std::size_t i = 0; i < 32; ++i) out.rows_[i] = m.times(m.rows_[i]);
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::zeros_operator(std::size_t len) noexcept {
+  // Identity, then multiply in squarings of the one-zero-byte operator
+  // for each set bit of len.
+  Gf2Matrix result;
+  for (int i = 0; i < 32; ++i) result.rows_[static_cast<std::size_t>(i)] = 1u << i;
+  Gf2Matrix power = zero_byte_operator();
+  while (len != 0) {
+    if (len & 1u) {
+      Gf2Matrix next;
+      for (std::size_t i = 0; i < 32; ++i)
+        next.rows_[i] = power.times(result.rows_[i]);
+      result = next;
+    }
+    len >>= 1;
+    if (len != 0) power = square(power);
+  }
+  return result;
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b) noexcept {
+  return Gf2Matrix::zeros_operator(len_b).times(crc_a) ^ crc_b;
+}
+
+CrcCombiner::CrcCombiner(std::size_t len_b) noexcept {
+  const Gf2Matrix op = Gf2Matrix::zeros_operator(len_b);
+  for (int t = 0; t < 8; ++t) {
+    for (std::uint32_t nib = 0; nib < 16; ++nib) {
+      std::uint32_t v = 0;
+      for (int b = 0; b < 4; ++b)
+        if (nib & (1u << b))
+          v ^= op.rows_[static_cast<std::size_t>(4 * t + b)];
+      nibble_[static_cast<std::size_t>(t)][nib] = v;
+    }
+  }
+}
+
+}  // namespace cksum::alg

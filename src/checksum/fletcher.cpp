@@ -1,0 +1,86 @@
+#include "checksum/fletcher.hpp"
+
+namespace cksum::alg {
+
+namespace {
+
+constexpr std::size_t kReduceChunk = 1 << 14;  // keep 64-bit accs far from overflow
+
+constexpr std::uint32_t reduce(std::uint64_t v, FletcherMod mod) noexcept {
+  return static_cast<std::uint32_t>(v % modulus(mod));
+}
+
+}  // namespace
+
+FletcherPair fletcher_block(util::ByteView data, FletcherMod mod) noexcept {
+  FletcherSum s(mod);
+  s.update(data);
+  return s.pair();
+}
+
+FletcherPair fletcher_block_naive(util::ByteView data,
+                                  FletcherMod mod) noexcept {
+  const std::uint32_t m = modulus(mod);
+  std::uint32_t a = 0, b = 0;
+  for (std::uint8_t byte : data) {
+    a = (a + byte) % m;
+    b = (b + a) % m;
+  }
+  return {a, b};
+}
+
+void FletcherSum::update(util::ByteView data) noexcept {
+  const std::uint64_t m = modulus(mod_);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::size_t end = std::min(data.size(), i + kReduceChunk);
+    for (; i < end; ++i) {
+      a_ += data[i];
+      b_ += a_;
+    }
+    a_ %= m;
+    b_ %= m;
+  }
+}
+
+FletcherPair FletcherSum::pair() const noexcept {
+  return {reduce(a_, mod_), reduce(b_, mod_)};
+}
+
+FletcherPair fletcher_combine(FletcherPair x, FletcherPair y,
+                              std::size_t y_len, FletcherMod mod) noexcept {
+  const std::uint64_t m = modulus(mod);
+  FletcherPair out;
+  out.a = static_cast<std::uint32_t>((x.a + y.a) % m);
+  out.b = static_cast<std::uint32_t>(
+      (x.b + (static_cast<std::uint64_t>(y_len) % m) * x.a + y.b) % m);
+  return out;
+}
+
+FletcherPair fletcher_shift(FletcherPair x, std::size_t tail_len,
+                            FletcherMod mod) noexcept {
+  const std::uint64_t m = modulus(mod);
+  return {x.a, static_cast<std::uint32_t>(
+                   (x.b + (static_cast<std::uint64_t>(tail_len) % m) * x.a) % m)};
+}
+
+std::pair<std::uint8_t, std::uint8_t> fletcher_check_bytes(
+    FletcherPair rest, std::size_t u, FletcherMod mod) noexcept {
+  // Solve  X + Y ≡ -A  and  u·X + (u-1)·Y ≡ -B  (mod m); the system's
+  // determinant is 1, so it is solvable in both moduli:
+  //   X ≡ (u-1)·A - B,   Y ≡ B - u·A.
+  const std::uint64_t m = modulus(mod);
+  const std::uint64_t a = rest.a % m;
+  const std::uint64_t b = rest.b % m;
+  const std::uint64_t w = static_cast<std::uint64_t>(u) % m;
+  const std::uint64_t wm1 = (w + m - 1) % m;
+  const std::uint64_t x = (wm1 * a % m + m - b) % m;
+  const std::uint64_t y = (b + m - w * a % m) % m;
+  return {static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)};
+}
+
+bool fletcher_verify(util::ByteView msg, FletcherMod mod) noexcept {
+  return fletcher_is_zero(fletcher_block(msg, mod));
+}
+
+}  // namespace cksum::alg

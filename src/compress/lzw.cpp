@@ -1,0 +1,188 @@
+#include "compress/lzw.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cksum::compress {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'Z', 'W', '1'};
+
+/// LSB-first variable-width bit packer.
+class BitWriter {
+ public:
+  explicit BitWriter(util::Bytes& out) : out_(out) {}
+
+  void put(std::uint32_t code, int width) {
+    acc_ |= static_cast<std::uint64_t>(code) << nbits_;
+    nbits_ += width;
+    while (nbits_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  void flush() {
+    if (nbits_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  util::Bytes& out_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(util::ByteView in) : in_(in) {}
+
+  /// Returns false at clean end-of-stream (not enough bits remain).
+  bool get(std::uint32_t& code, int width) {
+    while (nbits_ < width) {
+      if (pos_ >= in_.size()) return false;
+      acc_ |= static_cast<std::uint64_t>(in_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    code = static_cast<std::uint32_t>(acc_ & ((1u << width) - 1u));
+    acc_ >>= width;
+    nbits_ -= width;
+    return true;
+  }
+
+ private:
+  util::ByteView in_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+}  // namespace
+
+util::Bytes lzw_compress(util::ByteView input) {
+  util::Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  BitWriter bw(out);
+
+  // Dictionary: (prefix code << 8 | next byte) -> code.
+  std::unordered_map<std::uint32_t, std::uint32_t> dict;
+  dict.reserve(1u << 16);
+  std::uint32_t next_code = kFirstCode;
+  int width = kMinWidth;
+
+  auto reset = [&] {
+    dict.clear();
+    next_code = kFirstCode;
+    width = kMinWidth;
+  };
+
+  std::uint32_t prefix = 0;
+  bool have_prefix = false;
+  for (std::uint8_t byte : input) {
+    if (!have_prefix) {
+      prefix = byte;
+      have_prefix = true;
+      continue;
+    }
+    const std::uint32_t key = (prefix << 8) | byte;
+    const auto it = dict.find(key);
+    if (it != dict.end()) {
+      prefix = it->second;
+      continue;
+    }
+    bw.put(prefix, width);
+    dict.emplace(key, next_code);
+    // Widen when next_code no longer fits (emitter widens first so the
+    // decoder can mirror the schedule exactly).
+    if (next_code == (1u << width) && width < kMaxWidth) ++width;
+    ++next_code;
+    if (next_code == (1u << kMaxWidth)) {
+      bw.put(kClearCode, width);
+      reset();
+    }
+    prefix = byte;
+  }
+  if (have_prefix) bw.put(prefix, width);
+  bw.put(kStopCode, width);
+  bw.flush();
+  return out;
+}
+
+util::Bytes lzw_decompress(util::ByteView input) {
+  if (input.size() < 4 || !std::equal(kMagic, kMagic + 4, input.begin()))
+    throw CorruptStream("lzw: bad magic");
+  BitReader br(input.subspan(4));
+
+  // Dictionary entries as (prefix code, appended byte); strings are
+  // reconstructed by walking prefixes.
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> dict;
+  std::uint32_t next_code = kFirstCode;
+  int width = kMinWidth;
+
+  auto reset = [&] {
+    dict.clear();
+    next_code = kFirstCode;
+    width = kMinWidth;
+  };
+
+  auto expand = [&](std::uint32_t code, util::Bytes& out) {
+    // Expand code to its byte string, appended to out.
+    std::uint8_t stack[1 << kMaxWidth];
+    std::size_t depth = 0;
+    while (code >= kFirstCode) {
+      const auto index = code - kFirstCode;
+      if (index >= dict.size()) throw CorruptStream("lzw: bad code chain");
+      stack[depth++] = dict[index].second;
+      code = dict[index].first;
+    }
+    out.push_back(static_cast<std::uint8_t>(code));
+    while (depth > 0) out.push_back(stack[--depth]);
+    return static_cast<std::uint8_t>(code);  // first byte of the string
+  };
+
+  util::Bytes out;
+  std::uint32_t code = 0;
+  bool have_prev = false;
+  std::uint32_t prev = 0;
+  while (br.get(code, width)) {
+    if (code == kStopCode) return out;
+    if (code == kClearCode) {
+      reset();
+      have_prev = false;
+      continue;
+    }
+    if (code > kFirstCode + dict.size())
+      throw CorruptStream("lzw: code out of range");
+
+    std::uint8_t first_byte;
+    if (code == kFirstCode + dict.size()) {
+      // The K-omega case: the code about to be defined.
+      if (!have_prev) throw CorruptStream("lzw: K-omega with no prefix");
+      first_byte = expand(prev, out);
+      out.push_back(first_byte);
+    } else {
+      first_byte = expand(code, out);
+    }
+
+    if (have_prev) {
+      dict.emplace_back(prev, first_byte);
+      // The decoder defines each entry one code later than the
+      // encoder, so it must widen one entry earlier to stay in sync
+      // with the encoder's width schedule.
+      if (next_code + 1 == (1u << width) && width < kMaxWidth) ++width;
+      ++next_code;
+    }
+    prev = code;
+    have_prev = true;
+  }
+  throw CorruptStream("lzw: missing stop code");
+}
+
+}  // namespace cksum::compress

@@ -1,0 +1,42 @@
+// LZW compression in the style of UNIX compress(1), which the paper
+// uses for its Table 7 experiment ("The compression was Lempel-Ziv,
+// and was performed using the UNIX compress command"). Compressing a
+// filesystem and re-running the splice tests restores near-uniform
+// checksum behaviour; all we need from the codec is that its output
+// has LZW's high-entropy statistics, but a full round-trippable codec
+// is implemented so the tests can prove it is a real compressor.
+//
+// Format (self-describing, not the compress(1) container):
+//   magic "LZW1", then a code stream packed LSB-first.
+//   Codes: 0..255 literals, 256 CLEAR (dictionary reset), 257 STOP,
+//   258.. dictionary entries. Width starts at 9 bits and grows as the
+//   dictionary grows, to a maximum of 16; at 2^16 entries a CLEAR is
+//   emitted and the dictionary resets, exactly compress(1)'s block
+//   mode behaviour.
+#pragma once
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace cksum::compress {
+
+inline constexpr std::uint32_t kClearCode = 256;
+inline constexpr std::uint32_t kStopCode = 257;
+inline constexpr std::uint32_t kFirstCode = 258;
+inline constexpr int kMinWidth = 9;
+inline constexpr int kMaxWidth = 16;
+
+/// Thrown by decompress() on malformed input.
+class CorruptStream : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// LZW-compress a buffer.
+util::Bytes lzw_compress(util::ByteView input);
+
+/// Inverse of lzw_compress. Throws CorruptStream on bad input.
+util::Bytes lzw_decompress(util::ByteView input);
+
+}  // namespace cksum::compress

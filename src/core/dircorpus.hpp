@@ -1,0 +1,44 @@
+// Run the paper's measurements over a real directory tree — the same
+// experiment the authors ran over their departments' filesystems,
+// pointed at whatever data the user has today.
+//
+// Files are enumerated deterministically (sorted paths), truncated by
+// the caller's limits, and streamed through the same simulator and
+// collectors the synthetic profiles use.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "core/cellstats.hpp"
+#include "core/splice_sim.hpp"
+
+namespace cksum::core {
+
+struct DirLimits {
+  std::size_t max_files = 10000;
+  std::size_t max_total_bytes = 256 * 1024 * 1024;
+  std::size_t max_file_bytes = 16 * 1024 * 1024;  ///< larger files truncated
+};
+
+/// Regular files under `root`, sorted by path, capped by limits.
+/// Unreadable entries are skipped. Throws std::filesystem errors only
+/// if `root` itself is inaccessible.
+std::vector<std::filesystem::path> list_corpus_files(
+    const std::filesystem::path& root, const DirLimits& limits = {});
+
+/// Read (a prefix of) one file.
+util::Bytes read_file_prefix(const std::filesystem::path& path,
+                             std::size_t max_bytes);
+
+/// Splice-simulate every file under `root` as a transfer.
+SpliceStats run_directory(const SpliceRunConfig& cfg,
+                          const std::filesystem::path& root,
+                          const DirLimits& limits = {});
+
+/// Collect cell/block checksum distributions over a directory tree.
+CellStatsCollector collect_directory_stats(const std::filesystem::path& root,
+                                           CellStatsConfig cfg = {},
+                                           const DirLimits& limits = {});
+
+}  // namespace cksum::core

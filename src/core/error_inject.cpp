@@ -1,0 +1,46 @@
+#include "core/error_inject.hpp"
+
+#include <cassert>
+
+namespace cksum::core {
+
+namespace {
+void flip_bit(std::span<std::uint8_t> data, std::size_t bit) {
+  data[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+}
+}  // namespace
+
+void apply_burst(std::span<std::uint8_t> data, const BurstSpec& burst) {
+  assert(burst.length_bits >= 1 && burst.length_bits <= 64);
+  assert(burst.bit_offset + burst.length_bits <= 8 * data.size());
+  for (unsigned b = 0; b < burst.length_bits; ++b) {
+    if (burst.pattern & (1ULL << b)) flip_bit(data, burst.bit_offset + b);
+  }
+}
+
+BurstSpec random_burst(util::Rng& rng, std::size_t data_bits,
+                       unsigned length_bits) {
+  assert(length_bits >= 1 && length_bits <= 64);
+  assert(data_bits >= length_bits);
+  BurstSpec spec;
+  spec.length_bits = length_bits;
+  spec.bit_offset = rng.below(data_bits - length_bits + 1);
+  if (length_bits == 1) {
+    spec.pattern = 1;
+  } else if (length_bits == 64) {
+    spec.pattern = rng.next() | 1ULL | (1ULL << 63);
+  } else {
+    spec.pattern = (rng.next() & ((1ULL << length_bits) - 1)) | 1ULL |
+                   (1ULL << (length_bits - 1));
+  }
+  return spec;
+}
+
+void apply_double_bit(std::span<std::uint8_t> data, std::size_t first_bit,
+                      std::size_t gap_bits) {
+  assert(first_bit + gap_bits < 8 * data.size());
+  flip_bit(data, first_bit);
+  flip_bit(data, first_bit + gap_bits);
+}
+
+}  // namespace cksum::core

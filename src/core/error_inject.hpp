@@ -1,0 +1,44 @@
+// Error injection for the §2 detection-guarantee claims:
+//
+//  * the Internet checksum "will catch any burst error of 15 bits or
+//    less, and all 16-bit burst errors except for those which replace
+//    one 1's complement zero with another";
+//  * Fletcher (twos-complement) detects "all single bit errors [and] a
+//    single error of less than 16 bits in length";
+//  * CRC-32 "will detect all errors that span less than 32 contiguous
+//    bits within a packet and all 2-bit errors less than 2048 bits
+//    apart" and "all cases where there are an odd number of errors".
+//
+// A burst of length L flips bits within a window of exactly L bits:
+// the first and last bits of the window are always flipped (otherwise
+// the burst would be shorter).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::core {
+
+struct BurstSpec {
+  std::size_t bit_offset = 0;   ///< first flipped bit, from byte 0's MSB
+  unsigned length_bits = 1;     ///< window size; first and last bits flip
+  std::uint64_t pattern = 1;    ///< flip mask, bit 0 = first bit of window
+};
+
+/// XOR the burst into the buffer. The window must fit: bit_offset +
+/// length_bits <= 8 * data.size(); length_bits <= 64.
+void apply_burst(std::span<std::uint8_t> data, const BurstSpec& burst);
+
+/// A random burst of exactly `length_bits` (first and last window bits
+/// set, interior bits uniform), at a uniform position.
+BurstSpec random_burst(util::Rng& rng, std::size_t data_bits,
+                       unsigned length_bits);
+
+/// Flip exactly two bits, `gap_bits` apart (for the CRC 2-bit-error
+/// claim).
+void apply_double_bit(std::span<std::uint8_t> data, std::size_t first_bit,
+                      std::size_t gap_bits);
+
+}  // namespace cksum::core

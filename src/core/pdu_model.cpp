@@ -1,0 +1,122 @@
+#include "core/pdu_model.hpp"
+
+#include "util/hash.hpp"
+
+namespace cksum::core {
+
+namespace {
+
+/// Internet sum of a byte range (even-offset start assumed by callers).
+std::uint16_t sum_of(util::ByteView bytes) {
+  return alg::internet_sum(bytes);
+}
+
+}  // namespace
+
+SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
+  SimPacket sp;
+  sp.total_len = pkt.total_length();
+  sp.pdu = atm::CpcsPdu::frame(pkt.ip_bytes());
+  sp.pkt = std::move(pkt);
+
+  const std::size_t n = sp.pdu.num_cells();
+  sp.cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::ByteView cell = sp.pdu.cell(i);
+    CellPartial cp;
+    cp.inet = sum_of(cell);
+    cp.f255 = alg::fletcher_block(cell, alg::FletcherMod::kOnes255);
+    cp.f256 = alg::fletcher_block(cell, alg::FletcherMod::kTwos256);
+    cp.crc = alg::crc32(cell);
+    cp.hash = util::hash64(cell);
+    sp.cells.push_back(cp);
+  }
+
+  sp.stored_crc = sp.pdu.trailer().crc;
+  sp.crc_head44 = alg::crc32(sp.pdu.cell(n - 1).first(44));
+  std::size_t eom_cov = sp.total_len > (n - 1) * atm::kCellPayload
+                            ? sp.total_len - (n - 1) * atm::kCellPayload
+                            : 0;
+  // Identical-data comparisons ignore the transport check field; in
+  // trailer mode it is the last 2 datagram bytes (inside the EOM
+  // coverage whenever the fast path applies).
+  if (cfg.placement == net::ChecksumPlacement::kTrailer && eom_cov >= 2)
+    eom_cov -= 2;
+  sp.eom_cov_hash = util::hash64(sp.pdu.cell(n - 1).first(eom_cov));
+
+  // --- Transport partials (case A pieces). ---
+  const util::ByteView ip = sp.pkt.ip_bytes();
+  const std::size_t len = sp.total_len;
+  const bool trailer = cfg.placement == net::ChecksumPlacement::kTrailer;
+
+  // Fast-path regularity: all non-EOM cells fully inside the packet;
+  // trailer check bytes (if any) wholly inside the EOM coverage.
+  const std::size_t eom_start = (n - 1) * atm::kCellPayload;
+  sp.fast_path_ok = len >= eom_start + (trailer ? 2 : 0);
+
+  TransportPartials& tp = sp.tp;
+  tp.eom_len = len > eom_start ? len - eom_start : 0;
+
+  // Head prefix: pseudo-header ++ IP bytes [20, min(48, len)).
+  {
+    util::Bytes head;
+    head.resize(net::PseudoHeader::kLen);
+    net::PseudoHeader ph;
+    const auto hdr = net::Ipv4Header::parse(ip);
+    ph.src = hdr->src;
+    ph.dst = hdr->dst;
+    ph.protocol = hdr->protocol;
+    ph.tcp_length = cfg.legacy95_headers
+                        ? static_cast<std::uint16_t>(len)
+                        : static_cast<std::uint16_t>(len - net::kIpv4HeaderLen);
+    ph.write(head.data());
+    const std::size_t head_end = std::min<std::size_t>(atm::kCellPayload, len);
+    head.insert(head.end(), ip.begin() + net::kIpv4HeaderLen,
+                ip.begin() + head_end);
+
+    // Fletcher sums over the prefix as transmitted.
+    tp.head_f255 = alg::fletcher_block(util::ByteView(head),
+                                       alg::FletcherMod::kOnes255);
+    tp.head_f256 = alg::fletcher_block(util::ByteView(head),
+                                       alg::FletcherMod::kTwos256);
+
+    // Internet content sum: zero the check field if it lives here.
+    if (!trailer) {
+      const std::size_t field = net::PseudoHeader::kLen + 16;
+      tp.stored = util::load_be16(head.data() + field);
+      head[field] = 0;
+      head[field + 1] = 0;
+    }
+    tp.head_sum = sum_of(util::ByteView(head));
+  }
+
+  // EOM coverage.
+  if (tp.eom_len > 0) {
+    util::Bytes eom(ip.begin() + eom_start, ip.begin() + len);
+    tp.eom_f255 =
+        alg::fletcher_block(util::ByteView(eom), alg::FletcherMod::kOnes255);
+    tp.eom_f256 =
+        alg::fletcher_block(util::ByteView(eom), alg::FletcherMod::kTwos256);
+    if (trailer && sp.fast_path_ok) {
+      // The 2 check bytes are the last 2 coverage bytes; exclude them
+      // from the Internet content sum and remember the stored value.
+      tp.stored = util::load_be16(eom.data() + eom.size() - 2);
+      eom[eom.size() - 2] = 0;
+      eom[eom.size() - 1] = 0;
+    }
+    tp.eom_sum = sum_of(util::ByteView(eom));
+  }
+
+  return sp;
+}
+
+std::vector<SimPacket> packetize_file(const net::FlowConfig& cfg,
+                                      util::ByteView file) {
+  std::vector<net::Packet> pkts = net::segment_file(cfg, file);
+  std::vector<SimPacket> out;
+  out.reserve(pkts.size());
+  for (auto& p : pkts) out.push_back(make_sim_packet(cfg.packet, std::move(p)));
+  return out;
+}
+
+}  // namespace cksum::core

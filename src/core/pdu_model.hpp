@@ -1,0 +1,95 @@
+// Per-packet precomputation for the splice simulator.
+//
+// The simulator evaluates ~10^3 splices per adjacent packet pair, so
+// each check value must be computable from per-cell partial sums in
+// O(cells) instead of O(bytes):
+//
+//  * Internet checksum — position-independent: the splice's content
+//    sum is the ones-complement sum of per-cell sums (§4.1 of the
+//    paper computes splice checksums the same way).
+//  * Fletcher — positional: a cell's contribution to the B term is
+//    b + E·a where E is the byte offset of the cell's end from the end
+//    of the packet (§5.2); per-cell (a, b) pairs combine left to
+//    right.
+//  * CRC-32 — per-cell CRCs combine with a precomputed 48-byte GF(2)
+//    shift operator.
+//  * Identical-data detection — 64-bit per-cell content hashes.
+//
+// "Case A" below refers to the dominant splice shape: first cell is
+// packet 1's header cell and last cell is packet 2's EOM cell, so the
+// pseudo-header and stored check field are known per packet pair.
+// Splices that are *regular* (see `fast_path_ok`) use only partials;
+// everything else falls back to materialising the splice bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atm/aal5.hpp"
+#include "checksum/checksum.hpp"
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+
+namespace cksum::core {
+
+/// Partial sums over one full 48-byte PDU cell.
+struct CellPartial {
+  std::uint16_t inet = 0;        ///< Internet sum of the 48 bytes
+  alg::FletcherPair f255{};      ///< Fletcher pair, mod 255
+  alg::FletcherPair f256{};      ///< Fletcher pair, mod 256
+  std::uint32_t crc = 0;         ///< finalised crc32 of the 48 bytes
+  std::uint64_t hash = 0;        ///< content hash (identical-data test)
+};
+
+/// Case-A transport-checksum pieces of one packet.
+struct TransportPartials {
+  /// Internet sum of pseudo-header ++ IP bytes [20, 48) with the check
+  /// field zeroed (the "content" contribution of the header cell).
+  std::uint16_t head_sum = 0;
+  /// Fletcher pairs over the same prefix with check bytes as stored
+  /// (Fletcher verifies sum-to-zero over the message as transmitted).
+  alg::FletcherPair head_f255{};
+  alg::FletcherPair head_f256{};
+  /// Stored check value: header placement reads it from this packet's
+  /// TCP header; trailer placement from the end of this packet's
+  /// payload (inside its EOM cell).
+  std::uint16_t stored = 0;
+
+  /// EOM-cell coverage: the first `eom_len` bytes of the EOM cell lie
+  /// inside the IP packet.
+  std::size_t eom_len = 0;
+  /// Internet sum of those bytes (trailer placement: check bytes
+  /// zeroed out of the sum).
+  std::uint16_t eom_sum = 0;
+  alg::FletcherPair eom_f255{};
+  alg::FletcherPair eom_f256{};
+};
+
+/// A packet prepared for splice evaluation.
+struct SimPacket {
+  net::Packet pkt;
+  atm::CpcsPdu pdu;
+  std::vector<CellPartial> cells;
+  TransportPartials tp;
+  std::uint32_t stored_crc = 0;   ///< AAL5 trailer CRC field
+  std::uint32_t crc_head44 = 0;   ///< crc32 of EOM cell bytes [0, 44)
+  /// Hash of the EOM cell's in-datagram bytes only ([0, tp.eom_len)) —
+  /// identical-data comparisons are over the delivered IP datagram,
+  /// not the AAL5 pad/trailer.
+  std::uint64_t eom_cov_hash = 0;
+  std::uint16_t total_len = 0;    ///< IP total length
+  /// True when every non-EOM cell of a splice terminated by this
+  /// packet lies fully inside the IP packet and (in trailer mode) the
+  /// trailer check bytes sit wholly within the EOM coverage — the
+  /// preconditions of the partial-sums fast path.
+  bool fast_path_ok = true;
+};
+
+/// Build a SimPacket (frame the datagram in AAL5, compute partials).
+SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt);
+
+/// Packetize a whole file into SimPackets.
+std::vector<SimPacket> packetize_file(const net::FlowConfig& cfg,
+                                      util::ByteView file);
+
+}  // namespace cksum::core

@@ -1,0 +1,91 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace cksum::core {
+
+std::string fmt_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_pct(double fraction_of_one) {
+  const double pct = fraction_of_one * 100.0;
+  char buf[48];
+  if (pct == 0.0) {
+    return "0";
+  } else if (pct >= 0.01) {
+    std::snprintf(buf, sizeof buf, "%.4f", pct);
+  } else if (pct >= 1e-4) {
+    std::snprintf(buf, sizeof buf, "%.6f", pct);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2e", pct);
+  }
+  return buf;
+}
+
+std::string fmt_pct(std::uint64_t num, std::uint64_t den) {
+  if (den == 0) return "-";
+  return fmt_pct(static_cast<double>(num) / static_cast<double>(den));
+}
+
+std::string fmt_sci(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  columns_ = header.size();
+  rows_.push_back({std::move(header), false});
+  rows_.push_back({{}, true});
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("TextTable::add_row: column count mismatch");
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back({{}, true}); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_, 0);
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < columns_; ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      for (std::size_t c = 0; c < columns_; ++c) {
+        os << std::string(width[c] + (c == 0 ? 0 : 2), '-');
+      }
+      os << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_; ++c) {
+      const std::string& cell = r.cells[c];
+      if (c == 0) {
+        os << cell << std::string(width[0] - cell.size(), ' ');
+      } else {
+        os << "  " << std::string(width[c] - cell.size(), ' ') << cell;
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace cksum::core

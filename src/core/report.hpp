@@ -1,0 +1,45 @@
+// Plain-text table formatting for the bench binaries, which print the
+// paper's tables next to our measured values.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cksum::core {
+
+/// "12,345,678" — counts the way the paper's tables print them.
+std::string fmt_count(std::uint64_t n);
+
+/// Percentage with adaptive precision: "0.23", "0.0081", "2.3e-08".
+std::string fmt_pct(double fraction_of_one);
+
+/// Probability as percent string from a count/denominator pair.
+std::string fmt_pct(std::uint64_t num, std::uint64_t den);
+
+/// Scientific notation with 2 significant digits ("1.5e-05").
+std::string fmt_sci(double v);
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  /// Render with columns padded to their widest cell. First column is
+  /// left-aligned, the rest right-aligned.
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::size_t columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cksum::core

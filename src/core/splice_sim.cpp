@@ -1,0 +1,328 @@
+#include "core/splice_sim.hpp"
+
+#include <atomic>
+#include <bit>
+#include <thread>
+
+#include "atm/splice.hpp"
+#include "compress/lzw.hpp"
+#include "net/validate.hpp"
+
+namespace cksum::core {
+
+namespace {
+
+const alg::CrcCombiner& comb48() {
+  static const alg::CrcCombiner c(atm::kCellPayload);
+  return c;
+}
+const alg::CrcCombiner& comb44() {
+  static const alg::CrcCombiner c(44);
+  return c;
+}
+
+struct PairContext {
+  const net::PacketConfig* cfg = nullptr;
+  const SimPacket* p1 = nullptr;
+  const SimPacket* p2 = nullptr;
+  bool fast = false;
+  bool fletcher = false;  ///< transport is a Fletcher sum
+  bool mod255 = false;
+  bool header_placement = true;
+  /// Per p1 non-EOM cell: would these 48 bytes pass the header checks
+  /// as the first cell of a splice of p2's AAL5 length?
+  std::vector<bool> hdr_ok;
+};
+
+void classify(const PairContext& ctx, const atm::SpliceSpec& s, bool identical,
+              bool transport_pass, bool crc_pass, SpliceStats& st) {
+  if (identical) {
+    ++st.identical;
+    if (transport_pass) {
+      ++st.pass_identical;
+    } else {
+      ++st.fail_identical;
+    }
+    return;
+  }
+  ++st.remaining;
+  if (transport_pass) {
+    ++st.missed_transport;
+    ++st.pass_changed;
+  } else {
+    ++st.fail_changed;
+  }
+  if (crc_pass) ++st.missed_crc;
+  if (crc_pass && transport_pass) ++st.missed_both;
+
+  const std::size_t n2 = ctx.p2->cells.size();
+  const std::size_t k =
+      std::min<std::size_t>(n2 - s.k1, kMaxTrackedK - 1);
+  ++st.remaining_by_k[k];
+  if (transport_pass) ++st.missed_by_k[k];
+
+  if (s.mask2 & 1u) {  // packet 2's header cell is in the splice
+    ++st.remaining_with_hdr2;
+    if (transport_pass) ++st.missed_with_hdr2;
+  }
+}
+
+void eval_slow(const PairContext& ctx, const atm::SpliceSpec& s,
+               SpliceStats& st) {
+  ++st.slow_path;
+  const SpliceOutcome o =
+      evaluate_splice_reference(*ctx.cfg, *ctx.p1, *ctx.p2, s);
+  if (o.caught_by_header) {
+    ++st.caught_by_header;
+    return;
+  }
+  classify(ctx, s, o.identical, o.transport_pass, o.crc_pass, st);
+}
+
+void eval_fast(const PairContext& ctx, const atm::SpliceSpec& s,
+               SpliceStats& st) {
+  const SimPacket& p1 = *ctx.p1;
+  const SimPacket& p2 = *ctx.p2;
+  const unsigned first = static_cast<unsigned>(std::countr_zero(s.mask1));
+
+  if (!ctx.hdr_ok[first]) {
+    ++st.caught_by_header;
+    return;
+  }
+  if (first != 0) {
+    // A data cell that nonetheless parses as a valid header: rare
+    // enough to evaluate by materialisation.
+    eval_slow(ctx, s, st);
+    return;
+  }
+
+  const std::size_t n1 = p1.cells.size();
+  const std::size_t n2 = p2.cells.size();
+
+  // Accumulators. Fletcher sums stay unreduced (they fit easily in 32
+  // bits for tens of cells); Internet sum folds at the end.
+  std::uint64_t inet = p1.tp.head_sum;
+  const alg::FletcherPair& hf = ctx.mod255 ? p1.tp.head_f255 : p1.tp.head_f256;
+  std::uint64_t fa = hf.a;
+  std::uint64_t fb = hf.b;
+  std::uint32_t crc = 0;
+  bool ident2 = true;
+  bool ident1 = (n1 == n2);
+  std::size_t pos = 0;
+
+  auto take = [&](const SimPacket& src, unsigned idx) {
+    const CellPartial& c = src.cells[idx];
+    crc = pos == 0 ? c.crc : comb48().combine(crc, c.crc);
+    ident2 = ident2 && c.hash == p2.cells[pos].hash;
+    if (ident1) ident1 = c.hash == p1.cells[pos].hash;
+    if (pos != 0) {
+      inet += c.inet;
+      const alg::FletcherPair& fp = ctx.mod255 ? c.f255 : c.f256;
+      fb += static_cast<std::uint64_t>(atm::kCellPayload) * fa + fp.b;
+      fa += fp.a;
+    }
+    ++pos;
+  };
+
+  for (std::uint32_t m = s.mask1; m != 0; m &= m - 1)
+    take(p1, static_cast<unsigned>(std::countr_zero(m)));
+  for (std::uint32_t m = s.mask2; m != 0; m &= m - 1)
+    take(p2, static_cast<unsigned>(std::countr_zero(m)));
+
+  // EOM cell: p2's last cell, always present. Identical-data
+  // comparison covers only the in-datagram bytes of the EOM cell (the
+  // AAL5 pad/trailer is not delivered data).
+  {
+    if (ident1) ident1 = p2.eom_cov_hash == p1.eom_cov_hash;
+    inet += p2.tp.eom_sum;
+    const alg::FletcherPair& fp = ctx.mod255 ? p2.tp.eom_f255 : p2.tp.eom_f256;
+    fb += static_cast<std::uint64_t>(p2.tp.eom_len) * fa + fp.b;
+    fa += fp.a;
+    crc = comb44().combine(crc, p2.crc_head44);
+  }
+
+  bool transport_pass;
+  if (ctx.fletcher) {
+    const std::uint32_t m = ctx.mod255 ? 255u : 256u;
+    transport_pass = (fa % m == 0) && (fb % m == 0);
+  } else {
+    const std::uint16_t content = [&] {
+      std::uint64_t sum = inet;
+      while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+      return static_cast<std::uint16_t>(sum);
+    }();
+    const std::uint16_t stored =
+        ctx.header_placement ? p1.tp.stored : p2.tp.stored;
+    const std::uint16_t expect =
+        ctx.cfg->invert_checksum ? alg::ones_neg(content) : content;
+    transport_pass =
+        alg::ones_canonical(stored) == alg::ones_canonical(expect);
+  }
+
+  const bool crc_pass = crc == p2.stored_crc;
+  classify(ctx, s, ident1 || ident2, transport_pass, crc_pass, st);
+}
+
+}  // namespace
+
+SpliceOutcome evaluate_splice_reference(const net::PacketConfig& cfg,
+                                        const SimPacket& p1,
+                                        const SimPacket& p2,
+                                        const atm::SpliceSpec& splice) {
+  SpliceOutcome out;
+  const util::Bytes bytes = atm::materialize_splice(p1.pdu, p2.pdu, splice);
+  const atm::Aal5Trailer trailer = atm::parse_trailer(util::ByteView(bytes));
+  const std::size_t len = trailer.length;
+
+  if (net::check_headers(util::ByteView(bytes), len,
+                         cfg.fill_ip_header && !cfg.legacy95_headers,
+                         cfg.legacy95_headers) != net::HeaderCheck::kOk) {
+    out.caught_by_header = true;
+    return out;
+  }
+
+  // "Identical data" compares the delivered IP datagram (the first
+  // `len` bytes) with the transport check field excluded. The AAL5
+  // pad/trailer is reassembly framing, not data, and the check field
+  // is not data either: §5.3's trailer analysis counts a splice whose
+  // *payload* reproduces packet 1 as identical even though it carries
+  // packet 2's trailer checksum (and is therefore rejected — a benign
+  // false positive, Table 10).
+  std::size_t skip_at = len;  // offset of the 2 excluded bytes
+  if (cfg.placement == net::ChecksumPlacement::kHeader) {
+    skip_at = net::kIpv4HeaderLen + 16;
+  } else if (len >= net::kTrailerCheckLen) {
+    skip_at = len - net::kTrailerCheckLen;
+  }
+  const auto datagram_equal = [&](const SimPacket& p) {
+    if (p.total_len != len) return false;
+    const util::ByteView a(bytes.data(), len);
+    const util::ByteView b = p.pdu.bytes().first(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (i == skip_at) {
+        ++i;  // skip both check bytes
+        continue;
+      }
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+  out.identical = datagram_equal(p2) || datagram_equal(p1);
+  out.transport_pass =
+      net::verify_transport_checksum(cfg, util::ByteView(bytes).first(len));
+  out.crc_pass = atm::crc_ok(util::ByteView(bytes));
+  return out;
+}
+
+void SpliceStats::merge(const SpliceStats& o) {
+  files += o.files;
+  packets += o.packets;
+  pairs += o.pairs;
+  total += o.total;
+  caught_by_header += o.caught_by_header;
+  identical += o.identical;
+  remaining += o.remaining;
+  missed_crc += o.missed_crc;
+  missed_transport += o.missed_transport;
+  missed_both += o.missed_both;
+  fail_identical += o.fail_identical;
+  pass_identical += o.pass_identical;
+  fail_changed += o.fail_changed;
+  pass_changed += o.pass_changed;
+  remaining_with_hdr2 += o.remaining_with_hdr2;
+  missed_with_hdr2 += o.missed_with_hdr2;
+  for (std::size_t i = 0; i < kMaxTrackedK; ++i) {
+    remaining_by_k[i] += o.remaining_by_k[i];
+    missed_by_k[i] += o.missed_by_k[i];
+  }
+  slow_path += o.slow_path;
+}
+
+void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
+                   const SimPacket& p2, SpliceStats& stats) {
+  ++stats.pairs;
+  const std::size_t n1 = p1.pdu.num_cells();
+  const std::size_t n2 = p2.pdu.num_cells();
+  if (n1 < 2 || n2 < 1) return;
+
+  PairContext ctx;
+  ctx.cfg = &cfg;
+  ctx.p1 = &p1;
+  ctx.p2 = &p2;
+  ctx.fast = p2.fast_path_ok;
+  ctx.fletcher = cfg.transport != alg::Algorithm::kInternet;
+  ctx.mod255 = cfg.transport == alg::Algorithm::kFletcher255;
+  ctx.header_placement = cfg.placement == net::ChecksumPlacement::kHeader;
+  ctx.hdr_ok.resize(n1 - 1);
+  const bool require_ipck = cfg.fill_ip_header && !cfg.legacy95_headers;
+  for (std::size_t i = 0; i + 1 < n1; ++i) {
+    ctx.hdr_ok[i] =
+        net::check_headers(p1.pdu.cell(i), p2.total_len, require_ipck,
+                           cfg.legacy95_headers) == net::HeaderCheck::kOk;
+  }
+
+  atm::for_each_splice(n1, n2, [&](const atm::SpliceSpec& s) {
+    ++stats.total;
+    if (ctx.fast) {
+      eval_fast(ctx, s, stats);
+    } else {
+      eval_slow(ctx, s, stats);
+    }
+  });
+}
+
+SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file) {
+  SpliceStats st;
+  util::Bytes compressed;
+  if (cfg.compress_files) {
+    compressed = compress::lzw_compress(file);
+    file = util::ByteView(compressed);
+  }
+  const std::vector<SimPacket> pkts = packetize_file(cfg.flow, file);
+  st.files = 1;
+  st.packets = pkts.size();
+  for (std::size_t i = 0; i + 1 < pkts.size(); ++i)
+    evaluate_pair(cfg.flow.packet, pkts[i], pkts[i + 1], st);
+  return st;
+}
+
+SpliceStats run_filesystem(const SpliceRunConfig& cfg,
+                           const fsgen::Filesystem& fs) {
+  unsigned threads = cfg.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(1, fs.file_count())));
+
+  if (threads <= 1) {
+    SpliceStats st;
+    for (std::size_t i = 0; i < fs.file_count(); ++i) {
+      const util::Bytes file = fs.file(i);
+      st.merge(run_file(cfg, util::ByteView(file)));
+    }
+    return st;
+  }
+
+  // Files are independent flows: shard them over a small worker pool
+  // and merge the per-thread statistics (all counters are additive).
+  std::vector<SpliceStats> partial(threads);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= fs.file_count()) return;
+        const util::Bytes file = fs.file(i);
+        partial[t].merge(run_file(cfg, util::ByteView(file)));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  SpliceStats st;
+  for (const auto& p : partial) st.merge(p);
+  return st;
+}
+
+}  // namespace cksum::core

@@ -1,0 +1,109 @@
+// The splice simulator — the paper's experimental apparatus (§3.2).
+//
+// For every pair of adjacent TCP segments of a simulated FTP transfer
+// it enumerates every cell-count-consistent AAL5 splice and
+// classifies it:
+//
+//   Total            all splices inspected
+//   Caught by Header failed the IP/TCP syntactic checks
+//   Identical data   passed them but reproduced an original packet
+//   Remaining        corrupted packets that only the CRC or the
+//                    transport checksum can catch
+//   Missed by CRC    remaining splices the AAL5 CRC-32 passes
+//   Missed by <sum>  remaining splices the transport checksum passes
+//
+// plus the header/trailer 2x2 matrix of Table 10 and per-substitution-
+// length breakdowns for Tables 4-6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "atm/splice.hpp"
+#include "core/pdu_model.hpp"
+#include "fsgen/profile.hpp"
+
+namespace cksum::core {
+
+struct SpliceRunConfig {
+  net::FlowConfig flow;
+  /// LZW-compress each file before transfer (Table 7).
+  bool compress_files = false;
+  /// Worker threads for filesystem-level runs (files are independent
+  /// transfers, so they parallelise perfectly). 0 = use all hardware
+  /// threads; 1 = sequential.
+  unsigned threads = 1;
+};
+
+inline constexpr std::size_t kMaxTrackedK = 24;
+
+struct SpliceStats {
+  std::uint64_t files = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t pairs = 0;
+
+  std::uint64_t total = 0;
+  std::uint64_t caught_by_header = 0;
+  std::uint64_t identical = 0;
+  std::uint64_t remaining = 0;
+
+  std::uint64_t missed_crc = 0;        ///< remaining, CRC-32 passed
+  std::uint64_t missed_transport = 0;  ///< remaining, transport passed
+  std::uint64_t missed_both = 0;
+
+  /// Table 10 matrix (checksum result x data-identical result).
+  std::uint64_t fail_identical = 0;  ///< checksum rejects an identical splice
+  std::uint64_t pass_identical = 0;
+  std::uint64_t fail_changed = 0;
+  std::uint64_t pass_changed = 0;  ///< == missed_transport
+
+  /// Splices including packet 2's header cell, and how many of those
+  /// the transport missed (§5.3's "coloured" population).
+  std::uint64_t remaining_with_hdr2 = 0;
+  std::uint64_t missed_with_hdr2 = 0;
+
+  /// By substitution length k = cells sourced from packet 2 (EOM
+  /// included), clamped to kMaxTrackedK-1.
+  std::array<std::uint64_t, kMaxTrackedK> remaining_by_k{};
+  std::array<std::uint64_t, kMaxTrackedK> missed_by_k{};
+
+  std::uint64_t slow_path = 0;  ///< splices evaluated by materialisation
+
+  void merge(const SpliceStats& other);
+
+  double pct_of_remaining(std::uint64_t n) const {
+    return remaining == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(n) / static_cast<double>(remaining);
+  }
+};
+
+/// Evaluate every splice of the adjacent pair (p1, p2).
+void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
+                   const SimPacket& p2, SpliceStats& stats);
+
+/// Outcome of one splice under the receiver's checks.
+struct SpliceOutcome {
+  bool caught_by_header = false;
+  bool identical = false;       ///< meaningful only when headers passed
+  bool transport_pass = false;  ///< computed even for identical splices
+  bool crc_pass = false;
+};
+
+/// Reference evaluation of a single splice by materialising its bytes
+/// and running the full receiver checks — the oracle the partial-sums
+/// fast path is tested against, and the slow path it falls back to.
+SpliceOutcome evaluate_splice_reference(const net::PacketConfig& cfg,
+                                        const SimPacket& p1,
+                                        const SimPacket& p2,
+                                        const atm::SpliceSpec& splice);
+
+/// Simulate the transfer of one file and evaluate all adjacent pairs.
+SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file);
+
+/// Simulate a whole filesystem transfer (optionally compressing each
+/// file first, per Table 7).
+SpliceStats run_filesystem(const SpliceRunConfig& cfg,
+                           const fsgen::Filesystem& fs);
+
+}  // namespace cksum::core

@@ -1,0 +1,156 @@
+// Archive-style generators: tar archives and mail spools.
+//
+// Both are staples of 1990s filesystems with strong block structure:
+// tar pads every member to 512-byte boundaries with zeros and fills
+// header blocks with NUL-padded fixed-width fields (heavily repeated
+// across members); mbox spools repeat near-identical RFC-822 header
+// stanzas every few hundred bytes. Both feed the splice simulator the
+// alignment-and-repetition statistics the paper attributes to real
+// file data.
+#include <string>
+
+#include "fsgen/generator.hpp"
+
+namespace cksum::fsgen {
+
+namespace {
+
+void pad_to(util::Bytes& out, std::size_t boundary) {
+  const std::size_t rem = out.size() % boundary;
+  if (rem != 0) out.insert(out.end(), boundary - rem, 0x00);
+}
+
+void append_str(util::Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// NUL-padded fixed-width field, octal-formatted like tar's numerics.
+void append_octal_field(util::Bytes& out, std::uint64_t value,
+                        std::size_t width) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%0*llo", static_cast<int>(width - 1),
+                static_cast<unsigned long long>(value));
+  append_str(out, buf);
+  out.push_back(0);
+}
+
+void append_padded_name(util::Bytes& out, const std::string& name,
+                        std::size_t width) {
+  append_str(out, name);
+  out.insert(out.end(), width - name.size(), 0x00);
+}
+
+}  // namespace
+
+util::Bytes generate_tar_archive(util::Rng& rng, std::size_t approx_size) {
+  static constexpr std::string_view kDirs[] = {"src/", "doc/", "lib/",
+                                               "etc/", "bin/"};
+  static constexpr std::string_view kStems[] = {
+      "main", "util", "readme", "makefile", "config", "parse", "output",
+      "input", "notes", "test"};
+  static constexpr std::string_view kExts[] = {".c", ".h", ".txt", ".1",
+                                               ".sh", ""};
+  util::Bytes out;
+  out.reserve(approx_size + 1024);
+
+  while (out.size() + 1024 < approx_size) {
+    // --- 512-byte ustar-style header block. ---
+    std::string name(kDirs[rng.below(std::size(kDirs))]);
+    name += kStems[rng.below(std::size(kStems))];
+    name += kExts[rng.below(std::size(kExts))];
+    const std::size_t member_size =
+        std::min<std::size_t>(approx_size - out.size(),
+                              64 + rng.below(4096));
+
+    const std::size_t header_at = out.size();
+    append_padded_name(out, name, 100);
+    append_octal_field(out, 0644, 8);   // mode
+    append_octal_field(out, 1001, 8);   // uid
+    append_octal_field(out, 100, 8);    // gid
+    append_octal_field(out, member_size, 12);
+    append_octal_field(out, 0x2F000000 + rng.below(1u << 20), 12);  // mtime
+    append_str(out, "        ");        // checksum placeholder (spaces)
+    out.push_back('0');                 // typeflag: regular file
+    out.insert(out.end(), 100, 0x00);   // linkname
+    append_str(out, "ustar  ");
+    out.push_back(0);
+    append_padded_name(out, "jonathan", 32);
+    append_padded_name(out, "dsg", 32);
+    pad_to(out, 512);
+
+    // tar's simple additive header checksum, written back in octal.
+    std::uint32_t sum = 0;
+    for (std::size_t i = header_at; i < header_at + 512; ++i) sum += out[i];
+    char chk[8];
+    std::snprintf(chk, sizeof chk, "%06o", sum);
+    std::copy(chk, chk + 6, out.begin() + static_cast<std::ptrdiff_t>(header_at) + 148);
+    out[header_at + 154] = 0;
+
+    // --- Member data: text-like, zero-padded to the block boundary.
+    util::Rng content_rng = rng.child(out.size());
+    const util::Bytes content = generate_text(content_rng, member_size);
+    out.insert(out.end(), content.begin(),
+               content.begin() + static_cast<std::ptrdiff_t>(
+                                     std::min(member_size, content.size())));
+    pad_to(out, 512);
+  }
+  // End-of-archive: two zero blocks.
+  out.insert(out.end(), 1024, 0x00);
+  return out;
+}
+
+util::Bytes generate_mail_spool(util::Rng& rng, std::size_t approx_size) {
+  static constexpr std::string_view kUsers[] = {
+      "jonathan", "michael", "craig", "jim", "chuck", "bill", "lansing"};
+  static constexpr std::string_view kHosts[] = {
+      "dsg.stanford.edu", "bbn.com", "sics.se", "network.com"};
+  static constexpr std::string_view kSubjects[] = {
+      "Re: checksum results", "splice tests",      "Re: Re: AAL5 CRC",
+      "filesystem snapshots", "meeting notes",     "draft comments",
+      "Re: trailer sums",     "simulation re-run",
+  };
+
+  util::Bytes out;
+  out.reserve(approx_size + 512);
+  int msg_no = 0;
+  while (out.size() < approx_size) {
+    ++msg_no;
+    std::string hdr;
+    const auto& user = kUsers[rng.below(std::size(kUsers))];
+    const auto& host = kHosts[rng.below(std::size(kHosts))];
+    hdr += "From ";
+    hdr += user;
+    hdr += "@";
+    hdr += host;
+    hdr += " Thu Aug 17 12:";
+    hdr += static_cast<char>('0' + rng.below(6));
+    hdr += static_cast<char>('0' + rng.below(10));
+    hdr += ":00 1995\n";
+    hdr += "Received: by ";
+    hdr += host;
+    hdr += " (5.65/DSG-1.0)\n\tid AA";
+    hdr += std::to_string(10000 + msg_no);
+    hdr += "; Thu, 17 Aug 95 12:00:00 -0700\n";
+    hdr += "From: ";
+    hdr += user;
+    hdr += "@";
+    hdr += host;
+    hdr += "\nTo: checksum-list@dsg.stanford.edu\nSubject: ";
+    hdr += kSubjects[rng.below(std::size(kSubjects))];
+    hdr += "\nMessage-Id: <9508171200.AA";
+    hdr += std::to_string(10000 + msg_no);
+    hdr += "@";
+    hdr += host;
+    hdr += ">\nStatus: RO\n\n";
+    append_str(out, hdr);
+
+    util::Rng body_rng = rng.child(out.size());
+    const util::Bytes body = generate_text(
+        body_rng, static_cast<std::size_t>(rng.between(250, 2500)));
+    out.insert(out.end(), body.begin(), body.end());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cksum::fsgen

@@ -1,0 +1,220 @@
+// Binary file generators: executables, profiling data, word-processor
+// documents, and raw random data.
+//
+// These reproduce the binary-file statistics the paper calls out:
+// "Binary data has similarly non-random distribution of values, such
+// as a propensity to contain zeros" (§1); gmon.out profiling files
+// "consist mostly of zero entries, with a scattering of a small number
+// of nonzero entries ... the non-zero values are often identical"
+// (§5.5, a TCP-checksum pathology); and a popular PC word processor's
+// files "contained runs of approximately 200 all-zero bytes, followed
+// by a similar number of all-one bytes, between each section" (§5.5, a
+// Fletcher-255 pathology).
+#include <array>
+
+#include "fsgen/generator.hpp"
+#include "util/bytes.hpp"
+
+namespace cksum::fsgen {
+
+namespace {
+
+void push_zeros(util::Bytes& out, std::size_t n) {
+  out.insert(out.end(), n, 0);
+}
+
+void push_fill(util::Bytes& out, std::size_t n, std::uint8_t v) {
+  out.insert(out.end(), n, v);
+}
+
+/// Instruction-stream-like bytes: common opcodes, register bytes, and
+/// little-endian displacements that are usually small (high bytes 0).
+void push_code(util::Rng& rng, util::Bytes& out, std::size_t n) {
+  static constexpr std::uint8_t kOpcodes[] = {
+      0x55, 0x89, 0x8b, 0xe8, 0xc3, 0x83, 0x31, 0x48, 0x85, 0x74,
+      0x75, 0xeb, 0x90, 0x5d, 0x01, 0x29, 0x39, 0xff, 0x8d, 0xc7,
+  };
+  const std::size_t end = out.size() + n;
+  while (out.size() < end) {
+    out.push_back(kOpcodes[rng.below(std::size(kOpcodes))]);
+    if (rng.chance(0.35)) {
+      // ModRM-ish byte.
+      out.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    if (rng.chance(0.30)) {
+      // 32-bit displacement/immediate, usually small positive or
+      // small negative.
+      const bool negative = rng.chance(0.2);
+      const std::uint32_t mag = static_cast<std::uint32_t>(rng.below(4096));
+      const std::uint32_t v = negative ? (0u - mag) : mag;
+      out.push_back(static_cast<std::uint8_t>(v));
+      out.push_back(static_cast<std::uint8_t>(v >> 8));
+      out.push_back(static_cast<std::uint8_t>(v >> 16));
+      out.push_back(static_cast<std::uint8_t>(v >> 24));
+    }
+  }
+  out.resize(end);
+}
+
+void push_symbol_table(util::Rng& rng, util::Bytes& out, std::size_t n) {
+  // 16-byte records: name offset (often small), value (clustered
+  // addresses), size (small), info bytes (few distinct values).
+  static constexpr std::uint8_t kInfo[] = {0x11, 0x12, 0x20, 0x01, 0x02};
+  std::uint32_t name_off = 1;
+  std::uint32_t addr = 0x1000;
+  const std::size_t end = out.size() + n;
+  while (out.size() + 16 <= end) {
+    // name offset, little-endian like ELF.
+    out.push_back(static_cast<std::uint8_t>(name_off));
+    out.push_back(static_cast<std::uint8_t>(name_off >> 8));
+    out.push_back(0);
+    out.push_back(0);
+    name_off += static_cast<std::uint32_t>(rng.between(4, 20));
+    out.push_back(static_cast<std::uint8_t>(addr));
+    out.push_back(static_cast<std::uint8_t>(addr >> 8));
+    out.push_back(static_cast<std::uint8_t>(addr >> 16));
+    out.push_back(static_cast<std::uint8_t>(addr >> 24));
+    addr += static_cast<std::uint32_t>(rng.between(8, 512));
+    // size (small), padding, info.
+    out.push_back(static_cast<std::uint8_t>(rng.below(128)));
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(kInfo[rng.below(std::size(kInfo))]);
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+  }
+  if (out.size() < end) push_zeros(out, end - out.size());
+}
+
+void push_string_table(util::Rng& rng, util::Bytes& out, std::size_t n) {
+  static constexpr std::string_view kPieces[] = {
+      "init", "main", "alloc", "free", "print", "read", "write", "sys",
+      "vm", "buf", "proc", "open", "close", "str", "mem", "cpy", "cmp",
+      "get", "set", "lock",
+  };
+  const std::size_t end = out.size() + n;
+  out.push_back(0);
+  while (out.size() < end) {
+    if (rng.chance(0.5)) out.push_back('_');
+    const auto& piece = kPieces[rng.below(std::size(kPieces))];
+    out.insert(out.end(), piece.begin(), piece.end());
+    if (rng.chance(0.6)) {
+      const auto& piece2 = kPieces[rng.below(std::size(kPieces))];
+      out.insert(out.end(), piece2.begin(), piece2.end());
+    }
+    out.push_back(0);
+  }
+  out.resize(end);
+}
+
+}  // namespace
+
+util::Bytes generate_executable(util::Rng& rng, std::size_t approx_size) {
+  util::Bytes out;
+  out.reserve(approx_size + 4096);
+
+  // ELF-ish identification + header (mostly zeros after the magic).
+  static constexpr std::uint8_t kElfIdent[16] = {
+      0x7f, 'E', 'L', 'F', 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  out.insert(out.end(), kElfIdent, kElfIdent + 16);
+  push_zeros(out, 48);  // rest of header: small fields, mostly zero
+
+  while (out.size() < approx_size) {
+    switch (rng.below(5)) {
+      case 0:  // text section
+        push_code(rng, out, static_cast<std::size_t>(rng.between(2048, 16384)));
+        break;
+      case 1:  // zero padding to a page boundary / bss image
+        push_zeros(out, static_cast<std::size_t>(rng.between(256, 4096)));
+        break;
+      case 2:
+        push_symbol_table(rng, out,
+                          static_cast<std::size_t>(rng.between(512, 4096)));
+        break;
+      case 3:
+        push_string_table(rng, out,
+                          static_cast<std::size_t>(rng.between(256, 2048)));
+        break;
+      default: {  // data section: small integers, many zero words
+        const std::size_t n = static_cast<std::size_t>(rng.between(512, 4096));
+        const std::size_t end = out.size() + n;
+        while (out.size() + 4 <= end) {
+          const std::uint32_t v =
+              rng.chance(0.6) ? 0 : static_cast<std::uint32_t>(rng.below(1024));
+          out.push_back(static_cast<std::uint8_t>(v));
+          out.push_back(static_cast<std::uint8_t>(v >> 8));
+          out.push_back(0);
+          out.push_back(0);
+        }
+        if (out.size() < end) push_zeros(out, end - out.size());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::Bytes generate_gmon_profile(util::Rng& rng, std::size_t approx_size) {
+  util::Bytes out;
+  out.reserve(approx_size + 64);
+
+  // Header: low pc, high pc, buffer size — a handful of small words.
+  push_zeros(out, 4);
+  push_fill(out, 1, 0x40);
+  push_zeros(out, 7);
+  push_fill(out, 1, 0x08);
+  push_zeros(out, 7);
+
+  // Histogram bins: 16-bit counters, almost all zero, with small runs
+  // of identical small counts where the program spent its time.
+  const std::uint8_t hot_value = static_cast<std::uint8_t>(rng.between(1, 4));
+  while (out.size() < approx_size) {
+    if (rng.chance(0.97)) {
+      push_zeros(out, 2);
+    } else {
+      // A hot region: several consecutive identical counters.
+      const std::size_t run = rng.run_length(0.8, 24);
+      for (std::size_t i = 0; i < run; ++i) {
+        out.push_back(0);
+        out.push_back(rng.chance(0.8)
+                          ? hot_value
+                          : static_cast<std::uint8_t>(rng.between(1, 9)));
+      }
+    }
+  }
+  return out;
+}
+
+util::Bytes generate_word_processor(util::Rng& rng, std::size_t approx_size) {
+  util::Bytes out;
+  out.reserve(approx_size + 512);
+
+  // Proprietary-looking magic + a fairly empty header block.
+  static constexpr std::uint8_t kMagic[] = {0x31, 0xbe, 0x00, 0x00,
+                                            0x00, 0xab, 0x00, 0x00};
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  push_zeros(out, 120);
+
+  while (out.size() < approx_size) {
+    // A section of document text...
+    util::Rng text_rng = rng.child(out.size());
+    const util::Bytes para = generate_text(
+        text_rng, static_cast<std::size_t>(rng.between(300, 1500)));
+    out.insert(out.end(), para.begin(), para.end());
+    // ...followed by the pathological inter-section filler the paper
+    // found: ~200 zero bytes then ~200 0xFF bytes.
+    push_zeros(out, static_cast<std::size_t>(rng.between(180, 220)));
+    push_fill(out, static_cast<std::size_t>(rng.between(180, 220)), 0xff);
+  }
+  return out;
+}
+
+util::Bytes generate_random(util::Rng& rng, std::size_t approx_size) {
+  util::Bytes out(approx_size);
+  rng.fill(out);
+  return out;
+}
+
+}  // namespace cksum::fsgen

@@ -1,0 +1,28 @@
+#include "fsgen/generator.hpp"
+
+#include <stdexcept>
+
+namespace cksum::fsgen {
+
+util::Bytes generate_file(FileKind kind, std::uint64_t seed,
+                          std::size_t approx_size) {
+  util::Rng rng(seed);
+  switch (kind) {
+    case FileKind::kText: return generate_text(rng, approx_size);
+    case FileKind::kCSource: return generate_c_source(rng, approx_size);
+    case FileKind::kExecutable: return generate_executable(rng, approx_size);
+    case FileKind::kGmonProfile: return generate_gmon_profile(rng, approx_size);
+    case FileKind::kPbmImage: return generate_pbm_image(rng, approx_size);
+    case FileKind::kHexPostscript:
+      return generate_hex_postscript(rng, approx_size);
+    case FileKind::kBinhex: return generate_binhex(rng, approx_size);
+    case FileKind::kWordProcessor:
+      return generate_word_processor(rng, approx_size);
+    case FileKind::kRandom: return generate_random(rng, approx_size);
+    case FileKind::kTarArchive: return generate_tar_archive(rng, approx_size);
+    case FileKind::kMailSpool: return generate_mail_spool(rng, approx_size);
+  }
+  throw std::invalid_argument("generate_file: unknown kind");
+}
+
+}  // namespace cksum::fsgen

@@ -1,0 +1,284 @@
+#include "fsgen/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cksum::fsgen {
+
+namespace {
+
+using FK = FileKind;
+
+// Mixes. Weights are relative file counts.
+
+// Mix weights are calibrated against the per-kind miss rates the
+// pathology bench measures (gmon ~1.7%, hex-PS ~2.8%, word-processor
+// ~0.2%, PBM ~14% TCP / ~52% F-255; everything else ~uniform) so each
+// filesystem's TCP miss rate lands in the paper's 0.008%-0.22% band,
+// with /opt the worst (~0.17%) and smeg:/u1 the one where Fletcher-255
+// inverts below the TCP checksum.
+
+// Generic office/server mixes for the NSC machines: mostly text and
+// binaries, with minor populations of everything else. The nine
+// systems differ in ratios so their rows differ the way Table 1's do.
+constexpr KindWeight kMixOffice[] = {
+    {FK::kText, 0.34}, {FK::kCSource, 0.13}, {FK::kExecutable, 0.14},
+    {FK::kGmonProfile, 0.02}, {FK::kWordProcessor, 0.10},
+    {FK::kRandom, 0.12}, {FK::kBinhex, 0.06}, {FK::kHexPostscript, 0.01},
+    {FK::kMailSpool, 0.05}, {FK::kTarArchive, 0.03},
+};
+constexpr KindWeight kMixServer[] = {
+    {FK::kText, 0.22}, {FK::kCSource, 0.15}, {FK::kExecutable, 0.26},
+    {FK::kGmonProfile, 0.04}, {FK::kRandom, 0.12},
+    {FK::kHexPostscript, 0.01}, {FK::kBinhex, 0.10},
+    {FK::kTarArchive, 0.06}, {FK::kMailSpool, 0.04},
+};
+constexpr KindWeight kMixDesktop[] = {
+    {FK::kText, 0.42}, {FK::kWordProcessor, 0.16}, {FK::kExecutable, 0.10},
+    {FK::kRandom, 0.12}, {FK::kBinhex, 0.10}, {FK::kCSource, 0.09},
+    {FK::kGmonProfile, 0.005}, {FK::kHexPostscript, 0.005},
+};
+constexpr KindWeight kMixBuild[] = {
+    {FK::kCSource, 0.42}, {FK::kText, 0.16}, {FK::kExecutable, 0.24},
+    {FK::kGmonProfile, 0.012}, {FK::kRandom, 0.10},
+    {FK::kHexPostscript, 0.008}, {FK::kBinhex, 0.06},
+};
+
+// SICS source trees (with the build detritus — profiles, objects —
+// that real src trees accumulate).
+constexpr KindWeight kMixSrc[] = {
+    {FK::kCSource, 0.60}, {FK::kText, 0.25}, {FK::kExecutable, 0.04},
+    {FK::kRandom, 0.06},  {FK::kGmonProfile, 0.015},
+    {FK::kHexPostscript, 0.005}, {FK::kBinhex, 0.03},
+};
+// /opt: executable-heavy, the paper's worst TCP-checksum filesystem
+// (target ~0.17% missed).
+constexpr KindWeight kMixOpt[] = {
+    {FK::kExecutable, 0.42}, {FK::kText, 0.19}, {FK::kCSource, 0.08},
+    {FK::kRandom, 0.14}, {FK::kGmonProfile, 0.06},
+    {FK::kWordProcessor, 0.04}, {FK::kHexPostscript, 0.02},
+    {FK::kBinhex, 0.05},
+};
+constexpr KindWeight kMixSolaris[] = {
+    {FK::kExecutable, 0.48}, {FK::kText, 0.30}, {FK::kRandom, 0.14},
+    {FK::kGmonProfile, 0.025}, {FK::kHexPostscript, 0.005},
+    {FK::kBinhex, 0.05},
+};
+constexpr KindWeight kMixIssl[] = {
+    {FK::kText, 0.36}, {FK::kCSource, 0.20}, {FK::kWordProcessor, 0.14},
+    {FK::kHexPostscript, 0.008}, {FK::kRandom, 0.12}, {FK::kBinhex, 0.06},
+    {FK::kGmonProfile, 0.004}, {FK::kExecutable, 0.108},
+};
+constexpr KindWeight kMixCna[] = {
+    {FK::kText, 0.454}, {FK::kWordProcessor, 0.06}, {FK::kExecutable, 0.10},
+    {FK::kRandom, 0.18}, {FK::kBinhex, 0.20}, {FK::kGmonProfile, 0.004},
+    {FK::kHexPostscript, 0.002},
+};
+
+// smeg:/u1 — home directories, including the pathological PBM plot
+// directory (§5.5) and assorted hex/BinHex encodings. Small PBM
+// weight, outsized effect: it pushes Fletcher-255 above the TCP
+// checksum on this filesystem, as the paper found.
+constexpr KindWeight kMixU1[] = {
+    {FK::kText, 0.32}, {FK::kCSource, 0.27}, {FK::kPbmImage, 0.01},
+    {FK::kHexPostscript, 0.01}, {FK::kBinhex, 0.05},
+    {FK::kGmonProfile, 0.006}, {FK::kExecutable, 0.08},
+    {FK::kRandom, 0.154}, {FK::kWordProcessor, 0.10},
+};
+// pompano:/usr/local — installed software.
+constexpr KindWeight kMixUsrLocal[] = {
+    {FK::kExecutable, 0.34}, {FK::kCSource, 0.18}, {FK::kText, 0.26},
+    {FK::kRandom, 0.12}, {FK::kHexPostscript, 0.004},
+    {FK::kGmonProfile, 0.012}, {FK::kBinhex, 0.084},
+};
+
+// Extension beyond the paper: a 2020s-style home directory — mostly
+// already-compressed formats (media, archives, wheels) that behave
+// like uniform data, plus the source trees and build/profiling
+// artifacts that still carry 1995-style structure. "Has the paper's
+// effect evaporated?" — bench_modern answers.
+constexpr KindWeight kMixModern[] = {
+    {FK::kRandom, 0.58}, {FK::kCSource, 0.18}, {FK::kText, 0.12},
+    {FK::kTarArchive, 0.04}, {FK::kMailSpool, 0.03},
+    {FK::kExecutable, 0.03}, {FK::kGmonProfile, 0.02},
+};
+
+constexpr std::size_t kMinSize = 2 * 1024;
+constexpr std::size_t kMaxSize = 96 * 1024;
+
+const FsProfile kProfiles[] = {
+    // Table 1: NSC.
+    {"nsc", "nsc05", 0x05, 56, kMinSize, kMaxSize, kMixOffice},
+    {"nsc", "nsc11", 0x11, 56, kMinSize, kMaxSize, kMixServer},
+    {"nsc", "nsc23", 0x23, 56, kMinSize, kMaxSize, kMixDesktop},
+    {"nsc", "nsc25", 0x25, 56, kMinSize, kMaxSize, kMixBuild},
+    {"nsc", "nsc27", 0x27, 56, kMinSize, kMaxSize, kMixOffice},
+    {"nsc", "nsc29", 0x29, 56, kMinSize, kMaxSize, kMixServer},
+    {"nsc", "nsc49", 0x49, 56, kMinSize, kMaxSize, kMixDesktop},
+    {"nsc", "nsc51", 0x51, 56, kMinSize, kMaxSize, kMixBuild},
+    {"nsc", "nsc52", 0x52, 56, kMinSize, kMaxSize, kMixOffice},
+    // Table 2: SICS.
+    {"sics.se", "/src1", 0x1001, 64, kMinSize, kMaxSize, kMixSrc},
+    {"sics.se", "/src2", 0x1002, 64, kMinSize, kMaxSize, kMixSrc},
+    {"sics.se", "/src3", 0x1003, 64, kMinSize, kMaxSize, kMixSrc},
+    {"sics.se", "/src4", 0x1004, 64, kMinSize, kMaxSize, kMixSrc},
+    {"sics.se", "/issl", 0x1005, 64, kMinSize, kMaxSize, kMixIssl},
+    {"sics.se", "/opt", 0x1006, 64, kMinSize, kMaxSize, kMixOpt},
+    {"sics.se", "/solaris", 0x1007, 64, kMinSize, kMaxSize, kMixSolaris},
+    {"sics.se", "/cna", 0x1008, 64, kMinSize, kMaxSize, kMixCna},
+    // Table 3: Stanford.
+    {"smeg.stanford.edu", "/u1", 0x2001, 72, kMinSize, kMaxSize, kMixU1},
+    {"pompano.stanford.edu", "/usr/local", 0x2002, 64, kMinSize, kMaxSize,
+     kMixUsrLocal},
+    // Extension (not part of the paper's tables): a modern mix.
+    {"modern", "/home", 0x2026, 64, kMinSize, kMaxSize, kMixModern},
+};
+
+}  // namespace
+
+std::string FsProfile::full_name() const {
+  if (site == "nsc") return std::string(mount);
+  return std::string(site) + ":" + std::string(mount);
+}
+
+std::span<const FsProfile> all_profiles() { return kProfiles; }
+std::span<const FsProfile> nsc_profiles() {
+  return std::span(kProfiles).subspan(0, 9);
+}
+std::span<const FsProfile> sics_profiles() {
+  return std::span(kProfiles).subspan(9, 8);
+}
+std::span<const FsProfile> stanford_profiles() {
+  return std::span(kProfiles).subspan(17, 2);
+}
+
+const FsProfile& profile(std::string_view full_name) {
+  for (const FsProfile& p : kProfiles)
+    if (p.full_name() == full_name) return p;
+  throw std::out_of_range("unknown filesystem profile: " +
+                          std::string(full_name));
+}
+
+Filesystem::Filesystem(const FsProfile& prof, double scale) : prof_(&prof) {
+  if (scale <= 0.0)
+    throw std::invalid_argument("Filesystem: scale must be positive");
+  const auto count = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(prof.base_files) * scale));
+
+  util::Rng rng(prof.seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+
+  // Stratified composition (largest-remainder quotas): the file-kind
+  // mix is met exactly, so even a small corpus contains its profile's
+  // minority kinds — the pathological files drive each filesystem's
+  // miss rate, and random sampling would make table rows noisy.
+  double total_w = 0.0;
+  for (const auto& kw : prof.mix) total_w += kw.weight;
+  std::vector<std::size_t> quota(prof.mix.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainder;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < prof.mix.size(); ++i) {
+    const double exact =
+        static_cast<double>(count) * prof.mix[i].weight / total_w;
+    quota[i] = static_cast<std::size_t>(exact);
+    assigned += quota[i];
+    remainder.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t j = 0; assigned < count; ++j, ++assigned)
+    ++quota[remainder[j % remainder.size()].second];
+
+  std::vector<FileKind> kinds;
+  kinds.reserve(count);
+  for (std::size_t i = 0; i < prof.mix.size(); ++i)
+    kinds.insert(kinds.end(), quota[i], prof.mix[i].kind);
+  std::shuffle(kinds.begin(), kinds.end(), rng);
+
+  const double log_min = std::log(static_cast<double>(prof.min_size));
+  const double log_max = std::log(static_cast<double>(prof.max_size));
+
+  specs_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FileSpec spec;
+    spec.kind = kinds[i];
+    spec.seed = rng.next();
+    // Log-uniform sizes: many small files, few large, like real
+    // filesystems.
+    spec.size = static_cast<std::size_t>(
+        std::exp(log_min + (log_max - log_min) * rng.uniform01()));
+    specs_.push_back(spec);
+  }
+}
+
+std::string Filesystem::to_manifest() const {
+  std::string out;
+  char line[96];
+  for (const FileSpec& s : specs_) {
+    std::snprintf(line, sizeof line, "%s %016llx %zu\n",
+                  std::string(name(s.kind)).c_str(),
+                  static_cast<unsigned long long>(s.seed), s.size);
+    out += line;
+  }
+  return out;
+}
+
+Filesystem Filesystem::from_manifest(const FsProfile& prof,
+                                     std::string_view manifest) {
+  std::vector<FileSpec> specs;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < manifest.size()) {
+    std::size_t eol = manifest.find('\n', pos);
+    if (eol == std::string_view::npos) eol = manifest.size();
+    const std::string_view line = manifest.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos)
+      throw std::invalid_argument("manifest: malformed line " +
+                                  std::to_string(line_no));
+    const std::string_view kind_name = line.substr(0, sp1);
+    FileSpec spec;
+    bool found = false;
+    for (const FileKind k : kAllKinds) {
+      if (name(k) == kind_name) {
+        spec.kind = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::invalid_argument("manifest: unknown kind '" +
+                                  std::string(kind_name) + "'");
+    try {
+      spec.seed = std::stoull(
+          std::string(line.substr(sp1 + 1, sp2 - sp1 - 1)), nullptr, 16);
+      spec.size = std::stoull(std::string(line.substr(sp2 + 1)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("manifest: bad numbers on line " +
+                                  std::to_string(line_no));
+    }
+    specs.push_back(spec);
+  }
+  return Filesystem(prof, std::move(specs));
+}
+
+util::Bytes Filesystem::file(std::size_t i) const {
+  const FileSpec& s = specs_.at(i);
+  return generate_file(s.kind, s.seed, s.size);
+}
+
+std::size_t Filesystem::approx_total_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : specs_) total += s.size;
+  return total;
+}
+
+}  // namespace cksum::fsgen

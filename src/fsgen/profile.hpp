@@ -1,0 +1,93 @@
+// Filesystem profiles: named mixes of file kinds standing in for the
+// filesystems of Tables 1-3 (nine at Network Systems Corp., eight at
+// the Swedish Institute of Computer Science, two at Stanford).
+//
+// Each profile's mix follows what the paper says (or implies) about
+// the system: /src1../src4 are source trees, /opt is executable-heavy
+// ("% executables" is annotated on its row and it has the worst TCP
+// miss rate), smeg:/u1 is home directories and contains the
+// pathological black-and-white PBM plot directory, and so on. The NSC
+// systems are generic office/server mixes with varying ratios.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fsgen/generator.hpp"
+
+namespace cksum::fsgen {
+
+struct KindWeight {
+  FileKind kind;
+  double weight;  ///< relative file-count weight
+};
+
+struct FsProfile {
+  std::string_view site;   ///< e.g. "sics.se"
+  std::string_view mount;  ///< e.g. "/opt"
+  std::uint64_t seed;      ///< base seed; all content derives from it
+  std::size_t base_files;  ///< file count at scale 1.0
+  std::size_t min_size;    ///< log-uniform file size range
+  std::size_t max_size;
+  std::span<const KindWeight> mix;
+
+  std::string full_name() const;  ///< "sics.se:/opt"
+};
+
+/// All nineteen profiles of Tables 1-3.
+std::span<const FsProfile> all_profiles();
+
+/// Profiles grouped as the paper's tables group them.
+std::span<const FsProfile> nsc_profiles();       // Table 1
+std::span<const FsProfile> sics_profiles();      // Table 2
+std::span<const FsProfile> stanford_profiles();  // Table 3
+
+/// Lookup by full name ("nsc05", "sics.se:/opt", ...). Throws
+/// std::out_of_range if unknown.
+const FsProfile& profile(std::string_view full_name);
+
+/// A deterministic synthetic filesystem: the file list implied by a
+/// profile at a given scale.
+class Filesystem {
+ public:
+  struct FileSpec {
+    FileKind kind;
+    std::uint64_t seed;
+    std::size_t size;
+  };
+
+  explicit Filesystem(const FsProfile& prof, double scale = 1.0);
+
+  /// A filesystem with an explicit file list (see from_manifest).
+  Filesystem(const FsProfile& prof, std::vector<FileSpec> specs)
+      : prof_(&prof), specs_(std::move(specs)) {}
+
+  /// Serialise the file list as a text manifest, one file per line:
+  /// "<kind-name> <seed-hex> <size>". Lets experiments pin an exact
+  /// corpus independently of profile-generation changes.
+  std::string to_manifest() const;
+
+  /// Rebuild a filesystem from a manifest (throws std::invalid_argument
+  /// on malformed lines or unknown kind names). The profile only
+  /// provides the display name.
+  static Filesystem from_manifest(const FsProfile& prof,
+                                  std::string_view manifest);
+
+  const FsProfile& profile() const noexcept { return *prof_; }
+  std::size_t file_count() const noexcept { return specs_.size(); }
+  const FileSpec& spec(std::size_t i) const { return specs_.at(i); }
+
+  /// Generate the i-th file's bytes.
+  util::Bytes file(std::size_t i) const;
+
+  /// Total bytes across all files (sum of requested sizes; actual
+  /// generated sizes may differ slightly at structural boundaries).
+  std::size_t approx_total_bytes() const noexcept;
+
+ private:
+  const FsProfile* prof_;
+  std::vector<FileSpec> specs_;
+};
+
+}  // namespace cksum::fsgen

@@ -1,0 +1,186 @@
+// C source code generator.
+//
+// Source trees (the SICS /src1../src4 filesystems) are dominated by a
+// tiny alphabet — spaces, braces, identifiers drawn from a small pool,
+// near-identical function scaffolding — which is exactly the kind of
+// structural repetition that collapses the checksum distribution.
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fsgen/generator.hpp"
+
+namespace cksum::fsgen {
+
+namespace {
+
+constexpr std::string_view kTypes[] = {
+    "int", "char", "long", "unsigned", "void", "short", "double",
+    "size_t", "u_int32_t", "struct buf *", "struct proc *", "caddr_t",
+};
+
+constexpr std::string_view kNouns[] = {
+    "buf",  "len",   "count", "flags", "index", "state", "error", "size",
+    "addr", "entry", "node",  "data",  "head",  "tail",  "next",  "prev",
+    "name", "value", "mask",  "offset", "page", "block", "inode", "vp",
+};
+
+constexpr std::string_view kVerbs[] = {
+    "init", "alloc", "free", "get", "put", "set", "find", "insert",
+    "remove", "lookup", "update", "check", "copy", "read", "write",
+    "open", "close", "lock", "unlock", "map",
+};
+
+constexpr std::string_view kHeaders[] = {
+    "<sys/param.h>", "<sys/systm.h>", "<sys/proc.h>", "<sys/buf.h>",
+    "<sys/malloc.h>", "<stdio.h>", "<stdlib.h>", "<string.h>",
+    "<errno.h>", "<unistd.h>",
+};
+
+class SourceWriter {
+ public:
+  SourceWriter(util::Rng& rng, util::Bytes& out) : rng_(rng), out_(out) {}
+
+  void line(std::string_view text, int indent) {
+    for (int i = 0; i < indent; ++i) emit("\t");
+    emit(text);
+    emit("\n");
+  }
+
+  void emit(std::string_view s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::string identifier() {
+    std::string id(kNouns[rng_.below(std::size(kNouns))]);
+    if (rng_.chance(0.3)) {
+      id += '_';
+      id += kNouns[rng_.below(std::size(kNouns))];
+    }
+    return id;
+  }
+
+  std::string function_name(std::string_view module) {
+    std::string fn(module);
+    fn += '_';
+    fn += kVerbs[rng_.below(std::size(kVerbs))];
+    if (rng_.chance(0.4)) {
+      fn += '_';
+      fn += kNouns[rng_.below(std::size(kNouns))];
+    }
+    return fn;
+  }
+
+  void file_header(std::string_view module) {
+    emit("/*\n * ");
+    emit(module);
+    emit(".c - ");
+    emit(kVerbs[rng_.below(std::size(kVerbs))]);
+    emit(" routines for the ");
+    emit(module);
+    emit(" subsystem.\n *\n * Copyright (c) 1995\n */\n\n");
+    const std::size_t n_headers =
+        static_cast<std::size_t>(rng_.between(3, 7));
+    for (std::size_t i = 0; i < n_headers; ++i) {
+      emit("#include ");
+      emit(kHeaders[rng_.below(std::size(kHeaders))]);
+      emit("\n");
+    }
+    emit("\n");
+  }
+
+  void globals(std::string_view module) {
+    const std::size_t n = static_cast<std::size_t>(rng_.between(1, 4));
+    for (std::size_t i = 0; i < n; ++i) {
+      emit("static ");
+      emit(kTypes[rng_.below(std::size(kTypes))]);
+      emit(" ");
+      emit(module);
+      emit("_");
+      emit(identifier());
+      if (rng_.chance(0.5)) emit(" = 0");
+      emit(";\n");
+    }
+    emit("\n");
+  }
+
+  void function(std::string_view module) {
+    const std::string fn = function_name(module);
+    const std::string arg1 = identifier();
+    const std::string arg2 = identifier();
+    emit(kTypes[rng_.below(std::size(kTypes))]);
+    emit("\n");
+    emit(fn);
+    emit("(");
+    emit(kTypes[rng_.below(std::size(kTypes))]);
+    emit(" ");
+    emit(arg1);
+    emit(", int ");
+    emit(arg2);
+    emit(")\n{\n");
+    line("int i, error = 0;", 1);
+    const std::string local = identifier();
+    emit("\t");
+    emit(kTypes[rng_.below(std::size(kTypes))]);
+    emit(" ");
+    emit(local);
+    emit(";\n\n");
+
+    const std::size_t stmts = static_cast<std::size_t>(rng_.between(2, 6));
+    for (std::size_t s = 0; s < stmts; ++s) {
+      switch (rng_.below(5)) {
+        case 0:
+          emit("\tif (" + arg1 + " == NULL)\n\t\treturn (EINVAL);\n");
+          break;
+        case 1:
+          emit("\tfor (i = 0; i < " + arg2 + "; i++) {\n");
+          emit("\t\tif (" + local + "[i] != 0)\n");
+          emit("\t\t\tcontinue;\n");
+          emit("\t\t" + local + "[i] = " + arg1 + ";\n");
+          emit("\t}\n");
+          break;
+        case 2:
+          emit("\t" + local + " = " + module_call(module) + "(" + arg1 +
+               ", " + arg2 + ");\n");
+          emit("\tif (" + local + " == NULL) {\n");
+          emit("\t\terror = ENOMEM;\n");
+          emit("\t\tgoto out;\n");
+          emit("\t}\n");
+          break;
+        case 3:
+          emit("\tbcopy(" + arg1 + ", " + local + ", sizeof(" + local +
+               "));\n");
+          break;
+        default:
+          emit("\t" + arg2 + " += sizeof(struct " + std::string(module) +
+               ");\n");
+          break;
+      }
+    }
+    emit("out:\n\treturn (error);\n}\n\n");
+  }
+
+ private:
+  std::string module_call(std::string_view module) {
+    return std::string(module) + '_' + std::string(kVerbs[rng_.below(std::size(kVerbs))]);
+  }
+
+  util::Rng& rng_;
+  util::Bytes& out_;
+};
+
+}  // namespace
+
+util::Bytes generate_c_source(util::Rng& rng, std::size_t approx_size) {
+  util::Bytes out;
+  out.reserve(approx_size + 256);
+  SourceWriter w(rng, out);
+
+  const std::string module(kNouns[rng.below(std::size(kNouns))]);
+  w.file_header(module);
+  w.globals(module);
+  while (out.size() < approx_size) w.function(module);
+  return out;
+}
+
+}  // namespace cksum::fsgen

@@ -1,0 +1,24 @@
+// Segment a file into the TCP flow the paper's simulator transfers:
+// fixed-size segments (256 bytes in all the paper's tables) with a
+// runt final segment, sequence numbers advancing by the data length
+// and the IP ID by one per packet.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace cksum::net {
+
+struct FlowConfig {
+  PacketConfig packet;
+  std::size_t segment_size = 256;
+  std::uint32_t initial_seq = 1;
+  std::uint16_t initial_ip_id = 1;
+};
+
+/// All data segments of one file transfer, in order. An empty file
+/// produces no packets.
+std::vector<Packet> segment_file(const FlowConfig& cfg, util::ByteView file);
+
+}  // namespace cksum::net

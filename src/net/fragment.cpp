@@ -1,0 +1,84 @@
+#include "net/fragment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cksum::net {
+
+util::Bytes Fragment::to_bytes() const {
+  util::Bytes out(kIpv4HeaderLen + payload.size());
+  header.write(out.data());
+  std::copy(payload.begin(), payload.end(), out.begin() + kIpv4HeaderLen);
+  return out;
+}
+
+std::vector<Fragment> fragment_datagram(util::ByteView ip_datagram,
+                                        std::size_t mtu) {
+  if (mtu < kIpv4HeaderLen + 8)
+    throw std::invalid_argument("fragment_datagram: mtu too small");
+  const auto hdr = Ipv4Header::parse(ip_datagram);
+  if (!hdr || ip_datagram.size() < hdr->total_length)
+    throw std::invalid_argument("fragment_datagram: bad datagram");
+
+  const util::ByteView payload =
+      ip_datagram.subspan(kIpv4HeaderLen, hdr->total_length - kIpv4HeaderLen);
+  // Per-fragment payload: largest multiple of 8 fitting the MTU.
+  const std::size_t unit = (mtu - kIpv4HeaderLen) / 8 * 8;
+
+  std::vector<Fragment> out;
+  std::size_t off = 0;
+  while (off < payload.size() || (payload.empty() && off == 0)) {
+    const std::size_t len = std::min(unit, payload.size() - off);
+    Fragment frag;
+    frag.header = *hdr;  // flags (incl. DF) are replaced below
+    const bool last = off + len >= payload.size();
+    frag.header.frag_off = static_cast<std::uint16_t>(
+        (off / 8) | (last ? 0x0000 : 0x2000));
+    frag.header.total_length =
+        static_cast<std::uint16_t>(kIpv4HeaderLen + len);
+    frag.header.header_checksum = 0;
+    frag.header.header_checksum = frag.header.compute_checksum();
+    frag.payload.assign(payload.begin() + off, payload.begin() + off + len);
+    out.push_back(std::move(frag));
+    off += len;
+    if (payload.empty()) break;
+  }
+  return out;
+}
+
+std::optional<util::Bytes> reassemble(std::vector<Fragment> fragments) {
+  if (fragments.empty()) return std::nullopt;
+  std::sort(fragments.begin(), fragments.end(),
+            [](const Fragment& a, const Fragment& b) {
+              return a.offset_bytes() < b.offset_bytes();
+            });
+
+  // Structural checks: tiling with no gaps, exactly one final
+  // fragment, at the end.
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    const Fragment& f = fragments[i];
+    if (f.offset_bytes() != expect) return std::nullopt;
+    const bool is_last_slot = i + 1 == fragments.size();
+    if (f.more_fragments() == is_last_slot) return std::nullopt;
+    expect += f.payload.size();
+  }
+
+  // Rebuild: first fragment's header, recomputed length/flags.
+  Ipv4Header hdr = fragments.front().header;
+  hdr.frag_off = 0;
+  hdr.total_length = static_cast<std::uint16_t>(kIpv4HeaderLen + expect);
+  hdr.header_checksum = 0;
+  hdr.header_checksum = hdr.compute_checksum();
+
+  util::Bytes out(kIpv4HeaderLen + expect);
+  hdr.write(out.data());
+  std::size_t at = kIpv4HeaderLen;
+  for (const Fragment& f : fragments) {
+    std::copy(f.payload.begin(), f.payload.end(), out.begin() + at);
+    at += f.payload.size();
+  }
+  return out;
+}
+
+}  // namespace cksum::net

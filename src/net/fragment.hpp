@@ -1,0 +1,48 @@
+// IPv4 fragmentation and reassembly — the paper's abstract extends the
+// splice analysis to "fragmentation-and-reassembly error models": when
+// a host confuses fragments of two datagrams (stale reassembly state,
+// colliding IP IDs), the rebuilt datagram mixes fragment payloads the
+// same way an AAL5 splice mixes cells, and the checksum contribution
+// of each fragment is coloured by its offset.
+//
+// Fragment payload sizes are multiples of 8 bytes (the IP fragment
+// offset unit), as required by RFC 791.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+
+namespace cksum::net {
+
+struct Fragment {
+  Ipv4Header header;   ///< offset/MF set; per-fragment length + checksum
+  util::Bytes payload; ///< this fragment's slice of the original payload
+
+  std::size_t offset_bytes() const noexcept {
+    return static_cast<std::size_t>(header.frag_off & 0x1fff) * 8;
+  }
+  bool more_fragments() const noexcept {
+    return (header.frag_off & 0x2000) != 0;
+  }
+
+  /// Serialise to a wire datagram (header + payload).
+  util::Bytes to_bytes() const;
+};
+
+/// Fragment an IP datagram into fragments whose payloads are at most
+/// `mtu - 20` bytes (rounded down to a multiple of 8 except for the
+/// last fragment). `mtu` must allow at least 8 payload bytes.
+std::vector<Fragment> fragment_datagram(util::ByteView ip_datagram,
+                                        std::size_t mtu);
+
+/// Reassemble fragments (any order) into the original datagram.
+/// Returns nullopt if the fragments do not tile a complete datagram
+/// (gaps, overlaps with disagreeing lengths, missing last fragment).
+/// NOTE: like a real stack, reassembly only checks structure — it
+/// cannot tell whose fragments these were. That is the error model.
+std::optional<util::Bytes> reassemble(std::vector<Fragment> fragments);
+
+}  // namespace cksum::net

@@ -1,0 +1,53 @@
+#include "net/ipv4.hpp"
+
+#include "checksum/internet.hpp"
+
+namespace cksum::net {
+
+void Ipv4Header::write(std::uint8_t* out) const noexcept {
+  out[0] = static_cast<std::uint8_t>((version << 4) | (ihl & 0xf));
+  out[1] = tos;
+  util::store_be16(out + 2, total_length);
+  util::store_be16(out + 4, id);
+  util::store_be16(out + 6, frag_off);
+  out[8] = ttl;
+  out[9] = protocol;
+  util::store_be16(out + 10, header_checksum);
+  util::store_be32(out + 12, src);
+  util::store_be32(out + 16, dst);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(util::ByteView data) noexcept {
+  if (data.size() < kIpv4HeaderLen) return std::nullopt;
+  Ipv4Header h;
+  h.version = static_cast<std::uint8_t>(data[0] >> 4);
+  h.ihl = static_cast<std::uint8_t>(data[0] & 0xf);
+  h.tos = data[1];
+  h.total_length = util::load_be16(data.data() + 2);
+  h.id = util::load_be16(data.data() + 4);
+  h.frag_off = util::load_be16(data.data() + 6);
+  h.ttl = data[8];
+  h.protocol = data[9];
+  h.header_checksum = util::load_be16(data.data() + 10);
+  h.src = util::load_be32(data.data() + 12);
+  h.dst = util::load_be32(data.data() + 16);
+  return h;
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const noexcept {
+  std::uint8_t raw[kIpv4HeaderLen];
+  Ipv4Header copy = *this;
+  copy.header_checksum = 0;
+  copy.write(raw);
+  return alg::internet_checksum(util::ByteView(raw, kIpv4HeaderLen));
+}
+
+bool ipv4_checksum_ok(util::ByteView raw_header) noexcept {
+  if (raw_header.size() < kIpv4HeaderLen) return false;
+  // A correct header sums to exactly 0xFFFF (a fold of 0x0000 would
+  // require every byte to be zero, which version/protocol rule out,
+  // but we don't accept it anyway).
+  return alg::internet_sum(raw_header.first(kIpv4HeaderLen)) == 0xffff;
+}
+
+}  // namespace cksum::net

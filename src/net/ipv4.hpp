@@ -1,0 +1,44 @@
+// Minimal IPv4 header model (20 bytes, no options) — enough to build
+// the loopback FTP packets the paper's simulator generates and to run
+// the receiver-side syntactic checks that gate the checksum tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace cksum::net {
+
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // header length in 32-bit words
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t id = 0;
+  std::uint16_t frag_off = 0;  // flags + fragment offset
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;  // TCP
+  std::uint16_t header_checksum = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  /// Serialise into exactly kIpv4HeaderLen bytes at `out`.
+  void write(std::uint8_t* out) const noexcept;
+
+  /// Parse from a buffer; returns nullopt if too short.
+  static std::optional<Ipv4Header> parse(util::ByteView data) noexcept;
+
+  /// Internet checksum of the serialised header with the checksum
+  /// field zeroed (the value the header_checksum field should hold).
+  std::uint16_t compute_checksum() const noexcept;
+};
+
+/// Validate a parsed header's checksum against `raw` (the 20 wire
+/// bytes): the ones-complement sum over the header must be congruent
+/// to 0xFFFF.
+bool ipv4_checksum_ok(util::ByteView raw_header) noexcept;
+
+}  // namespace cksum::net

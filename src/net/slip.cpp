@@ -1,0 +1,64 @@
+#include "net/slip.hpp"
+
+namespace cksum::net {
+
+void slip_frame_append(util::Bytes& line, util::ByteView datagram) {
+  line.push_back(kSlipEnd);  // flush any accumulated line noise
+  for (std::uint8_t byte : datagram) {
+    switch (byte) {
+      case kSlipEnd:
+        line.push_back(kSlipEsc);
+        line.push_back(kSlipEscEnd);
+        break;
+      case kSlipEsc:
+        line.push_back(kSlipEsc);
+        line.push_back(kSlipEscEsc);
+        break;
+      default:
+        line.push_back(byte);
+    }
+  }
+  line.push_back(kSlipEnd);
+}
+
+util::Bytes slip_frame(util::ByteView datagram) {
+  util::Bytes out;
+  out.reserve(datagram.size() + 16);
+  slip_frame_append(out, datagram);
+  return out;
+}
+
+std::vector<util::Bytes> slip_deframe(util::ByteView line) {
+  std::vector<util::Bytes> frames;
+  util::Bytes current;
+  bool escaped = false;
+  for (std::uint8_t byte : line) {
+    if (escaped) {
+      if (byte == kSlipEscEnd) {
+        current.push_back(kSlipEnd);
+      } else if (byte == kSlipEscEsc) {
+        current.push_back(kSlipEsc);
+      } else {
+        // Protocol violation: RFC 1055 suggests leaving the byte in
+        // the packet and letting higher layers catch it.
+        current.push_back(byte);
+      }
+      escaped = false;
+      continue;
+    }
+    if (byte == kSlipEsc) {
+      escaped = true;
+      continue;
+    }
+    if (byte == kSlipEnd) {
+      if (!current.empty()) frames.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(byte);
+  }
+  if (!current.empty()) frames.push_back(std::move(current));
+  return frames;
+}
+
+}  // namespace cksum::net

@@ -1,0 +1,38 @@
+// SLIP framing (RFC 1055) — the link the paper singles out in §7:
+// "The TCP checksum is the primary method of error detection over SLIP
+// and Compressed SLIP links. (That's probably not wise)."
+//
+// SLIP has no link CRC at all: frames are delimited by the END byte
+// (0xC0), with ESC sequences for payload occurrences. A line error
+// that corrupts a data byte goes straight to the TCP checksum; one
+// that corrupts an END or forges one *splices or splits frames* — the
+// serial-line cousin of the AAL5 cell splice. bench_slip measures how
+// much of that the TCP checksum actually catches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cksum::net {
+
+inline constexpr std::uint8_t kSlipEnd = 0xC0;
+inline constexpr std::uint8_t kSlipEsc = 0xDB;
+inline constexpr std::uint8_t kSlipEscEnd = 0xDC;
+inline constexpr std::uint8_t kSlipEscEsc = 0xDD;
+
+/// Frame one datagram (leading END flushes line noise, per RFC 1055).
+util::Bytes slip_frame(util::ByteView datagram);
+
+/// Append a framed datagram to an existing line stream.
+void slip_frame_append(util::Bytes& line, util::ByteView datagram);
+
+/// Deframe a line stream into datagrams. Tolerates noise the way RFC
+/// 1055 receivers do: empty frames are discarded; a dangling ESC
+/// yields the following byte verbatim (the RFC's "leave it be"
+/// behaviour). Returns every non-empty frame, corrupted or not — the
+/// caller's checks must sort them out.
+std::vector<util::Bytes> slip_deframe(util::ByteView line);
+
+}  // namespace cksum::net

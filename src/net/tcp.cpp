@@ -1,0 +1,41 @@
+#include "net/tcp.hpp"
+
+namespace cksum::net {
+
+void TcpHeader::write(std::uint8_t* out) const noexcept {
+  util::store_be16(out, src_port);
+  util::store_be16(out + 2, dst_port);
+  util::store_be32(out + 4, seq);
+  util::store_be32(out + 8, ack);
+  out[12] = static_cast<std::uint8_t>((data_offset << 4) | (reserved & 0xf));
+  out[13] = flags;
+  util::store_be16(out + 14, window);
+  util::store_be16(out + 16, checksum);
+  util::store_be16(out + 18, urgent);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(util::ByteView data) noexcept {
+  if (data.size() < kTcpHeaderLen) return std::nullopt;
+  TcpHeader h;
+  h.src_port = util::load_be16(data.data());
+  h.dst_port = util::load_be16(data.data() + 2);
+  h.seq = util::load_be32(data.data() + 4);
+  h.ack = util::load_be32(data.data() + 8);
+  h.data_offset = static_cast<std::uint8_t>(data[12] >> 4);
+  h.reserved = static_cast<std::uint8_t>(data[12] & 0xf);
+  h.flags = data[13];
+  h.window = util::load_be16(data.data() + 14);
+  h.checksum = util::load_be16(data.data() + 16);
+  h.urgent = util::load_be16(data.data() + 18);
+  return h;
+}
+
+void PseudoHeader::write(std::uint8_t* out) const noexcept {
+  util::store_be32(out, src);
+  util::store_be32(out + 4, dst);
+  out[8] = 0;
+  out[9] = protocol;
+  util::store_be16(out + 10, tcp_length);
+}
+
+}  // namespace cksum::net

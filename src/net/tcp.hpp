@@ -1,0 +1,51 @@
+// Minimal TCP header model (20 bytes, no options) plus the
+// pseudo-header summation used by the transport checksums.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace cksum::net {
+
+inline constexpr std::size_t kTcpHeaderLen = 20;
+
+namespace tcpflag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+inline constexpr std::uint8_t kUrg = 0x20;
+}  // namespace tcpflag
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // in 32-bit words
+  std::uint8_t reserved = 0;     // 4 reserved bits (must be zero)
+  std::uint8_t flags = tcpflag::kAck;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  void write(std::uint8_t* out) const noexcept;
+  static std::optional<TcpHeader> parse(util::ByteView data) noexcept;
+};
+
+/// The 12-byte TCP pseudo-header: src addr, dst addr, zero, protocol,
+/// TCP segment length. Returned serialised for checksum coverage.
+struct PseudoHeader {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t protocol = 6;
+  std::uint16_t tcp_length = 0;
+
+  static constexpr std::size_t kLen = 12;
+  void write(std::uint8_t* out) const noexcept;
+};
+
+}  // namespace cksum::net

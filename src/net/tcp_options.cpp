@@ -1,0 +1,92 @@
+#include "net/tcp_options.hpp"
+
+#include <stdexcept>
+
+namespace cksum::net {
+
+namespace {
+constexpr std::uint8_t kEol = 0;
+constexpr std::uint8_t kNop = 1;
+constexpr std::uint8_t kMss = 2;
+constexpr std::uint8_t kAltRequest = 14;
+constexpr std::uint8_t kAltData = 15;
+constexpr std::size_t kMaxOptionArea = 40;  // data offset caps at 15 words
+}  // namespace
+
+void TcpOptionList::add_mss(std::uint16_t mss) {
+  TcpOption opt;
+  opt.kind = kMss;
+  opt.data.resize(2);
+  util::store_be16(opt.data.data(), mss);
+  opts_.push_back(std::move(opt));
+}
+
+void TcpOptionList::add_alt_checksum_request(AltChecksum number) {
+  TcpOption opt;
+  opt.kind = kAltRequest;
+  opt.data.push_back(static_cast<std::uint8_t>(number));
+  opts_.push_back(std::move(opt));
+}
+
+void TcpOptionList::add_alt_checksum_data(util::ByteView value) {
+  TcpOption opt;
+  opt.kind = kAltData;
+  opt.data.assign(value.begin(), value.end());
+  opts_.push_back(std::move(opt));
+}
+
+void TcpOptionList::add_nop() {
+  TcpOption opt;
+  opt.kind = kNop;
+  opts_.push_back(std::move(opt));
+}
+
+util::Bytes TcpOptionList::serialize() const {
+  util::Bytes out;
+  for (const TcpOption& opt : opts_) {
+    if (opt.kind == kNop) {
+      out.push_back(kNop);
+      continue;
+    }
+    out.push_back(opt.kind);
+    out.push_back(static_cast<std::uint8_t>(2 + opt.data.size()));
+    out.insert(out.end(), opt.data.begin(), opt.data.end());
+  }
+  while (out.size() % 4 != 0) out.push_back(kEol);
+  if (out.size() > kMaxOptionArea)
+    throw std::length_error("TcpOptionList: options exceed 40 bytes");
+  return out;
+}
+
+std::optional<TcpOptionList> TcpOptionList::parse(util::ByteView area) {
+  TcpOptionList list;
+  std::size_t i = 0;
+  while (i < area.size()) {
+    const std::uint8_t kind = area[i];
+    if (kind == kEol) break;
+    if (kind == kNop) {
+      list.add_nop();
+      ++i;
+      continue;
+    }
+    if (i + 1 >= area.size()) return std::nullopt;
+    const std::uint8_t len = area[i + 1];
+    if (len < 2 || i + len > area.size()) return std::nullopt;
+    TcpOption opt;
+    opt.kind = kind;
+    opt.data.assign(area.begin() + i + 2, area.begin() + i + len);
+    list.opts_.push_back(std::move(opt));
+    i += len;
+  }
+  return list;
+}
+
+std::optional<AltChecksum> TcpOptionList::requested_alt_checksum() const {
+  for (const TcpOption& opt : opts_) {
+    if (opt.kind == kAltRequest && opt.data.size() == 1)
+      return static_cast<AltChecksum>(opt.data[0]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace cksum::net

@@ -1,0 +1,56 @@
+// OSI TP4 (ISO 8073) data TPDU with the Fletcher checksum parameter —
+// the protocol Fletcher's sum was actually standardised for ("The
+// version used for the TP4 checksum and in this paper uses 8-bit
+// chunks", paper §2).
+//
+// Simplified DT TPDU layout (class 4, normal format):
+//
+//   LI        1   header length (excluding LI itself)
+//   code      1   0xF0 (DT)
+//   DST-REF   2
+//   NR/EOT    1   sequence number, top bit = end of TSDU
+//   variable part: parameters {code, length, value...}
+//     0xC3 2 X Y  the checksum parameter (two Fletcher octets)
+//   user data follows the header
+//
+// The checksum covers the ENTIRE TPDU (header including LI + data)
+// and is "sum-to-zero": the two octets are solved so both running
+// sums vanish — ISO 8073 Annex D, identical algebra to our
+// fletcher_check_bytes. Note the parameter sits in the *header*, so a
+// TP4-over-AAL5 splice has exactly the fate-sharing the paper's §5.3
+// identifies for TCP header checksums.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "checksum/fletcher.hpp"
+#include "util/bytes.hpp"
+
+namespace cksum::net {
+
+inline constexpr std::uint8_t kTp4DtCode = 0xF0;
+inline constexpr std::uint8_t kTp4ChecksumParam = 0xC3;
+
+struct Tp4Dt {
+  std::uint16_t dst_ref = 0;
+  std::uint8_t seq = 0;       ///< TPDU-NR (7 bits)
+  bool end_of_tsdu = false;   ///< EOT bit
+  util::Bytes user_data;
+};
+
+/// Build a DT TPDU with the checksum parameter solved sum-to-zero.
+/// `mod` selects ones-complement (the standard's arithmetic) or
+/// twos-complement Fletcher.
+util::Bytes build_tp4_dt(const Tp4Dt& dt,
+                         alg::FletcherMod mod = alg::FletcherMod::kOnes255);
+
+/// Parse and structurally validate a DT TPDU (without checksumming).
+std::optional<Tp4Dt> parse_tp4_dt(util::ByteView tpdu);
+
+/// Verify the Fletcher checksum parameter over the whole TPDU.
+/// Returns false if the TPDU is malformed or lacks the parameter.
+bool verify_tp4_checksum(util::ByteView tpdu,
+                         alg::FletcherMod mod = alg::FletcherMod::kOnes255);
+
+}  // namespace cksum::net

@@ -1,0 +1,46 @@
+// UDP header and checksum — the third user of the Internet checksum
+// the paper names ("the Internet checksum used for IP, TCP, and UDP").
+// UDP adds a wrinkle the paper's "two zeros" discussion touches: a
+// computed checksum of 0x0000 is transmitted as 0xFFFF (they are the
+// same ones-complement value), because an all-zero field means "no
+// checksum".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv4.hpp"
+#include "util/bytes.hpp"
+
+namespace cksum::net {
+
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< header + payload
+  std::uint16_t checksum = 0;
+
+  void write(std::uint8_t* out) const noexcept;
+  static std::optional<UdpHeader> parse(util::ByteView data) noexcept;
+};
+
+/// Build a UDP/IPv4 datagram. `with_checksum=false` transmits a zero
+/// checksum field (checksumming disabled, as UDP permits).
+util::Bytes build_udp_datagram(std::uint32_t src_addr, std::uint32_t dst_addr,
+                               std::uint16_t src_port, std::uint16_t dst_port,
+                               util::ByteView payload,
+                               bool with_checksum = true,
+                               std::uint16_t ip_id = 1);
+
+enum class UdpCheckResult {
+  kValid,
+  kInvalid,
+  kDisabled,  ///< checksum field was zero: nothing to verify
+};
+
+/// Verify a received UDP/IPv4 datagram's UDP checksum.
+UdpCheckResult verify_udp_datagram(util::ByteView ip_datagram);
+
+}  // namespace cksum::net

@@ -1,0 +1,33 @@
+#include "net/validate.hpp"
+
+#include "net/ipv4.hpp"
+#include "net/tcp.hpp"
+
+namespace cksum::net {
+
+HeaderCheck check_headers(util::ByteView data, std::size_t aal5_length,
+                          bool require_ip_checksum, bool legacy95) noexcept {
+  if (data.size() < kIpv4HeaderLen + kTcpHeaderLen ||
+      aal5_length < kIpv4HeaderLen + kTcpHeaderLen)
+    return HeaderCheck::kTooShort;
+
+  const auto ip = Ipv4Header::parse(data);
+  if (!ip) return HeaderCheck::kTooShort;
+  if (!legacy95) {
+    if (ip->version != 4) return HeaderCheck::kBadVersion;
+    if (ip->ihl != 5) return HeaderCheck::kBadIhl;
+  }
+  if (ip->total_length != aal5_length) return HeaderCheck::kLengthMismatch;
+  if (ip->protocol != 6) return HeaderCheck::kBadProtocol;
+  if (require_ip_checksum && !ipv4_checksum_ok(data))
+    return HeaderCheck::kBadIpChecksum;
+
+  const auto tcp = TcpHeader::parse(data.subspan(kIpv4HeaderLen));
+  if (!tcp) return HeaderCheck::kTooShort;
+  if (tcp->data_offset != 5) return HeaderCheck::kBadTcpOffset;
+  if (tcp->reserved != 0) return HeaderCheck::kBadTcpReserved;
+
+  return HeaderCheck::kOk;
+}
+
+}  // namespace cksum::net

@@ -1,0 +1,54 @@
+// Receiver-side syntactic header checks — the paper's "Caught by
+// Header" gate. A splice only gets to exercise the CRC or checksum if
+// these all pass:
+//  1. the reassembled PDU's first bytes parse as an IPv4 + TCP header
+//     of the expected shape;
+//  2. the IP total length is consistent with the AAL5 length carried
+//     in the last cell;
+//  3. the IP header checksum verifies (when the simulation fills it).
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace cksum::net {
+
+enum class HeaderCheck {
+  kOk,
+  kTooShort,
+  kBadVersion,
+  kBadIhl,
+  kLengthMismatch,   // IP total_length != AAL5 length
+  kBadProtocol,
+  kBadIpChecksum,
+  kBadTcpOffset,
+  kBadTcpReserved,
+};
+
+constexpr std::string_view to_string(HeaderCheck c) noexcept {
+  switch (c) {
+    case HeaderCheck::kOk: return "ok";
+    case HeaderCheck::kTooShort: return "too-short";
+    case HeaderCheck::kBadVersion: return "bad-version";
+    case HeaderCheck::kBadIhl: return "bad-ihl";
+    case HeaderCheck::kLengthMismatch: return "length-mismatch";
+    case HeaderCheck::kBadProtocol: return "bad-protocol";
+    case HeaderCheck::kBadIpChecksum: return "bad-ip-checksum";
+    case HeaderCheck::kBadTcpOffset: return "bad-tcp-offset";
+    case HeaderCheck::kBadTcpReserved: return "bad-tcp-reserved";
+  }
+  return "?";
+}
+
+/// Run the header checks over the first bytes of a reassembled PDU.
+/// `aal5_length` is the length field from the AAL5 trailer;
+/// `require_ip_checksum` matches PacketConfig::fill_ip_header (the
+/// SIGCOMM '95 simulator had no IP checksum to check — §6.2).
+/// `legacy95` additionally drops the version/ihl checks, emulating
+/// that simulator's minimal syntactic checks.
+HeaderCheck check_headers(util::ByteView pdu_payload_prefix,
+                          std::size_t aal5_length, bool require_ip_checksum,
+                          bool legacy95 = false) noexcept;
+
+}  // namespace cksum::net

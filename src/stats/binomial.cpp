@@ -1,0 +1,24 @@
+#include "stats/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cksum::stats {
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z) {
+  if (trials == 0) return {0.0, 0.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  Interval out;
+  out.lo = std::max(0.0, (centre - spread) / denom);
+  out.hi = std::min(1.0, (centre + spread) / denom);
+  return out;
+}
+
+}  // namespace cksum::stats

@@ -1,0 +1,22 @@
+// Binomial proportion confidence intervals for the miss-rate tables.
+//
+// Splice misses are Bernoulli trials over the remaining splices; the
+// Wilson score interval behaves sensibly even at the tiny counts the
+// CRC rows produce (where the normal approximation collapses).
+#pragma once
+
+#include <cstdint>
+
+namespace cksum::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion. `z` is the normal
+/// quantile (1.96 for 95%). Returns [0,0] for zero trials.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96);
+
+}  // namespace cksum::stats

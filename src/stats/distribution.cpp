@@ -1,0 +1,106 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/fft.hpp"
+
+namespace cksum::stats {
+
+Distribution Distribution::uniform(std::size_t m) {
+  Distribution d(m);
+  const double p = 1.0 / static_cast<double>(m);
+  std::fill(d.p_.begin(), d.p_.end(), p);
+  return d;
+}
+
+Distribution Distribution::point(std::size_t m, std::size_t value) {
+  Distribution d(m);
+  d.p_.at(value) = 1.0;
+  return d;
+}
+
+Distribution Distribution::from_histogram(const Histogram& h) {
+  return Distribution(h.pdf());
+}
+
+Distribution::Distribution(std::vector<double> weights) : p_(std::move(weights)) {
+  double total = 0.0;
+  for (double w : p_) {
+    if (w < 0.0) throw std::invalid_argument("Distribution: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Distribution: zero total mass");
+  for (double& w : p_) w /= total;
+}
+
+double Distribution::pmax() const {
+  return *std::max_element(p_.begin(), p_.end());
+}
+
+double Distribution::pmin() const {
+  return *std::min_element(p_.begin(), p_.end());
+}
+
+double Distribution::match_probability() const {
+  double s = 0.0;
+  for (double p : p_) s += p * p;
+  return s;
+}
+
+double Distribution::offset_match_probability(std::size_t delta) const {
+  const std::size_t m = p_.size();
+  delta %= m;
+  double s = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    // P[X = i] * P[Y = i - δ mod m]
+    s += p_[i] * p_[(i + m - delta) % m];
+  }
+  return s;
+}
+
+Distribution Distribution::add(const Distribution& other) const {
+  if (other.size() != size())
+    throw std::invalid_argument("Distribution::add: modulus mismatch");
+  Distribution out(size());
+  out.p_ = cyclic_convolve(p_, other.p_);
+  // Renormalise away FFT rounding drift.
+  double total = 0.0;
+  for (double p : out.p_) total += p;
+  for (double& p : out.p_) p /= total;
+  return out;
+}
+
+Distribution Distribution::self_convolve(std::size_t k) const {
+  if (k == 0)
+    throw std::invalid_argument("Distribution::self_convolve: k must be >= 1");
+  // Square-and-multiply on the exponent.
+  Distribution base = *this;
+  Distribution result = *this;
+  bool have_result = false;
+  while (k != 0) {
+    if (k & 1u) {
+      result = have_result ? result.add(base) : base;
+      have_result = true;
+    }
+    k >>= 1;
+    if (k != 0) base = base.add(base);
+  }
+  return result;
+}
+
+std::vector<double> Distribution::sorted() const {
+  std::vector<double> out = p_;
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+double Distribution::tv_distance_from_uniform() const {
+  const double u = 1.0 / static_cast<double>(p_.size());
+  double s = 0.0;
+  for (double p : p_) s += std::abs(p - u);
+  return 0.5 * s;
+}
+
+}  // namespace cksum::stats

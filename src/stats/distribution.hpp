@@ -1,0 +1,67 @@
+// Discrete probability distributions over Z_M (checksum value spaces)
+// and the operations the paper's analysis needs:
+//
+//  * k-fold cyclic self-convolution — the iid "Predict" model of
+//    Equation 1 and the dotted lines in Figure 2;
+//  * match probability P[X == Y] = Σ pᵢ² and offset-match probability
+//    P[X − Y ≡ δ] — the quantities in Tables 4–6 and Lemma 9;
+//  * PMax / PMin — the quantities Lemmas 1–2 and Theorem 4 (the
+//    central-limit theorem mod M) reason about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace cksum::stats {
+
+class Distribution {
+ public:
+  /// Uniform distribution over M values.
+  static Distribution uniform(std::size_t m);
+
+  /// Point mass at `value`.
+  static Distribution point(std::size_t m, std::size_t value);
+
+  /// Normalised from a histogram (histogram bins define M).
+  static Distribution from_histogram(const Histogram& h);
+
+  /// From raw weights (normalised; weights must be non-negative and
+  /// not all zero).
+  explicit Distribution(std::vector<double> weights);
+
+  std::size_t size() const noexcept { return p_.size(); }
+  double operator[](std::size_t i) const { return p_.at(i); }
+  const std::vector<double>& probabilities() const noexcept { return p_; }
+
+  double pmax() const;
+  double pmin() const;
+
+  /// P[X == Y] for independent X, Y ~ this.
+  double match_probability() const;
+
+  /// P[X − Y ≡ δ (mod M)] for independent X, Y ~ this.
+  /// δ = 0 reduces to match_probability(). Lemma 9: the result is
+  /// maximised at δ = 0 for every distribution.
+  double offset_match_probability(std::size_t delta) const;
+
+  /// Distribution of (X + Y) mod M, X ~ this, Y ~ other (independent).
+  Distribution add(const Distribution& other) const;
+
+  /// Distribution of the sum of k iid copies mod M (k >= 1),
+  /// computed by square-and-multiply over cyclic convolution.
+  Distribution self_convolve(std::size_t k) const;
+
+  /// Sorted-by-decreasing-probability view (Figure 2 x-axis).
+  std::vector<double> sorted() const;
+
+  /// Total variation distance to the uniform distribution over M.
+  double tv_distance_from_uniform() const;
+
+ private:
+  explicit Distribution(std::size_t m) : p_(m, 0.0) {}
+  std::vector<double> p_;
+};
+
+}  // namespace cksum::stats

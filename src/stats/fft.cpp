@@ -1,0 +1,96 @@
+#include "stats/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cksum::stats {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0)
+    throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+std::vector<double> cyclic_convolve(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("cyclic_convolve: size mismatch");
+  const std::size_t m = a.size();
+  if (m == 0) return {};
+  const std::size_t n = next_pow2(2 * m);
+
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    fa[i] = a[i];
+    fb[i] = b[i];
+  }
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, true);
+
+  // Linear result has length 2m-1; fold indices >= m back mod m.
+  std::vector<double> out(m, 0.0);
+  for (std::size_t i = 0; i < 2 * m - 1; ++i) {
+    const double v = fa[i].real();
+    out[i % m] += v;
+  }
+  for (double& v : out)
+    if (v < 0.0) v = 0.0;  // FFT rounding noise on zero-probability bins
+  return out;
+}
+
+std::vector<double> cyclic_convolve_direct(const std::vector<double>& a,
+                                           const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("cyclic_convolve_direct: size mismatch");
+  const std::size_t m = a.size();
+  std::vector<double> out(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      out[(i + j) % m] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace cksum::stats

@@ -1,0 +1,30 @@
+// Iterative radix-2 complex FFT, used for the cyclic convolutions in
+// the paper's iid prediction model (Equation 1): the distribution of a
+// sum of k independent cell checksums mod M is the k-fold cyclic
+// convolution of the single-cell distribution. M = 65535 makes the
+// direct O(M²) convolution painful; FFT brings a fold to O(M log M).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace cksum::stats {
+
+/// In-place FFT. `data.size()` must be a power of two.
+/// `inverse` applies the conjugate transform and divides by N.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n) noexcept;
+
+/// Cyclic (mod a.size()) convolution of two equal-length real vectors
+/// via FFT. Negative rounding noise is clamped to zero — inputs are
+/// probability vectors.
+std::vector<double> cyclic_convolve(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// O(M²) reference implementation for tests.
+std::vector<double> cyclic_convolve_direct(const std::vector<double>& a,
+                                           const std::vector<double>& b);
+
+}  // namespace cksum::stats

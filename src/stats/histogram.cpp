@@ -1,0 +1,112 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cksum::stats {
+
+std::vector<double> Histogram::pdf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  const double inv = 1.0 / static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = static_cast<double>(counts_[i]) * inv;
+  return out;
+}
+
+std::vector<double> Histogram::sorted_pdf() const {
+  std::vector<double> out = pdf();
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+std::vector<double> Histogram::sorted_cdf() const {
+  std::vector<double> out = sorted_pdf();
+  double run = 0.0;
+  for (double& p : out) {
+    run += p;
+    p = run;
+  }
+  return out;
+}
+
+double Histogram::pmax() const {
+  if (total_ == 0) return 0.0;
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return static_cast<double>(*it) / static_cast<double>(total_);
+}
+
+double Histogram::pmin() const {
+  if (total_ == 0) return 0.0;
+  const auto it = std::min_element(counts_.begin(), counts_.end());
+  return static_cast<double>(*it) / static_cast<double>(total_);
+}
+
+double Histogram::top_fraction_mass(double fraction) const {
+  if (total_ == 0 || fraction <= 0.0) return 0.0;
+  const auto sorted = sorted_pdf();
+  const auto take = std::min<std::size_t>(
+      sorted.size(),
+      static_cast<std::size_t>(
+          std::ceil(fraction * static_cast<double>(sorted.size()))));
+  double mass = 0.0;
+  for (std::size_t i = 0; i < take; ++i) mass += sorted[i];
+  return mass;
+}
+
+double Histogram::match_probability() const {
+  if (total_ == 0) return 0.0;
+  const double inv = 1.0 / static_cast<double>(total_);
+  double sum = 0.0;
+  for (std::uint64_t c : counts_) {
+    const double p = static_cast<double>(c) * inv;
+    sum += p * p;
+  }
+  return sum;
+}
+
+std::uint32_t Histogram::mode() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return static_cast<std::uint32_t>(it - counts_.begin());
+}
+
+std::size_t Histogram::support_size() const {
+  return static_cast<std::size_t>(
+      std::count_if(counts_.begin(), counts_.end(),
+                    [](std::uint64_t c) { return c > 0; }));
+}
+
+double Histogram::entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  const double inv = 1.0 / static_cast<double>(total_);
+  double h = 0.0;
+  for (std::uint64_t c : counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) * inv;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double Histogram::chi_square_uniform() const {
+  if (total_ == 0 || counts_.empty()) return 0.0;
+  const double expected =
+      static_cast<double>(total_) / static_cast<double>(counts_.size());
+  double stat = 0.0;
+  for (std::uint64_t c : counts_) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size())
+    throw std::invalid_argument("Histogram::merge: bin count mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+}  // namespace cksum::stats

@@ -1,0 +1,131 @@
+#include "stats/uniformity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cksum::stats {
+
+namespace {
+
+/// ln Γ(x) via the Lanczos approximation (g = 7, n = 9 coefficients).
+double lgamma_lanczos(double x) {
+  static constexpr double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(std::numbers::pi / std::sin(std::numbers::pi * x)) -
+           lgamma_lanczos(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * std::numbers::pi) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+/// Series expansion for P(a, x), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  double ap = a;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - lgamma_lanczos(a));
+}
+
+/// Continued fraction for Q(a, x), valid for x >= a + 1 (Lentz).
+double gamma_q_cf(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - lgamma_lanczos(a)) * h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  if (a <= 0.0) throw std::invalid_argument("gamma_p: a must be positive");
+  if (x < 0.0) throw std::invalid_argument("gamma_p: x must be non-negative");
+  if (x == 0.0) return 0.0;
+  return (x < a + 1.0) ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  if (a <= 0.0) throw std::invalid_argument("gamma_q: a must be positive");
+  if (x < 0.0) throw std::invalid_argument("gamma_q: x must be non-negative");
+  if (x == 0.0) return 1.0;
+  return (x < a + 1.0) ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double chi_square_sf(double stat, double dof) {
+  if (stat <= 0.0) return 1.0;
+  return gamma_q(dof / 2.0, stat / 2.0);
+}
+
+double uniformity_p_value(const Histogram& h, double min_expected) {
+  const std::uint64_t total = h.total();
+  const std::size_t bins = h.bins();
+  if (total == 0 || bins < 2) return 1.0;
+
+  const double expected_per_bin =
+      static_cast<double>(total) / static_cast<double>(bins);
+
+  if (expected_per_bin >= min_expected) {
+    return chi_square_sf(h.chi_square_uniform(),
+                         static_cast<double>(bins) - 1.0);
+  }
+
+  // Pool consecutive bins until the expected count per pooled bin is
+  // adequate for the chi-square approximation.
+  const auto pool = static_cast<std::size_t>(
+      std::ceil(min_expected / expected_per_bin));
+  const auto& counts = h.counts();
+  double stat = 0.0;
+  std::size_t groups = 0;
+  std::size_t i = 0;
+  while (i < bins) {
+    const std::size_t end = std::min(bins, i + pool);
+    if (bins - end != 0 && bins - end < pool) {
+      // Avoid a short trailing group: extend this one to the end.
+      std::uint64_t obs = 0;
+      for (std::size_t j = i; j < bins; ++j) obs += counts[j];
+      const double exp_count = expected_per_bin * static_cast<double>(bins - i);
+      const double d = static_cast<double>(obs) - exp_count;
+      stat += d * d / exp_count;
+      ++groups;
+      break;
+    }
+    std::uint64_t obs = 0;
+    for (std::size_t j = i; j < end; ++j) obs += counts[j];
+    const double exp_count = expected_per_bin * static_cast<double>(end - i);
+    const double d = static_cast<double>(obs) - exp_count;
+    stat += d * d / exp_count;
+    ++groups;
+    i = end;
+  }
+  if (groups < 2) return 1.0;
+  return chi_square_sf(stat, static_cast<double>(groups) - 1.0);
+}
+
+}  // namespace cksum::stats

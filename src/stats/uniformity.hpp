@@ -1,0 +1,29 @@
+// Goodness-of-fit machinery: chi-square p-values (via the regularised
+// incomplete gamma function) used by the Theorem 6/7 property tests —
+// "over uniformly distributed data, the TCP / Fletcher checksum is
+// uniformly distributed" — and by the compression experiment, which
+// must show LZW output behaving like uniform data.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/histogram.hpp"
+
+namespace cksum::stats {
+
+/// Regularised lower incomplete gamma P(a, x) = γ(a,x)/Γ(a).
+double gamma_p(double a, double x);
+
+/// Regularised upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Survival probability of a chi-square statistic with `dof` degrees
+/// of freedom: P[X² >= stat]. Small values reject the null hypothesis.
+double chi_square_sf(double stat, double dof);
+
+/// Chi-square test of a histogram against the uniform distribution
+/// over its bins; returns the p-value. Bins with tiny expected counts
+/// are pooled to keep the approximation honest.
+double uniformity_p_value(const Histogram& h, double min_expected = 5.0);
+
+}  // namespace cksum::stats

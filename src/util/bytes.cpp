@@ -1,0 +1,51 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace cksum::util {
+
+std::string to_hex(ByteView data, std::size_t group) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2 + (group ? data.size() / group : 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (group != 0 && i != 0 && i % group == 0) out.push_back(' ');
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  Bytes out;
+  int pending = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int v = hex_value(c);
+    if (v < 0) throw std::invalid_argument("from_hex: bad character");
+    if (pending < 0) {
+      pending = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((pending << 4) | v));
+      pending = -1;
+    }
+  }
+  if (pending >= 0) throw std::invalid_argument("from_hex: odd digit count");
+  return out;
+}
+
+void append(Bytes& out, std::string_view text) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+}  // namespace cksum::util

@@ -1,0 +1,41 @@
+// Non-cryptographic 64-bit content hashing.
+//
+// The splice simulator compares cell payloads billions of times; it
+// keys those comparisons on a 64-bit hash of each 48-byte cell instead
+// of byte-wise comparison. A 64-bit hash over <10^7 cells makes an
+// accidental collision (~1e-5 via birthday bound) negligible next to
+// the effects being measured, and the slow path re-verifies bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace cksum::util {
+
+/// FNV-1a 64-bit. Simple, stable reference hash.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept;
+
+/// Mixed 64-bit hash (FNV-1a core with a murmur-style finalizer) —
+/// stronger avalanche than raw FNV for short inputs like 48-byte cells.
+std::uint64_t hash64(std::span<const std::uint8_t> data) noexcept;
+
+/// Convenience overload for string data.
+std::uint64_t hash64(std::string_view text) noexcept;
+
+/// Murmur3-style finalizer; useful to hash integers / combine hashes.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-dependent combination of two hashes.
+constexpr std::uint64_t combine_hash(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace cksum::util

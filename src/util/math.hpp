@@ -1,0 +1,22 @@
+// Small exact-combinatorics helpers used by the splice enumeration and
+// by the paper's analytic corrections (e.g. the §5.4 cell-colouring
+// factor C(c-2, k)/C(c-1, k)).
+#pragma once
+
+#include <cstdint>
+
+namespace cksum::util {
+
+/// Exact binomial coefficient; saturates arithmetic is not needed for
+/// the small n (< 64) used here.
+constexpr std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+}  // namespace cksum::util

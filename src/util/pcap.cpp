@@ -1,0 +1,45 @@
+#include "util/pcap.hpp"
+
+namespace cksum::util {
+
+namespace {
+
+void put32(std::ostream& out, std::uint32_t v) {
+  // Little-endian on the wire; the 0xa1b2c3d4 magic tells readers the
+  // byte order we chose.
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void put16(std::ostream& out, std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  out.write(reinterpret_cast<const char*>(b), 2);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out) : out_(out) {
+  put32(out_, 0xa1b2c3d4u);  // magic
+  put16(out_, 2);            // version major
+  put16(out_, 4);            // version minor
+  put32(out_, 0);            // thiszone
+  put32(out_, 0);            // sigfigs
+  put32(out_, 65535);        // snaplen
+  put32(out_, 101);          // LINKTYPE_RAW
+}
+
+void PcapWriter::write_packet(ByteView datagram) {
+  const auto ts = static_cast<std::uint32_t>(count_);
+  put32(out_, ts / 1000000u);  // seconds
+  put32(out_, ts % 1000000u);  // microseconds
+  put32(out_, static_cast<std::uint32_t>(datagram.size()));  // captured
+  put32(out_, static_cast<std::uint32_t>(datagram.size()));  // original
+  out_.write(reinterpret_cast<const char*>(datagram.data()),
+             static_cast<std::streamsize>(datagram.size()));
+  ++count_;
+}
+
+}  // namespace cksum::util

@@ -1,0 +1,30 @@
+// Minimal classic-pcap writer (LINKTYPE_RAW: packets are raw IP
+// datagrams), so simulated transfers and splices can be inspected in
+// Wireshark/tcpdump. Timestamps are synthetic (one packet per
+// microsecond) — the simulator has no clock.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "util/bytes.hpp"
+
+namespace cksum::util {
+
+class PcapWriter {
+ public:
+  /// Binds to an output stream and writes the global header.
+  /// LINKTYPE_RAW (101): each record is a raw IPv4/IPv6 datagram.
+  explicit PcapWriter(std::ostream& out);
+
+  /// Append one datagram as a capture record.
+  void write_packet(ByteView datagram);
+
+  std::size_t packets_written() const noexcept { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cksum::util

@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace cksum::util {
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // xoshiro must not be seeded with all-zero state; SplitMix64 never
+  // produces four consecutive zeros, but be defensive anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 top bits -> [0,1) with full double granularity.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+void Rng::fill(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = next();
+    for (int b = 0; b < 8; ++b)
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(word >> (8 * b));
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint64_t word = next();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(word);
+      word >>= 8;
+    }
+  }
+}
+
+std::size_t Rng::run_length(double p_continue, std::size_t cap) noexcept {
+  std::size_t n = 1;
+  while (n < cap && chance(p_continue)) ++n;
+  return n;
+}
+
+std::size_t Rng::pick_weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::child(std::uint64_t stream_id) const noexcept {
+  SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL + stream_id));
+  return Rng(sm.next() ^ stream_id);
+}
+
+}  // namespace cksum::util

@@ -1,0 +1,176 @@
+// AAL5 framing and the splice enumerator.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "atm/aal5.hpp"
+#include "atm/splice.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::atm {
+namespace {
+
+using util::ByteView;
+using util::Bytes;
+
+Bytes random_bytes(std::uint64_t seed, std::size_t n) {
+  Bytes b(n);
+  util::Rng rng(seed);
+  rng.fill(b);
+  return b;
+}
+
+TEST(Aal5, FramingShape) {
+  for (std::size_t len : {1u, 39u, 40u, 41u, 48u, 88u, 296u, 1000u}) {
+    const Bytes payload = random_bytes(len, len);
+    const CpcsPdu pdu = CpcsPdu::frame(ByteView(payload));
+    EXPECT_EQ(pdu.bytes().size() % kCellPayload, 0u);
+    EXPECT_GE(pdu.bytes().size(), len + kAal5TrailerLen);
+    EXPECT_LT(pdu.bytes().size(), len + kAal5TrailerLen + kCellPayload);
+    EXPECT_EQ(pdu.payload_len(), len);
+    EXPECT_EQ(pdu.trailer().length, len);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           pdu.bytes().begin()));
+    EXPECT_TRUE(length_consistent(pdu.num_cells(), len));
+  }
+}
+
+TEST(Aal5, PaddingIsZero) {
+  const Bytes payload = random_bytes(1, 10);
+  const CpcsPdu pdu = CpcsPdu::frame(ByteView(payload));
+  const auto bytes = pdu.bytes();
+  for (std::size_t i = 10; i + kAal5TrailerLen < bytes.size(); ++i)
+    EXPECT_EQ(bytes[i], 0) << i;
+}
+
+TEST(Aal5, CrcChecks) {
+  const Bytes payload = random_bytes(2, 296);
+  const CpcsPdu pdu = CpcsPdu::frame(ByteView(payload));
+  EXPECT_TRUE(crc_ok(pdu.bytes()));
+  EXPECT_TRUE(residue_ok(pdu.bytes()));
+
+  // Any corruption breaks both checks, and they always agree.
+  util::Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    Bytes corrupt(pdu.bytes().begin(), pdu.bytes().end());
+    corrupt[rng.below(corrupt.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    EXPECT_EQ(crc_ok(ByteView(corrupt)), residue_ok(ByteView(corrupt)));
+    EXPECT_FALSE(crc_ok(ByteView(corrupt)));
+  }
+}
+
+TEST(Aal5, CellAccess) {
+  const Bytes payload = random_bytes(4, 100);
+  const CpcsPdu pdu = CpcsPdu::frame(ByteView(payload));
+  ASSERT_EQ(pdu.num_cells(), 3u);  // 108 bytes -> 144 = 3 cells
+  EXPECT_EQ(pdu.cell(0).size(), kCellPayload);
+  EXPECT_TRUE(std::equal(pdu.cell(0).begin(), pdu.cell(0).end(),
+                         payload.begin()));
+}
+
+TEST(Aal5, LengthConsistency) {
+  EXPECT_TRUE(length_consistent(7, 296));
+  EXPECT_FALSE(length_consistent(6, 296));
+  EXPECT_FALSE(length_consistent(8, 296));
+  EXPECT_FALSE(length_consistent(0, 0));
+  EXPECT_FALSE(length_consistent(1, 0));
+  EXPECT_TRUE(length_consistent(1, 40));   // 48 exactly
+  EXPECT_FALSE(length_consistent(1, 41));  // needs 2 cells
+  EXPECT_TRUE(length_consistent(2, 41));
+}
+
+TEST(Aal5, FromBytesValidation) {
+  const CpcsPdu pdu = CpcsPdu::frame(ByteView(random_bytes(5, 64)));
+  Bytes raw(pdu.bytes().begin(), pdu.bytes().end());
+  EXPECT_TRUE(CpcsPdu::from_bytes(raw).has_value());
+  EXPECT_FALSE(CpcsPdu::from_bytes(Bytes(47, 0)).has_value());
+  EXPECT_FALSE(CpcsPdu::from_bytes(Bytes{}).has_value());
+}
+
+TEST(SpliceCount, MatchesPaperCombinatorics) {
+  // Two 7-cell packets: C(12,6) - 1 = 923 splices.
+  EXPECT_EQ(splice_count(7, 7), 923u);
+  // Degenerate shapes.
+  EXPECT_EQ(splice_count(1, 7), 0u);  // pkt1 has no droppable cells
+  EXPECT_EQ(splice_count(2, 1), 0u);  // splice must be exactly 1 cell = pkt2
+  EXPECT_EQ(splice_count(2, 2), 1u);  // keep p1c0 + p2 EOM
+}
+
+class SpliceEnum
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SpliceEnum, EnumerationMatchesCountAndInvariants) {
+  const auto [n1, n2] = GetParam();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::uint64_t count = 0;
+  for_each_splice(n1, n2, [&](const SpliceSpec& s) {
+    ++count;
+    EXPECT_GE(s.k1, 1u);
+    EXPECT_EQ(s.k1 + s.k2, n2 - 1);
+    EXPECT_EQ(static_cast<unsigned>(std::popcount(s.mask1)), s.k1);
+    EXPECT_EQ(static_cast<unsigned>(std::popcount(s.mask2)), s.k2);
+    EXPECT_EQ(s.mask1 >> (n1 - 1), 0u);
+    EXPECT_EQ(s.mask2 >> (n2 - 1), 0u);
+    EXPECT_TRUE(seen.emplace(s.mask1, s.mask2).second) << "duplicate splice";
+  });
+  EXPECT_EQ(count, splice_count(n1, n2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpliceEnum,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{7, 7},
+                      std::pair<std::size_t, std::size_t>{7, 2},
+                      std::pair<std::size_t, std::size_t>{2, 7},
+                      std::pair<std::size_t, std::size_t>{3, 3},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{10, 4}));
+
+TEST(Splice, MaterializeStructure) {
+  const CpcsPdu p1 = CpcsPdu::frame(ByteView(random_bytes(10, 296)));
+  const CpcsPdu p2 = CpcsPdu::frame(ByteView(random_bytes(11, 296)));
+  ASSERT_EQ(p1.num_cells(), 7u);
+
+  SpliceSpec s;
+  s.mask1 = 0b000101;  // p1 cells 0 and 2
+  s.mask2 = 0b110010;  // p2 cells 1, 4, 5
+  s.k1 = 2;
+  s.k2 = 3;
+  const Bytes out = materialize_splice(p1, p2, s);
+  ASSERT_EQ(out.size(), 6 * kCellPayload);
+  auto cell_at = [&](std::size_t i) {
+    return ByteView(out).subspan(i * kCellPayload, kCellPayload);
+  };
+  auto expect_cell = [&](std::size_t pos, const CpcsPdu& src, std::size_t idx) {
+    EXPECT_TRUE(std::equal(cell_at(pos).begin(), cell_at(pos).end(),
+                           src.cell(idx).begin()))
+        << "pos=" << pos;
+  };
+  expect_cell(0, p1, 0);
+  expect_cell(1, p1, 2);
+  expect_cell(2, p2, 1);
+  expect_cell(3, p2, 4);
+  expect_cell(4, p2, 5);
+  expect_cell(5, p2, 6);  // EOM always appended
+}
+
+TEST(Splice, IdentitySpliceReproducesPacket2Tail) {
+  // Keeping nothing from p2 except what replaces p1 entirely:
+  // mask2 = all of p2's data cells with k1 = 1 keeps ordering sane.
+  const CpcsPdu p1 = CpcsPdu::frame(ByteView(random_bytes(12, 296)));
+  const CpcsPdu p2 = CpcsPdu::frame(ByteView(random_bytes(13, 296)));
+  SpliceSpec s;
+  s.mask1 = 0b000001;
+  s.mask2 = 0b011111;  // p2 cells 0..4
+  s.k1 = 1;
+  s.k2 = 5;
+  const Bytes out = materialize_splice(p1, p2, s);
+  // Positions 1..6 equal p2 cells 0..5... position 6 is the EOM (p2
+  // cell 6).
+  EXPECT_TRUE(std::equal(out.begin() + 48, out.end() - 48,
+                         p2.bytes().begin()));
+}
+
+}  // namespace
+}  // namespace cksum::atm

@@ -1,0 +1,262 @@
+// IPv4 fragmentation/reassembly and UDP.
+#include <gtest/gtest.h>
+
+#include "net/fragment.hpp"
+#include "net/packet.hpp"
+#include "net/slip.hpp"
+#include "net/udp.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::net {
+namespace {
+
+using util::ByteView;
+using util::Bytes;
+
+Bytes payload_bytes(std::size_t n, std::uint64_t seed = 1) {
+  Bytes b(n);
+  util::Rng rng(seed);
+  rng.fill(b);
+  return b;
+}
+
+Packet tcp_packet(std::size_t payload_len, std::uint32_t seq = 1) {
+  PacketConfig cfg;
+  const Bytes payload = payload_bytes(payload_len, seq);
+  return build_packet(cfg, seq, static_cast<std::uint16_t>(seq), ByteView(payload));
+}
+
+/// The datagram as reassembly canonically rebuilds it: fragment bits
+/// (including DF, which fragmentation necessarily drops) cleared and
+/// the IP header checksum recomputed.
+Bytes defragmented_form(const Bytes& datagram) {
+  Bytes out = datagram;
+  auto hdr = *Ipv4Header::parse(ByteView(out));
+  hdr.frag_off = 0;
+  hdr.header_checksum = 0;
+  hdr.header_checksum = hdr.compute_checksum();
+  hdr.write(out.data());
+  return out;
+}
+
+class FragmentMtu : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FragmentMtu, RoundTrip) {
+  const std::size_t mtu = GetParam();
+  const Packet pkt = tcp_packet(1472);
+  const auto frags = fragment_datagram(pkt.ip_bytes(), mtu);
+  ASSERT_GE(frags.size(), 2u);
+  // Fragment invariants.
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    EXPECT_LE(frags[i].payload.size() + kIpv4HeaderLen, mtu);
+    if (i + 1 < frags.size()) {
+      EXPECT_TRUE(frags[i].more_fragments());
+      EXPECT_EQ(frags[i].payload.size() % 8, 0u);
+    } else {
+      EXPECT_FALSE(frags[i].more_fragments());
+    }
+    EXPECT_TRUE(ipv4_checksum_ok(ByteView(frags[i].to_bytes())));
+  }
+  const auto rebuilt = reassemble(frags);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(*rebuilt, defragmented_form(pkt.bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtus, FragmentMtu,
+                         ::testing::Values(68, 296, 576, 1006));
+
+TEST(Fragment, NoFragmentationNeededStillRoundTrips) {
+  const Packet pkt = tcp_packet(100);
+  const auto frags = fragment_datagram(pkt.ip_bytes(), 1500);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_FALSE(frags[0].more_fragments());
+  EXPECT_EQ(*reassemble(frags), defragmented_form(pkt.bytes));
+}
+
+TEST(Fragment, ReassemblyRejectsGaps) {
+  const Packet pkt = tcp_packet(1472);
+  auto frags = fragment_datagram(pkt.ip_bytes(), 576);
+  ASSERT_GE(frags.size(), 3u);
+  frags.erase(frags.begin() + 1);
+  EXPECT_FALSE(reassemble(frags).has_value());
+}
+
+TEST(Fragment, ReassemblyRejectsMissingLastFragment) {
+  const Packet pkt = tcp_packet(1472);
+  auto frags = fragment_datagram(pkt.ip_bytes(), 576);
+  frags.pop_back();
+  EXPECT_FALSE(reassemble(frags).has_value());
+}
+
+TEST(Fragment, ReassemblyOrderIndependent) {
+  const Packet pkt = tcp_packet(1472);
+  auto frags = fragment_datagram(pkt.ip_bytes(), 296);
+  std::reverse(frags.begin(), frags.end());
+  EXPECT_EQ(*reassemble(frags), defragmented_form(pkt.bytes));
+}
+
+TEST(Fragment, RejectsTinyMtu) {
+  const Packet pkt = tcp_packet(100);
+  EXPECT_THROW(fragment_datagram(pkt.ip_bytes(), 24), std::invalid_argument);
+}
+
+TEST(Fragment, SubstitutionPreservesStructureButCorruptsData) {
+  // The error model: same-offset fragments of two adjacent datagrams
+  // get confused. The result reassembles fine structurally — only the
+  // transport checksum can notice.
+  const Packet p1 = tcp_packet(1472, 1);
+  const Packet p2 = tcp_packet(1472, 1473);
+  auto f1 = fragment_datagram(p1.ip_bytes(), 576);
+  const auto f2 = fragment_datagram(p2.ip_bytes(), 576);
+  ASSERT_EQ(f1.size(), f2.size());
+  f1[1] = f2[1];  // middle fragment swapped
+  const auto rebuilt = reassemble(f1);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_NE(*rebuilt, p1.bytes);
+  // Structure is fine; the TCP checksum must catch this mix (random
+  // payloads -> sums differ).
+  PacketConfig cfg;
+  EXPECT_TRUE(ipv4_checksum_ok(ByteView(*rebuilt)));
+  EXPECT_FALSE(verify_transport_checksum(cfg, ByteView(*rebuilt)));
+}
+
+// ---- UDP ----
+
+TEST(Udp, HeaderRoundTrip) {
+  UdpHeader h;
+  h.src_port = 53;
+  h.dst_port = 1234;
+  h.length = 512;
+  h.checksum = 0xbeef;
+  std::uint8_t raw[kUdpHeaderLen];
+  h.write(raw);
+  const auto parsed = UdpHeader::parse(ByteView(raw, sizeof raw));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 53);
+  EXPECT_EQ(parsed->length, 512);
+  EXPECT_EQ(parsed->checksum, 0xbeef);
+}
+
+TEST(Udp, BuildAndVerify) {
+  const Bytes payload = payload_bytes(300, 5);
+  const Bytes dgram = build_udp_datagram(0x0a000001, 0x0a000002, 53, 1234,
+                                         ByteView(payload));
+  EXPECT_EQ(verify_udp_datagram(ByteView(dgram)), UdpCheckResult::kValid);
+}
+
+TEST(Udp, CorruptionDetected) {
+  const Bytes payload = payload_bytes(300, 6);
+  Bytes dgram = build_udp_datagram(1, 2, 53, 1234, ByteView(payload));
+  util::Rng rng(7);
+  for (int t = 0; t < 200; ++t) {
+    Bytes corrupted = dgram;
+    corrupted[kIpv4HeaderLen + kUdpHeaderLen + rng.below(300)] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    EXPECT_EQ(verify_udp_datagram(ByteView(corrupted)),
+              UdpCheckResult::kInvalid);
+  }
+}
+
+TEST(Udp, DisabledChecksum) {
+  const Bytes payload = payload_bytes(100, 8);
+  const Bytes dgram = build_udp_datagram(1, 2, 53, 1234, ByteView(payload),
+                                         /*with_checksum=*/false);
+  EXPECT_EQ(verify_udp_datagram(ByteView(dgram)), UdpCheckResult::kDisabled);
+}
+
+TEST(Udp, ComputedZeroTransmittedAsAllOnes) {
+  // Craft a payload whose checksum computes to zero: start with any
+  // payload, then append 2 bytes equal to the residual so the sum
+  // becomes 0xFFFF (whose complement is 0x0000).
+  Bytes payload = payload_bytes(98, 9);
+  payload.resize(100, 0);
+  Bytes dgram = build_udp_datagram(1, 2, 53, 1234, ByteView(payload));
+  // Compute what the field currently holds, then adjust the payload
+  // tail so the complemented sum would be zero.
+  const std::uint16_t field =
+      util::load_be16(dgram.data() + kIpv4HeaderLen + 6);
+  // Adding `field` at an even payload offset drives the new complement
+  // to zero (sum becomes 0xFFFF).
+  util::store_be16(&payload[98], field);
+  const Bytes dgram2 = build_udp_datagram(1, 2, 53, 1234, ByteView(payload));
+  const std::uint16_t field2 =
+      util::load_be16(dgram2.data() + kIpv4HeaderLen + 6);
+  EXPECT_EQ(field2, 0xffff);  // zero transmitted as all ones
+  EXPECT_EQ(verify_udp_datagram(ByteView(dgram2)), UdpCheckResult::kValid);
+}
+
+
+// ---- SLIP ----
+
+TEST(Slip, FrameDeframeRoundTrip) {
+  util::Rng rng(20);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes datagram(1 + rng.below(600));
+    rng.fill(datagram);
+    const Bytes line = slip_frame(ByteView(datagram));
+    const auto frames = slip_deframe(ByteView(line));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], datagram);
+  }
+}
+
+TEST(Slip, EscapesSpecialBytes) {
+  const Bytes datagram = {kSlipEnd, kSlipEsc, 0x42, kSlipEnd};
+  const Bytes line = slip_frame(ByteView(datagram));
+  // No raw END except the delimiters; no raw ESC except as escapes.
+  std::size_t raw_ends = 0;
+  for (std::size_t i = 1; i + 1 < line.size(); ++i)
+    if (line[i] == kSlipEnd) ++raw_ends;
+  EXPECT_EQ(raw_ends, 0u);
+  const auto frames = slip_deframe(ByteView(line));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], datagram);
+}
+
+TEST(Slip, MultipleFramesOnOneLine) {
+  Bytes line;
+  std::vector<Bytes> sent;
+  util::Rng rng(21);
+  for (int i = 0; i < 5; ++i) {
+    Bytes d(40 + rng.below(100));
+    rng.fill(d);
+    sent.push_back(d);
+    slip_frame_append(line, ByteView(d));
+  }
+  const auto frames = slip_deframe(ByteView(line));
+  ASSERT_EQ(frames.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i)
+    EXPECT_EQ(frames[i], sent[i]);
+}
+
+TEST(Slip, CorruptedEndDelimiterFusesFrames) {
+  // The serial-line splice: flip the END between two frames and they
+  // merge into one jumbo frame that only higher layers can reject.
+  const Bytes d1(100, 0x11);
+  const Bytes d2(100, 0x22);
+  Bytes line;
+  slip_frame_append(line, ByteView(d1));
+  slip_frame_append(line, ByteView(d2));
+  // The back-to-back delimiters sit between the frames; corrupt both.
+  std::size_t fused_at = 0;
+  for (std::size_t i = 1; i < line.size(); ++i)
+    if (line[i] == kSlipEnd) fused_at = i;  // last END before d2's data? scan
+  // Simpler: flip every END except the outermost two.
+  std::size_t first = 0, last = line.size() - 1;
+  for (std::size_t i = first + 1; i < last; ++i)
+    if (line[i] == kSlipEnd) line[i] = 0x33;
+  (void)fused_at;
+  const auto frames = slip_deframe(ByteView(line));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_GT(frames[0].size(), 200u);
+}
+
+TEST(Slip, DanglingEscTolerated) {
+  const Bytes line = {kSlipEnd, 0x01, kSlipEsc, 0x99, 0x02, kSlipEnd};
+  const auto frames = slip_deframe(ByteView(line));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], (Bytes{0x01, 0x99, 0x02}));
+}
+
+}  // namespace
+}  // namespace cksum::net

@@ -1,0 +1,323 @@
+// Synthetic file generators: determinism, size control, and the
+// class-specific statistical properties the paper's analysis depends
+// on (PBM = 0/255 bytes, gmon = mostly zeros, hex-PS line structure,
+// text skew, ...).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fsgen/generator.hpp"
+#include "fsgen/profile.hpp"
+#include "stats/histogram.hpp"
+
+namespace cksum::fsgen {
+namespace {
+
+using util::Bytes;
+
+class AllGenerators : public ::testing::TestWithParam<FileKind> {};
+
+TEST_P(AllGenerators, Deterministic) {
+  const Bytes a = generate_file(GetParam(), 123, 20000);
+  const Bytes b = generate_file(GetParam(), 123, 20000);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(AllGenerators, DifferentSeedsDiffer) {
+  const Bytes a = generate_file(GetParam(), 1, 20000);
+  const Bytes b = generate_file(GetParam(), 2, 20000);
+  EXPECT_NE(a, b);
+}
+
+TEST_P(AllGenerators, SizeApproximatelyHonoured) {
+  for (std::size_t target : {4096u, 20000u, 100000u}) {
+    const Bytes f = generate_file(GetParam(), 9, target);
+    EXPECT_GE(f.size(), target * 9 / 10);
+    EXPECT_LE(f.size(), target + 20000);  // one structural unit of slack
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllGenerators, ::testing::ValuesIn(kAllKinds),
+                         [](const auto& gen_info) {
+                           std::string n(name(gen_info.param));
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+stats::Histogram byte_histogram(const Bytes& data) {
+  stats::Histogram h(256);
+  for (std::uint8_t b : data) h.add(b);
+  return h;
+}
+
+TEST(TextGenerator, LooksLikeText) {
+  const Bytes f = generate_file(FileKind::kText, 5, 50000);
+  std::size_t printable = 0;
+  for (std::uint8_t b : f)
+    if ((b >= 0x20 && b < 0x7f) || b == '\n') ++printable;
+  EXPECT_EQ(printable, f.size());  // pure ASCII text
+  const auto h = byte_histogram(f);
+  // Space is the most common byte in prose; 'e' among the most common
+  // letters. Entropy well below 8 bits (the paper's skew).
+  EXPECT_EQ(h.mode(), static_cast<std::uint32_t>(' '));
+  EXPECT_GT(h.count('e'), h.count('z'));
+  EXPECT_LT(h.entropy_bits(), 5.0);
+}
+
+TEST(TextGenerator, LinesWrapAround70Columns) {
+  const Bytes f = generate_file(FileKind::kText, 6, 20000);
+  std::size_t line = 0, max_line = 0;
+  for (std::uint8_t b : f) {
+    if (b == '\n') {
+      max_line = std::max(max_line, line);
+      line = 0;
+    } else {
+      ++line;
+    }
+  }
+  EXPECT_LE(max_line, 90u);
+  EXPECT_GE(max_line, 40u);
+}
+
+TEST(SourceGenerator, LooksLikeC) {
+  const Bytes f = generate_file(FileKind::kCSource, 5, 30000);
+  const std::string s(f.begin(), f.end());
+  EXPECT_NE(s.find("#include"), std::string::npos);
+  EXPECT_NE(s.find("return"), std::string::npos);
+  EXPECT_NE(s.find("{"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+}
+
+TEST(ExecutableGenerator, ElfMagicAndZeroRuns) {
+  const Bytes f = generate_file(FileKind::kExecutable, 5, 60000);
+  ASSERT_GE(f.size(), 4u);
+  EXPECT_EQ(f[0], 0x7f);
+  EXPECT_EQ(f[1], 'E');
+  const auto h = byte_histogram(f);
+  // Zero is by far the most common byte in executables.
+  EXPECT_EQ(h.mode(), 0u);
+  EXPECT_GT(h.pmax(), 0.10);
+}
+
+TEST(GmonGenerator, MostlyZeros) {
+  const Bytes f = generate_file(FileKind::kGmonProfile, 5, 60000);
+  const auto h = byte_histogram(f);
+  EXPECT_EQ(h.mode(), 0u);
+  EXPECT_GT(h.pmax(), 0.90);  // "consist mostly of zero entries"
+  // But not entirely zero.
+  EXPECT_GT(h.support_size(), 2u);
+}
+
+TEST(PbmGenerator, OnlyBlackAndWhiteAfterHeader) {
+  const Bytes f = generate_file(FileKind::kPbmImage, 5, 60000);
+  // Skip the ASCII header (ends at the "255\n" line).
+  const std::string head(f.begin(), f.begin() + 64);
+  ASSERT_EQ(head.substr(0, 2), "P5");
+  const std::size_t body = head.find("255\n") + 4;
+  ASSERT_NE(body, std::string::npos + 4);
+  for (std::size_t i = body; i < f.size(); ++i)
+    ASSERT_TRUE(f[i] == 0x00 || f[i] == 0xff) << "pixel at " << i;
+}
+
+TEST(HexPostscriptGenerator, PowerOfTwoPlusNewlineLines) {
+  const Bytes f = generate_file(FileKind::kHexPostscript, 5, 60000);
+  const std::string s(f.begin(), f.end());
+  // Find the hex body: lines of F/7/E/C/0/3 hex chars.
+  std::size_t start = s.find("image\n");
+  ASSERT_NE(start, std::string::npos);
+  start += 6;
+  const std::size_t eol = s.find('\n', start);
+  const std::size_t width = eol - start;
+  // Width is a power of two (64, 128 or 256).
+  EXPECT_EQ(width & (width - 1), 0u);
+  EXPECT_GE(width, 64u);
+  // Many identical adjacent lines (the repetition pathology).
+  std::size_t repeats = 0, lines = 0;
+  std::string prev;
+  for (std::size_t pos = start; pos + width + 1 < s.size() - 32;
+       pos += width + 1) {
+    const std::string line = s.substr(pos, width);
+    if (line == prev) ++repeats;
+    prev = line;
+    ++lines;
+    if (lines > 200) break;
+  }
+  EXPECT_GT(repeats, lines / 2);
+}
+
+TEST(BinhexGenerator, SixtyFourByteLines) {
+  const Bytes f = generate_file(FileKind::kBinhex, 5, 30000);
+  const std::string s(f.begin(), f.end());
+  const std::size_t start = s.find(":\n") != std::string::npos
+                                ? s.find(':') + 1
+                                : 0;
+  // Lines between the first ':' and the trailing ':' are 64 chars.
+  std::size_t pos = start;
+  int checked = 0;
+  while (checked < 50) {
+    const std::size_t eol = s.find('\n', pos);
+    if (eol == std::string::npos || eol + 2 >= s.size()) break;
+    if (eol - pos == 0) {
+      pos = eol + 1;
+      continue;
+    }
+    EXPECT_EQ(eol - pos, 64u) << "line at " << pos;
+    pos = eol + 1;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(WordProcessorGenerator, ZeroAndFFRuns) {
+  const Bytes f = generate_file(FileKind::kWordProcessor, 5, 60000);
+  // Find a run of >= 150 zero bytes followed (soon) by >= 150 0xFF.
+  std::size_t zero_run = 0, max_zero = 0, ff_run = 0, max_ff = 0;
+  for (std::uint8_t b : f) {
+    zero_run = b == 0x00 ? zero_run + 1 : 0;
+    ff_run = b == 0xff ? ff_run + 1 : 0;
+    max_zero = std::max(max_zero, zero_run);
+    max_ff = std::max(max_ff, ff_run);
+  }
+  EXPECT_GE(max_zero, 150u);
+  EXPECT_GE(max_ff, 150u);
+}
+
+TEST(RandomGenerator, HighEntropy) {
+  const Bytes f = generate_file(FileKind::kRandom, 5, 60000);
+  EXPECT_GT(byte_histogram(f).entropy_bits(), 7.9);
+}
+
+
+TEST(TarGenerator, BlockStructure) {
+  const Bytes f = generate_file(FileKind::kTarArchive, 5, 60000);
+  EXPECT_EQ(f.size() % 512, 0u);
+  // ustar magic in the first header block.
+  const std::string head(f.begin(), f.begin() + 512);
+  EXPECT_NE(head.find("ustar"), std::string::npos);
+  // Ends with two zero blocks.
+  for (std::size_t i = f.size() - 1024; i < f.size(); ++i)
+    ASSERT_EQ(f[i], 0u) << i;
+  // tar header checksum of block 0 verifies: sum of the block with the
+  // checksum field treated as spaces equals the stored octal value.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < 512; ++i)
+    sum += (i >= 148 && i < 156) ? ' ' : f[i];
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(std::stoul(head.substr(148, 6), nullptr, 8));
+  EXPECT_EQ(sum, stored);
+}
+
+TEST(TarGenerator, HasZeroPaddingRuns) {
+  const Bytes f = generate_file(FileKind::kTarArchive, 6, 60000);
+  std::size_t zero_run = 0, max_zero = 0;
+  for (std::uint8_t b : f) {
+    zero_run = b == 0 ? zero_run + 1 : 0;
+    max_zero = std::max(max_zero, zero_run);
+  }
+  EXPECT_GE(max_zero, 256u);
+}
+
+TEST(MailSpoolGenerator, MboxStructure) {
+  const Bytes f = generate_file(FileKind::kMailSpool, 5, 40000);
+  const std::string s(f.begin(), f.end());
+  EXPECT_EQ(s.rfind("From ", 0), 0u);  // starts with an mbox From line
+  // Multiple messages with repeated header fields.
+  std::size_t messages = 0, pos = 0;
+  while ((pos = s.find("\nFrom ", pos)) != std::string::npos) {
+    ++messages;
+    ++pos;
+  }
+  EXPECT_GE(messages, 5u);
+  EXPECT_NE(s.find("Message-Id:"), std::string::npos);
+  EXPECT_NE(s.find("Subject:"), std::string::npos);
+}
+
+TEST(Profiles, RegistryShape) {
+  EXPECT_EQ(all_profiles().size(), 20u);  // 19 paper + 1 modern extension
+  EXPECT_EQ(nsc_profiles().size(), 9u);
+  EXPECT_EQ(sics_profiles().size(), 8u);
+  EXPECT_EQ(stanford_profiles().size(), 2u);
+  EXPECT_EQ(profile("nsc05").full_name(), "nsc05");
+  EXPECT_EQ(profile("sics.se:/opt").mount, "/opt");
+  EXPECT_EQ(profile("smeg.stanford.edu:/u1").site, "smeg.stanford.edu");
+  EXPECT_EQ(profile("modern:/home").mount, "/home");
+  EXPECT_THROW(profile("no-such-fs"), std::out_of_range);
+}
+
+TEST(Profiles, WeightsArePlausible) {
+  for (const auto& p : all_profiles()) {
+    double total = 0;
+    for (const auto& kw : p.mix) {
+      EXPECT_GT(kw.weight, 0.0);
+      total += kw.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 0.05) << p.full_name();
+  }
+}
+
+TEST(Filesystem, DeterministicSpecsAndContent) {
+  const Filesystem a(profile("nsc05"), 0.25);
+  const Filesystem b(profile("nsc05"), 0.25);
+  ASSERT_EQ(a.file_count(), b.file_count());
+  ASSERT_GT(a.file_count(), 0u);
+  for (std::size_t i = 0; i < a.file_count(); ++i) {
+    EXPECT_EQ(a.spec(i).seed, b.spec(i).seed);
+    EXPECT_EQ(a.file(i), b.file(i));
+  }
+}
+
+TEST(Filesystem, ScaleScalesFileCount) {
+  const Filesystem small(profile("nsc05"), 0.5);
+  const Filesystem large(profile("nsc05"), 2.0);
+  EXPECT_EQ(small.file_count() * 4, large.file_count());
+}
+
+TEST(Filesystem, MixRespected) {
+  // /src1 is source-dominated: most files should be C source.
+  const Filesystem fs(profile("sics.se:/src1"), 4.0);
+  std::size_t source = 0;
+  for (std::size_t i = 0; i < fs.file_count(); ++i)
+    if (fs.spec(i).kind == FileKind::kCSource) ++source;
+  EXPECT_GT(source, fs.file_count() / 2);
+}
+
+
+TEST(Manifest, RoundTrip) {
+  const auto& prof = profile("nsc05");
+  const Filesystem fs(prof, 0.3);
+  const std::string manifest = fs.to_manifest();
+  const Filesystem back = Filesystem::from_manifest(prof, manifest);
+  ASSERT_EQ(back.file_count(), fs.file_count());
+  for (std::size_t i = 0; i < fs.file_count(); ++i) {
+    EXPECT_EQ(back.spec(i).kind, fs.spec(i).kind);
+    EXPECT_EQ(back.spec(i).seed, fs.spec(i).seed);
+    EXPECT_EQ(back.spec(i).size, fs.spec(i).size);
+    EXPECT_EQ(back.file(i), fs.file(i));
+  }
+}
+
+TEST(Manifest, RejectsMalformed) {
+  const auto& prof = profile("nsc05");
+  EXPECT_THROW(Filesystem::from_manifest(prof, "text"),
+               std::invalid_argument);
+  EXPECT_THROW(Filesystem::from_manifest(prof, "no-such-kind 1f 100"),
+               std::invalid_argument);
+  EXPECT_THROW(Filesystem::from_manifest(prof, "text zz 100"),
+               std::invalid_argument);
+  EXPECT_THROW(Filesystem::from_manifest(prof, "text 1f pear"),
+               std::invalid_argument);
+  // Empty manifest: a valid, empty filesystem.
+  EXPECT_EQ(Filesystem::from_manifest(prof, "").file_count(), 0u);
+  EXPECT_EQ(Filesystem::from_manifest(prof, "\n\n").file_count(), 0u);
+}
+
+TEST(Filesystem, RejectsBadScale) {
+  EXPECT_THROW(Filesystem(profile("nsc05"), 0.0), std::invalid_argument);
+  EXPECT_THROW(Filesystem(profile("nsc05"), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cksum::fsgen

@@ -1,0 +1,136 @@
+// LZW codec: round-trips over every generator's output, edge cases,
+// corruption handling, and the statistical property Table 7 relies on
+// (compressed output looks uniform to the checksums).
+#include <gtest/gtest.h>
+
+#include "compress/lzw.hpp"
+#include "fsgen/generator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/uniformity.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::compress {
+namespace {
+
+using util::ByteView;
+using util::Bytes;
+
+void expect_roundtrip(const Bytes& input) {
+  const Bytes packed = lzw_compress(ByteView(input));
+  const Bytes unpacked = lzw_decompress(ByteView(packed));
+  ASSERT_EQ(unpacked.size(), input.size());
+  EXPECT_EQ(unpacked, input);
+}
+
+TEST(Lzw, EmptyInput) { expect_roundtrip({}); }
+
+TEST(Lzw, SingleByte) { expect_roundtrip({0x42}); }
+
+TEST(Lzw, TwoBytes) { expect_roundtrip({0x42, 0x42}); }
+
+TEST(Lzw, AllSameByte) { expect_roundtrip(Bytes(10000, 0xAA)); }
+
+TEST(Lzw, KOmegaPattern) {
+  // The classic aba ababa... pattern that triggers the K-omega case.
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) {
+    input.push_back('a');
+    if (i % 2 == 0) input.push_back('b');
+  }
+  expect_roundtrip(input);
+}
+
+TEST(Lzw, AllByteValues) {
+  Bytes input;
+  for (int rep = 0; rep < 16; ++rep)
+    for (int v = 0; v < 256; ++v)
+      input.push_back(static_cast<std::uint8_t>(v));
+  expect_roundtrip(input);
+}
+
+TEST(Lzw, RandomDataRoundTrips) {
+  Bytes input(50000);
+  util::Rng rng(1);
+  rng.fill(input);
+  expect_roundtrip(input);
+}
+
+TEST(Lzw, LargeRepetitiveInputCrossesDictionaryReset) {
+  // Enough distinct phrases to fill the 16-bit dictionary and force a
+  // CLEAR.
+  Bytes input;
+  util::Rng rng(2);
+  while (input.size() < 3 * 1024 * 1024) {
+    const std::size_t run = rng.below(60) + 4;
+    const auto v = static_cast<std::uint8_t>(rng.below(256));
+    input.insert(input.end(), run, v);
+  }
+  expect_roundtrip(input);
+}
+
+class LzwGenerators : public ::testing::TestWithParam<fsgen::FileKind> {};
+
+TEST_P(LzwGenerators, RoundTripsGeneratorOutput) {
+  const Bytes file = fsgen::generate_file(GetParam(), 7, 100000);
+  expect_roundtrip(file);
+}
+
+TEST_P(LzwGenerators, CompressesStructuredDataWell) {
+  const fsgen::FileKind kind = GetParam();
+  const Bytes file = fsgen::generate_file(kind, 8, 100000);
+  const Bytes packed = lzw_compress(ByteView(file));
+  if (kind == fsgen::FileKind::kRandom) {
+    // Random data does not compress (LZW expands it slightly).
+    EXPECT_GT(packed.size(), file.size() * 9 / 10);
+  } else {
+    EXPECT_LT(packed.size(), file.size() * 8 / 10)
+        << fsgen::name(kind) << " should compress by at least 20%";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, LzwGenerators,
+                         ::testing::ValuesIn(fsgen::kAllKinds),
+                         [](const auto& gen_info) {
+                           std::string n(fsgen::name(gen_info.param));
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Lzw, CompressedTextLooksUniformToByteHistogram) {
+  // The mechanism behind Table 7: LZW output has near-uniform byte
+  // statistics even when the input is highly skewed text.
+  const Bytes text = fsgen::generate_file(fsgen::FileKind::kText, 9, 400000);
+  const Bytes packed = lzw_compress(ByteView(text));
+
+  stats::Histogram raw(256), comp(256);
+  for (std::uint8_t b : text) raw.add(b);
+  for (std::uint8_t b : packed) comp.add(b);
+  EXPECT_GT(raw.entropy_bits(), 3.0);
+  EXPECT_LT(raw.entropy_bits(), 6.0);  // text is very skewed
+  EXPECT_GT(comp.entropy_bits(), 7.8);  // compressed is near uniform
+}
+
+TEST(Lzw, BadMagicRejected) {
+  Bytes bogus = {'X', 'X', 'X', 'X', 0, 0};
+  EXPECT_THROW(lzw_decompress(ByteView(bogus)), CorruptStream);
+}
+
+TEST(Lzw, TruncatedStreamRejected) {
+  const Bytes input(1000, 0x55);
+  Bytes packed = lzw_compress(ByteView(input));
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW(lzw_decompress(ByteView(packed)), CorruptStream);
+}
+
+TEST(Lzw, OutOfRangeCodeRejected) {
+  // Craft a stream whose first code references an undefined entry.
+  Bytes bogus = {'L', 'Z', 'W', '1'};
+  // Code 300 (9 bits LSB-first): 300 = 0b100101100.
+  bogus.push_back(0b00101100);
+  bogus.push_back(0b00000001);
+  EXPECT_THROW(lzw_decompress(ByteView(bogus)), CorruptStream);
+}
+
+}  // namespace
+}  // namespace cksum::compress

@@ -1,0 +1,336 @@
+// IPv4/TCP header model, packet builder (all transports, both
+// placements, both ablations), validation, and flow segmentation.
+#include <gtest/gtest.h>
+
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+#include "net/validate.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::net {
+namespace {
+
+using util::ByteView;
+using util::Bytes;
+
+Bytes payload_bytes(std::size_t n, std::uint64_t seed = 1) {
+  Bytes b(n);
+  util::Rng rng(seed);
+  rng.fill(b);
+  return b;
+}
+
+TEST(Ipv4Header, WriteParseRoundTrip) {
+  Ipv4Header h;
+  h.tos = 0x10;
+  h.total_length = 296;
+  h.id = 0x1234;
+  h.frag_off = 0x4000;
+  h.ttl = 63;
+  h.protocol = 6;
+  h.src = 0x0a000001;
+  h.dst = 0x0a000002;
+  h.header_checksum = h.compute_checksum();
+  std::uint8_t raw[kIpv4HeaderLen];
+  h.write(raw);
+  const auto parsed = Ipv4Header::parse(ByteView(raw, sizeof raw));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, 4);
+  EXPECT_EQ(parsed->ihl, 5);
+  EXPECT_EQ(parsed->total_length, 296);
+  EXPECT_EQ(parsed->id, 0x1234);
+  EXPECT_EQ(parsed->src, 0x0a000001u);
+  EXPECT_TRUE(ipv4_checksum_ok(ByteView(raw, sizeof raw)));
+}
+
+TEST(Ipv4Header, CorruptChecksumDetected) {
+  Ipv4Header h;
+  h.total_length = 100;
+  h.header_checksum = h.compute_checksum();
+  std::uint8_t raw[kIpv4HeaderLen];
+  h.write(raw);
+  raw[4] ^= 0x01;
+  EXPECT_FALSE(ipv4_checksum_ok(ByteView(raw, sizeof raw)));
+}
+
+TEST(Ipv4Header, ParseTooShort) {
+  std::uint8_t raw[10] = {};
+  EXPECT_FALSE(Ipv4Header::parse(ByteView(raw, sizeof raw)).has_value());
+}
+
+TEST(TcpHeader, WriteParseRoundTrip) {
+  TcpHeader t;
+  t.src_port = 20;
+  t.dst_port = 54321;
+  t.seq = 0xdeadbeef;
+  t.ack = 42;
+  t.flags = tcpflag::kAck | tcpflag::kPsh;
+  t.window = 8192;
+  t.checksum = 0xabcd;
+  std::uint8_t raw[kTcpHeaderLen];
+  t.write(raw);
+  const auto parsed = TcpHeader::parse(ByteView(raw, sizeof raw));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+  EXPECT_EQ(parsed->data_offset, 5);
+  EXPECT_EQ(parsed->reserved, 0);
+  EXPECT_EQ(parsed->checksum, 0xabcd);
+}
+
+struct BuildCase {
+  alg::Algorithm transport;
+  ChecksumPlacement placement;
+  bool invert;
+  const char* label;
+};
+
+class PacketBuild : public ::testing::TestWithParam<BuildCase> {};
+
+TEST_P(PacketBuild, BuiltPacketVerifies) {
+  const BuildCase c = GetParam();
+  PacketConfig cfg;
+  cfg.transport = c.transport;
+  cfg.placement = c.placement;
+  cfg.invert_checksum = c.invert;
+  for (std::size_t len : {1u, 8u, 47u, 48u, 255u, 256u}) {
+    const Bytes payload = payload_bytes(len, len);
+    const Packet pkt = build_packet(cfg, 1000, 7, ByteView(payload));
+    EXPECT_TRUE(verify_transport_checksum(cfg, pkt.ip_bytes()))
+        << c.label << " len=" << len;
+    // Structural sanity.
+    const std::size_t expect =
+        40 + len +
+        (c.placement == ChecksumPlacement::kTrailer ? kTrailerCheckLen : 0);
+    EXPECT_EQ(pkt.bytes.size(), expect);
+    EXPECT_TRUE(ipv4_checksum_ok(pkt.ip_bytes()));
+  }
+}
+
+TEST_P(PacketBuild, SingleByteCorruptionDetectedAlmostAlways) {
+  const BuildCase c = GetParam();
+  PacketConfig cfg;
+  cfg.transport = c.transport;
+  cfg.placement = c.placement;
+  cfg.invert_checksum = c.invert;
+  const Bytes payload = payload_bytes(256, 99);
+  const Packet pkt = build_packet(cfg, 1, 1, ByteView(payload));
+  // Flip one payload byte at a time; every flip must be caught (all
+  // the studied checksums catch any single-byte error... except a
+  // Fletcher-255 0x00<->0xFF swap, which we skip).
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes corrupted = pkt.bytes;
+    const std::size_t at = 60 + rng.below(200);
+    std::uint8_t flip = static_cast<std::uint8_t>(1 + rng.below(255));
+    if (c.transport == alg::Algorithm::kFletcher255) {
+      const std::uint8_t cur = corrupted[at];
+      if ((cur ^ flip) == 0xff || ((cur ^ flip) == 0x00)) continue;
+      if (cur == 0xff && (cur ^ flip) == 0x00) continue;
+    }
+    corrupted[at] ^= flip;
+    EXPECT_FALSE(verify_transport_checksum(cfg, ByteView(corrupted)))
+        << c.label << " at=" << at;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PacketBuild,
+    ::testing::Values(
+        BuildCase{alg::Algorithm::kInternet, ChecksumPlacement::kHeader, true,
+                  "tcp-header"},
+        BuildCase{alg::Algorithm::kInternet, ChecksumPlacement::kHeader, false,
+                  "tcp-header-noninverted"},
+        BuildCase{alg::Algorithm::kInternet, ChecksumPlacement::kTrailer, true,
+                  "tcp-trailer"},
+        BuildCase{alg::Algorithm::kFletcher255, ChecksumPlacement::kHeader,
+                  true, "f255-header"},
+        BuildCase{alg::Algorithm::kFletcher256, ChecksumPlacement::kHeader,
+                  true, "f256-header"},
+        BuildCase{alg::Algorithm::kFletcher255, ChecksumPlacement::kTrailer,
+                  true, "f255-trailer"},
+        BuildCase{alg::Algorithm::kFletcher256, ChecksumPlacement::kTrailer,
+                  true, "f256-trailer"}),
+    [](const auto& gen_info) {
+      std::string n = gen_info.param.label;
+      for (char& ch : n)
+        if (ch == '-') ch = '_';
+      return n;
+    });
+
+TEST(PacketBuild, UnfilledIpHeaderAblation) {
+  PacketConfig cfg;
+  cfg.fill_ip_header = false;
+  const Bytes payload = payload_bytes(256);
+  const Packet pkt = build_packet(cfg, 1, 77, ByteView(payload));
+  const auto ip = Ipv4Header::parse(pkt.ip_bytes());
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->id, 0);  // IP ID intentionally not filled
+  EXPECT_EQ(ip->ttl, 0);
+  EXPECT_EQ(ip->header_checksum, 0);
+  // Transport checksum still verifies.
+  EXPECT_TRUE(verify_transport_checksum(cfg, pkt.ip_bytes()));
+}
+
+TEST(PacketBuild, SeqNumberIsOnlyHeaderDifferenceBetweenAdjacentPackets) {
+  // §5.3: "The only field that changes between adjacent TCP packets in
+  // a given flow is the TCP sequence number" (plus IP ID and the two
+  // checksums derived from them).
+  PacketConfig cfg;
+  const Bytes pay1 = payload_bytes(256, 1);
+  const Bytes pay2 = payload_bytes(256, 2);
+  const Packet a = build_packet(cfg, 1, 1, ByteView(pay1));
+  const Packet b = build_packet(cfg, 257, 2, ByteView(pay2));
+  int diff_fields = 0;
+  // IP id (4-5), IP checksum (10-11), TCP seq (24-27), TCP cksum (36-37).
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (a.bytes[i] != b.bytes[i]) {
+      EXPECT_TRUE((i >= 4 && i <= 5) || (i >= 10 && i <= 11) ||
+                  (i >= 24 && i <= 27) || (i >= 36 && i <= 37))
+          << "unexpected header difference at byte " << i;
+      ++diff_fields;
+    }
+  }
+  EXPECT_GT(diff_fields, 0);
+}
+
+TEST(PacketBuild, RejectsCrc32AsTransport) {
+  PacketConfig cfg;
+  cfg.transport = alg::Algorithm::kCrc32;
+  const Bytes payload = payload_bytes(16);
+  EXPECT_THROW(build_packet(cfg, 1, 1, ByteView(payload)),
+               std::invalid_argument);
+}
+
+TEST(Validate, GoodPacketPasses) {
+  PacketConfig cfg;
+  const Bytes payload = payload_bytes(256);
+  const Packet pkt = build_packet(cfg, 1, 1, ByteView(payload));
+  EXPECT_EQ(check_headers(pkt.ip_bytes(), pkt.bytes.size(), true),
+            HeaderCheck::kOk);
+}
+
+TEST(Validate, LengthMismatchCaught) {
+  PacketConfig cfg;
+  const Bytes payload = payload_bytes(256);
+  const Packet pkt = build_packet(cfg, 1, 1, ByteView(payload));
+  EXPECT_EQ(check_headers(pkt.ip_bytes(), pkt.bytes.size() + 48, true),
+            HeaderCheck::kLengthMismatch);
+}
+
+TEST(Validate, GarbageCaught) {
+  Bytes garbage = payload_bytes(48, 1234);
+  // Random bytes essentially never parse as a valid header.
+  EXPECT_NE(check_headers(ByteView(garbage), 296, true), HeaderCheck::kOk);
+}
+
+TEST(Validate, EachCheckFires) {
+  PacketConfig cfg;
+  const Bytes payload = payload_bytes(256);
+  const Packet good = build_packet(cfg, 1, 1, ByteView(payload));
+
+  {
+    Bytes bad = good.bytes;
+    bad[0] = 0x65;  // version 6
+    EXPECT_EQ(check_headers(ByteView(bad), bad.size(), false),
+              HeaderCheck::kBadVersion);
+  }
+  {
+    Bytes bad = good.bytes;
+    bad[0] = 0x46;  // ihl 6
+    EXPECT_EQ(check_headers(ByteView(bad), bad.size(), false),
+              HeaderCheck::kBadIhl);
+  }
+  {
+    Bytes bad = good.bytes;
+    bad[9] = 17;  // UDP
+    EXPECT_EQ(check_headers(ByteView(bad), bad.size(), false),
+              HeaderCheck::kBadProtocol);
+  }
+  {
+    Bytes bad = good.bytes;
+    bad[6] ^= 0x20;  // clobber frag field -> IP checksum now wrong
+    EXPECT_EQ(check_headers(ByteView(bad), bad.size(), true),
+              HeaderCheck::kBadIpChecksum);
+  }
+  {
+    Bytes bad = good.bytes;
+    bad[32] = 0x60;  // TCP data offset 6
+    EXPECT_EQ(check_headers(ByteView(bad), bad.size(), false),
+              HeaderCheck::kBadTcpOffset);
+  }
+  {
+    Bytes bad = good.bytes;
+    bad[32] = 0x53;  // reserved bits set
+    EXPECT_EQ(check_headers(ByteView(bad), bad.size(), false),
+              HeaderCheck::kBadTcpReserved);
+  }
+  {
+    EXPECT_EQ(check_headers(ByteView(good.bytes).first(30), good.bytes.size(),
+                            false),
+              HeaderCheck::kTooShort);
+  }
+}
+
+TEST(Flow, SegmentationShape) {
+  FlowConfig cfg;
+  cfg.segment_size = 256;
+  const Bytes file = payload_bytes(1000);
+  const auto pkts = segment_file(cfg, ByteView(file));
+  ASSERT_EQ(pkts.size(), 4u);  // 256+256+256+232
+  EXPECT_EQ(pkts[0].payload_len, 256u);
+  EXPECT_EQ(pkts[3].payload_len, 232u);  // runt
+  // Payload bytes survive intact.
+  EXPECT_TRUE(std::equal(pkts[0].payload().begin(), pkts[0].payload().end(),
+                         file.begin()));
+  EXPECT_TRUE(std::equal(pkts[3].payload().begin(), pkts[3].payload().end(),
+                         file.begin() + 768));
+}
+
+TEST(Flow, SeqAdvancesByLengthAndIdByOne) {
+  FlowConfig cfg;
+  cfg.initial_seq = 5;
+  cfg.initial_ip_id = 9;
+  const Bytes file = payload_bytes(600);
+  const auto pkts = segment_file(cfg, ByteView(file));
+  ASSERT_EQ(pkts.size(), 3u);
+  std::uint32_t seq = 5;
+  std::uint16_t id = 9;
+  for (const auto& p : pkts) {
+    const auto ip = Ipv4Header::parse(p.ip_bytes());
+    const auto tcp = TcpHeader::parse(p.ip_bytes().subspan(kIpv4HeaderLen));
+    EXPECT_EQ(tcp->seq, seq);
+    EXPECT_EQ(ip->id, id);
+    seq += static_cast<std::uint32_t>(p.payload_len);
+    ++id;
+  }
+}
+
+TEST(Flow, EmptyFileNoPackets) {
+  FlowConfig cfg;
+  EXPECT_TRUE(segment_file(cfg, ByteView{}).empty());
+}
+
+TEST(Flow, ZeroSegmentSizeRejected) {
+  FlowConfig cfg;
+  cfg.segment_size = 0;
+  const Bytes file = payload_bytes(10);
+  EXPECT_THROW(segment_file(cfg, ByteView(file)), std::invalid_argument);
+}
+
+TEST(Coverage, PseudoHeaderContents) {
+  PacketConfig cfg;
+  cfg.src_addr = 0x01020304;
+  cfg.dst_addr = 0x05060708;
+  const Bytes payload = payload_bytes(100);
+  const Packet pkt = build_packet(cfg, 1, 1, ByteView(payload));
+  const Bytes cov = checksum_coverage(pkt.ip_bytes());
+  ASSERT_EQ(cov.size(), PseudoHeader::kLen + 20 + 100);
+  EXPECT_EQ(util::load_be32(cov.data()), 0x01020304u);
+  EXPECT_EQ(util::load_be32(cov.data() + 4), 0x05060708u);
+  EXPECT_EQ(cov[8], 0);
+  EXPECT_EQ(cov[9], 6);
+  EXPECT_EQ(util::load_be16(cov.data() + 10), 120);
+}
+
+}  // namespace
+}  // namespace cksum::net

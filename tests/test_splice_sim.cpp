@@ -1,0 +1,411 @@
+// The splice simulator. The crown-jewel test cross-validates the
+// partial-sums fast path against the materialise-and-verify reference
+// oracle for every splice of real generator data, across transports,
+// placements, and ablations.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/experiments.hpp"
+#include "core/pdu_model.hpp"
+#include "core/splice_sim.hpp"
+#include "fsgen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::core {
+namespace {
+
+using util::ByteView;
+using util::Bytes;
+
+net::FlowConfig flow_with(alg::Algorithm transport,
+                          net::ChecksumPlacement placement,
+                          bool invert = true, bool fill_ip = true) {
+  net::FlowConfig cfg = paper_flow_config();
+  cfg.packet.transport = transport;
+  cfg.packet.placement = placement;
+  cfg.packet.invert_checksum = invert;
+  cfg.packet.fill_ip_header = fill_ip;
+  return cfg;
+}
+
+/// Reference statistics computed entirely through the byte-level
+/// oracle, mirroring evaluate_pair's classification.
+SpliceStats reference_pair_stats(const net::PacketConfig& cfg,
+                                 const SimPacket& p1, const SimPacket& p2) {
+  SpliceStats st;
+  ++st.pairs;
+  atm::for_each_splice(p1.pdu.num_cells(), p2.pdu.num_cells(),
+                       [&](const atm::SpliceSpec& s) {
+                         ++st.total;
+                         const SpliceOutcome o =
+                             evaluate_splice_reference(cfg, p1, p2, s);
+                         if (o.caught_by_header) {
+                           ++st.caught_by_header;
+                           return;
+                         }
+                         if (o.identical) {
+                           ++st.identical;
+                           if (o.transport_pass)
+                             ++st.pass_identical;
+                           else
+                             ++st.fail_identical;
+                           return;
+                         }
+                         ++st.remaining;
+                         if (o.transport_pass) {
+                           ++st.missed_transport;
+                           ++st.pass_changed;
+                         } else {
+                           ++st.fail_changed;
+                         }
+                         if (o.crc_pass) ++st.missed_crc;
+                       });
+  return st;
+}
+
+void expect_same_counters(const SpliceStats& fast, const SpliceStats& ref,
+                          const char* label) {
+  EXPECT_EQ(fast.total, ref.total) << label;
+  EXPECT_EQ(fast.caught_by_header, ref.caught_by_header) << label;
+  EXPECT_EQ(fast.identical, ref.identical) << label;
+  EXPECT_EQ(fast.remaining, ref.remaining) << label;
+  EXPECT_EQ(fast.missed_crc, ref.missed_crc) << label;
+  EXPECT_EQ(fast.missed_transport, ref.missed_transport) << label;
+  EXPECT_EQ(fast.fail_identical, ref.fail_identical) << label;
+  EXPECT_EQ(fast.pass_identical, ref.pass_identical) << label;
+  EXPECT_EQ(fast.pass_changed, ref.pass_changed) << label;
+  EXPECT_EQ(fast.fail_changed, ref.fail_changed) << label;
+}
+
+struct CrossCase {
+  alg::Algorithm transport;
+  net::ChecksumPlacement placement;
+  bool invert;
+  bool fill_ip;
+  fsgen::FileKind kind;
+  const char* label;
+};
+
+class FastVsReference : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(FastVsReference, EverySpliceAgrees) {
+  const CrossCase c = GetParam();
+  const net::FlowConfig flow =
+      flow_with(c.transport, c.placement, c.invert, c.fill_ip);
+
+  // Data chosen to exercise interesting cases: zero-heavy and
+  // repetitive files produce identical and transport-missed splices.
+  const Bytes file = fsgen::generate_file(c.kind, 77, 6000);
+  const auto pkts = packetize_file(flow, ByteView(file));
+  ASSERT_GE(pkts.size(), 2u);
+
+  SpliceStats fast, ref;
+  for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+    evaluate_pair(flow.packet, pkts[i], pkts[i + 1], fast);
+    ref.merge(reference_pair_stats(flow.packet, pkts[i], pkts[i + 1]));
+  }
+  expect_same_counters(fast, ref, c.label);
+  // The runt tail pair must have exercised some splices too.
+  EXPECT_GT(fast.total, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FastVsReference,
+    ::testing::Values(
+        CrossCase{alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader,
+                  true, true, fsgen::FileKind::kGmonProfile, "tcp_gmon"},
+        CrossCase{alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader,
+                  true, true, fsgen::FileKind::kText, "tcp_text"},
+        CrossCase{alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader,
+                  false, true, fsgen::FileKind::kGmonProfile,
+                  "tcp_noninverted_gmon"},
+        CrossCase{alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader,
+                  true, false, fsgen::FileKind::kGmonProfile,
+                  "tcp_unfilled_ip_gmon"},
+        CrossCase{alg::Algorithm::kInternet, net::ChecksumPlacement::kTrailer,
+                  true, true, fsgen::FileKind::kGmonProfile,
+                  "tcp_trailer_gmon"},
+        CrossCase{alg::Algorithm::kInternet, net::ChecksumPlacement::kTrailer,
+                  true, true, fsgen::FileKind::kPbmImage, "tcp_trailer_pbm"},
+        CrossCase{alg::Algorithm::kFletcher255, net::ChecksumPlacement::kHeader,
+                  true, true, fsgen::FileKind::kPbmImage, "f255_pbm"},
+        CrossCase{alg::Algorithm::kFletcher255, net::ChecksumPlacement::kHeader,
+                  true, true, fsgen::FileKind::kWordProcessor, "f255_wordproc"},
+        CrossCase{alg::Algorithm::kFletcher256, net::ChecksumPlacement::kHeader,
+                  true, true, fsgen::FileKind::kHexPostscript, "f256_hexps"},
+        CrossCase{alg::Algorithm::kFletcher256, net::ChecksumPlacement::kHeader,
+                  true, true, fsgen::FileKind::kExecutable, "f256_exe"},
+        CrossCase{alg::Algorithm::kFletcher256, net::ChecksumPlacement::kTrailer,
+                  true, true, fsgen::FileKind::kGmonProfile,
+                  "f256_trailer_gmon"}),
+    [](const auto& gen_info) { return std::string(gen_info.param.label); });
+
+TEST(FastVsReference, RuntTailPairsAgree) {
+  // Files sized to produce 1..9-byte runt packets (the SIGCOMM '95
+  // simulator's bug #3 territory, and our slow-path triggers) — across
+  // every transport and placement combination.
+  for (const auto transport :
+       {alg::Algorithm::kInternet, alg::Algorithm::kFletcher255,
+        alg::Algorithm::kFletcher256}) {
+    for (const auto placement :
+         {net::ChecksumPlacement::kHeader, net::ChecksumPlacement::kTrailer}) {
+      for (std::size_t tail = 1; tail <= 9; tail += 2) {
+        const net::FlowConfig flow = flow_with(transport, placement);
+        Bytes file = fsgen::generate_file(fsgen::FileKind::kText, tail, 512);
+        file.resize(512 + tail);
+        const auto pkts = packetize_file(flow, ByteView(file));
+        ASSERT_EQ(pkts.size(), 3u);
+        SpliceStats fast, ref;
+        evaluate_pair(flow.packet, pkts[1], pkts[2], fast);
+        ref.merge(reference_pair_stats(flow.packet, pkts[1], pkts[2]));
+        expect_same_counters(fast, ref, "runt");
+      }
+    }
+  }
+}
+
+
+TEST(FastVsReference, Legacy95ModeAgrees) {
+  // The SIGCOMM '95 emulation changes the builder, the pseudo-header
+  // and the header checks; the fast path must still match the oracle.
+  net::FlowConfig flow = paper_flow_config();
+  flow.packet.legacy95_headers = true;
+  const Bytes file =
+      fsgen::generate_file(fsgen::FileKind::kGmonProfile, 31, 6000);
+  const auto pkts = packetize_file(flow, ByteView(file));
+  ASSERT_GE(pkts.size(), 2u);
+  SpliceStats fast, ref;
+  for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+    evaluate_pair(flow.packet, pkts[i], pkts[i + 1], fast);
+    ref.merge(reference_pair_stats(flow.packet, pkts[i], pkts[i + 1]));
+  }
+  expect_same_counters(fast, ref, "legacy95");
+}
+
+TEST(SpliceSim, Legacy95InflatesMissRate) {
+  // §6.2: the legacy builder makes zero-payload header cells
+  // zero-congruent, inflating the miss rate by orders of magnitude on
+  // zero-heavy data.
+  // Build a file dominated by fully-zero packets with occasional
+  // non-zero patches (a sparse binary).
+  Bytes file(60000, 0x00);
+  for (std::size_t i = 500; i < file.size(); i += 1900)
+    file[i] = static_cast<std::uint8_t>(0x40 + i % 50);
+  SpliceRunConfig modern;
+  modern.flow = paper_flow_config();
+  SpliceRunConfig legacy = modern;
+  legacy.flow.packet.legacy95_headers = true;
+  const SpliceStats a = run_file(modern, ByteView(file));
+  const SpliceStats b = run_file(legacy, ByteView(file));
+  ASSERT_GT(a.remaining, 0u);
+  ASSERT_GT(b.remaining, 0u);
+  const double ra = static_cast<double>(a.missed_transport) /
+                    static_cast<double>(a.remaining);
+  const double rb = static_cast<double>(b.missed_transport) /
+                    static_cast<double>(b.remaining);
+  EXPECT_GT(rb, 2.0 * ra);
+}
+
+
+TEST(FastVsReference, RandomisedConfigurationsAgree) {
+  // Differential fuzzing: random (transport, placement, ablation,
+  // kind, seed) combinations, each cross-validated splice-by-splice
+  // against the byte-level oracle.
+  util::Rng rng(0xfa57);
+  for (int trial = 0; trial < 12; ++trial) {
+    net::FlowConfig flow = paper_flow_config();
+    flow.packet.transport =
+        std::array{alg::Algorithm::kInternet, alg::Algorithm::kFletcher255,
+                   alg::Algorithm::kFletcher256}[rng.below(3)];
+    flow.packet.placement = rng.chance(0.5)
+                                ? net::ChecksumPlacement::kHeader
+                                : net::ChecksumPlacement::kTrailer;
+    flow.packet.invert_checksum = rng.chance(0.8);
+    flow.packet.fill_ip_header = rng.chance(0.8);
+    flow.packet.legacy95_headers = rng.chance(0.2);
+    flow.segment_size = std::array{128u, 256u, 301u}[rng.below(3)];
+    const auto kind =
+        fsgen::kAllKinds[rng.below(std::size(fsgen::kAllKinds))];
+    const Bytes file = fsgen::generate_file(kind, rng.next(), 3000);
+
+    const auto pkts = packetize_file(flow, ByteView(file));
+    ASSERT_GE(pkts.size(), 2u);
+    SpliceStats fast, ref;
+    for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+      evaluate_pair(flow.packet, pkts[i], pkts[i + 1], fast);
+      ref.merge(reference_pair_stats(flow.packet, pkts[i], pkts[i + 1]));
+    }
+    expect_same_counters(fast, ref,
+                         ("trial " + std::to_string(trial)).c_str());
+  }
+}
+
+TEST(SpliceSim, TotalMatchesCombinatorics) {
+  const net::FlowConfig flow =
+      flow_with(alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader);
+  const Bytes file(256 * 4, 0x5a);  // 4 equal full-size packets
+  const auto pkts = packetize_file(flow, ByteView(file));
+  ASSERT_EQ(pkts.size(), 4u);
+  SpliceStats st;
+  for (std::size_t i = 0; i + 1 < pkts.size(); ++i)
+    evaluate_pair(flow.packet, pkts[i], pkts[i + 1], st);
+  // Each full-size pair contributes C(12,6)-1 = 923 splices.
+  EXPECT_EQ(st.pairs, 3u);
+  EXPECT_EQ(st.total, 3u * 923u);
+}
+
+TEST(SpliceSim, ConstantFileProducesIdenticalSplices) {
+  // All-identical payload cells: most splices reproduce an original
+  // packet and are classified benign, exactly the "Identical data"
+  // row's point.
+  const net::FlowConfig flow =
+      flow_with(alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader);
+  const Bytes file(256 * 2, 0x00);
+  const auto pkts = packetize_file(flow, ByteView(file));
+  SpliceStats st;
+  evaluate_pair(flow.packet, pkts[0], pkts[1], st);
+  EXPECT_GT(st.identical, 0u);
+  // An identical splice is never a checksum failure.
+  EXPECT_EQ(st.total, st.caught_by_header + st.identical + st.remaining);
+}
+
+TEST(SpliceSim, MismatchedLengthsAllCaughtByHeader) {
+  // A full packet followed by a shorter runt: the AAL5 length from
+  // pkt2's trailer can never match pkt1's IP length, so (almost) all
+  // splices die in the header checks.
+  const net::FlowConfig flow =
+      flow_with(alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader);
+  const Bytes file = fsgen::generate_file(fsgen::FileKind::kText, 1, 300);
+  const auto pkts = packetize_file(flow, ByteView(file));
+  ASSERT_EQ(pkts.size(), 2u);
+  ASSERT_NE(pkts[0].total_len, pkts[1].total_len);
+  SpliceStats st;
+  evaluate_pair(flow.packet, pkts[0], pkts[1], st);
+  EXPECT_GT(st.total, 0u);
+  EXPECT_EQ(st.caught_by_header, st.total);
+}
+
+TEST(SpliceSim, AccountingInvariant) {
+  const net::FlowConfig flow =
+      flow_with(alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader);
+  const Bytes file = fsgen::generate_file(fsgen::FileKind::kExecutable, 3, 20000);
+  SpliceRunConfig cfg;
+  cfg.flow = flow;
+  const SpliceStats st = run_file(cfg, ByteView(file));
+  EXPECT_EQ(st.total, st.caught_by_header + st.identical + st.remaining);
+  EXPECT_GE(st.remaining, st.missed_transport);
+  EXPECT_GE(st.remaining, st.missed_crc);
+  EXPECT_EQ(st.pass_changed, st.missed_transport);
+  EXPECT_EQ(st.remaining, st.pass_changed + st.fail_changed);
+  EXPECT_EQ(st.identical, st.pass_identical + st.fail_identical);
+  std::uint64_t by_k_rem = 0, by_k_miss = 0;
+  for (std::size_t k = 0; k < kMaxTrackedK; ++k) {
+    by_k_rem += st.remaining_by_k[k];
+    by_k_miss += st.missed_by_k[k];
+  }
+  EXPECT_EQ(by_k_rem, st.remaining);
+  EXPECT_EQ(by_k_miss, st.missed_transport);
+}
+
+TEST(SpliceSim, HeaderPlacementNeverRejectsIdenticalSplices) {
+  // With a header checksum, a splice identical to an original packet
+  // carries that packet's own checksum — it always verifies (the
+  // paper's Table 10, header column: zero false positives).
+  const net::FlowConfig flow =
+      flow_with(alg::Algorithm::kInternet, net::ChecksumPlacement::kHeader);
+  SpliceRunConfig cfg;
+  cfg.flow = flow;
+  const Bytes file = fsgen::generate_file(fsgen::FileKind::kGmonProfile, 5, 30000);
+  const SpliceStats st = run_file(cfg, ByteView(file));
+  EXPECT_GT(st.identical, 0u);
+  EXPECT_EQ(st.fail_identical, 0u);
+}
+
+TEST(SpliceSim, TrailerPlacementRejectsMostIdenticalSplices) {
+  // Table 10, trailer column: identical splices carry the *second*
+  // packet's trailer checksum computed with a different sequence
+  // number, so they are (almost always) rejected.
+  const net::FlowConfig flow =
+      flow_with(alg::Algorithm::kInternet, net::ChecksumPlacement::kTrailer);
+  SpliceRunConfig cfg;
+  cfg.flow = flow;
+  const Bytes file = fsgen::generate_file(fsgen::FileKind::kGmonProfile, 5, 30000);
+  const SpliceStats st = run_file(cfg, ByteView(file));
+  EXPECT_GT(st.identical, 0u);
+  EXPECT_GT(st.fail_identical, st.pass_identical);
+}
+
+TEST(SpliceSim, CompressedRunShrinksMissRate) {
+  // Table 7's direction: compressing the data pushes the TCP miss
+  // rate down toward the uniform-data expectation.
+  SpliceRunConfig cfg;
+  cfg.flow = flow_with(alg::Algorithm::kInternet,
+                       net::ChecksumPlacement::kHeader);
+  const Bytes file = fsgen::generate_file(fsgen::FileKind::kGmonProfile, 9, 60000);
+
+  const SpliceStats raw = run_file(cfg, ByteView(file));
+  cfg.compress_files = true;
+  const SpliceStats packed = run_file(cfg, ByteView(file));
+
+  ASSERT_GT(raw.remaining, 0u);
+  const double raw_rate = static_cast<double>(raw.missed_transport) /
+                          static_cast<double>(raw.remaining);
+  const double packed_rate =
+      packed.remaining == 0
+          ? 0.0
+          : static_cast<double>(packed.missed_transport) /
+                static_cast<double>(packed.remaining);
+  // gmon data is pathological for TCP; compressed data should be
+  // orders of magnitude better.
+  EXPECT_GT(raw_rate, 20 * packed_rate);
+}
+
+
+TEST(SpliceSim, ParallelRunMatchesSequential) {
+  // Per-file statistics are additive and files are independent, so the
+  // thread count must not change any counter.
+  SpliceRunConfig seq;
+  seq.flow = flow_with(alg::Algorithm::kInternet,
+                       net::ChecksumPlacement::kHeader);
+  seq.threads = 1;
+  SpliceRunConfig par = seq;
+  par.threads = 4;
+  const fsgen::Filesystem fs(fsgen::profile("nsc05"), 0.3);
+  const SpliceStats a = run_filesystem(seq, fs);
+  const SpliceStats b = run_filesystem(par, fs);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.caught_by_header, b.caught_by_header);
+  EXPECT_EQ(a.identical, b.identical);
+  EXPECT_EQ(a.remaining, b.remaining);
+  EXPECT_EQ(a.missed_transport, b.missed_transport);
+  EXPECT_EQ(a.missed_crc, b.missed_crc);
+  EXPECT_EQ(a.packets, b.packets);
+  for (std::size_t k = 0; k < kMaxTrackedK; ++k)
+    EXPECT_EQ(a.missed_by_k[k], b.missed_by_k[k]);
+}
+
+TEST(SpliceSim, StatsMergeIsAdditive) {
+  SpliceStats a, b;
+  a.total = 5;
+  a.remaining = 3;
+  a.missed_by_k[2] = 1;
+  b.total = 7;
+  b.remaining = 2;
+  b.missed_by_k[2] = 4;
+  a.merge(b);
+  EXPECT_EQ(a.total, 12u);
+  EXPECT_EQ(a.remaining, 5u);
+  EXPECT_EQ(a.missed_by_k[2], 5u);
+}
+
+TEST(SpliceSim, PctOfRemaining) {
+  SpliceStats st;
+  st.remaining = 200;
+  EXPECT_DOUBLE_EQ(st.pct_of_remaining(1), 0.5);
+  SpliceStats empty;
+  EXPECT_DOUBLE_EQ(empty.pct_of_remaining(1), 0.0);
+}
+
+}  // namespace
+}  // namespace cksum::core

@@ -1,0 +1,332 @@
+// Statistics substrate: histograms, FFT convolution, distributions,
+// and chi-square machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distribution.hpp"
+#include "stats/fft.hpp"
+#include "stats/histogram.hpp"
+#include "stats/binomial.hpp"
+#include "stats/uniformity.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::stats {
+namespace {
+
+TEST(Histogram, BasicCounting) {
+  Histogram h(10);
+  h.add(3);
+  h.add(3);
+  h.add(7, 5);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 5u);
+  EXPECT_EQ(h.mode(), 7u);
+  EXPECT_EQ(h.support_size(), 2u);
+}
+
+TEST(Histogram, PdfSumsToOne) {
+  Histogram h(100);
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<std::uint32_t>(rng.below(100)));
+  double total = 0;
+  for (double p : h.pdf()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, SortedPdfDescending) {
+  Histogram h(16);
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) h.add(static_cast<std::uint32_t>(rng.below(16)));
+  const auto sorted = h.sorted_pdf();
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_GE(sorted[i - 1], sorted[i]);
+}
+
+TEST(Histogram, CdfEndsAtOne) {
+  Histogram h(16);
+  for (int i = 0; i < 64; ++i) h.add(static_cast<std::uint32_t>(i % 16));
+  const auto cdf = h.sorted_cdf();
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+}
+
+TEST(Histogram, MatchProbability) {
+  // All mass on one value -> match probability 1.
+  Histogram h(4);
+  h.add(2, 10);
+  EXPECT_NEAR(h.match_probability(), 1.0, 1e-12);
+  // Uniform over 4 -> 1/4.
+  Histogram u(4);
+  for (std::uint32_t v = 0; v < 4; ++v) u.add(v, 5);
+  EXPECT_NEAR(u.match_probability(), 0.25, 1e-12);
+}
+
+TEST(Histogram, TopFractionMass) {
+  Histogram h(1000);
+  h.add(1, 90);
+  for (std::uint32_t v = 2; v < 12; ++v) h.add(v, 1);
+  // Top 0.1% of 1000 bins = 1 bin = the hot one.
+  EXPECT_NEAR(h.top_fraction_mass(0.001), 0.9, 1e-12);
+}
+
+TEST(Histogram, EntropyBounds) {
+  Histogram point(256);
+  point.add(7, 100);
+  EXPECT_NEAR(point.entropy_bits(), 0.0, 1e-12);
+  Histogram uniform(256);
+  for (std::uint32_t v = 0; v < 256; ++v) uniform.add(v);
+  EXPECT_NEAR(uniform.entropy_bits(), 8.0, 1e-12);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(8), b(8);
+  a.add(1, 3);
+  b.add(1, 4);
+  b.add(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 7u);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.total(), 9u);
+  Histogram c(9);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Fft, RoundTrip) {
+  std::vector<std::complex<double>> data(64);
+  util::Rng rng(3);
+  for (auto& x : data) x = {rng.uniform01(), rng.uniform01()};
+  auto copy = data;
+  fft(copy, false);
+  fft(copy, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-9);
+    EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(63);
+  EXPECT_THROW(fft(data, false), std::invalid_argument);
+}
+
+class ConvolveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConvolveSizes, FftMatchesDirect) {
+  const std::size_t m = GetParam();
+  util::Rng rng(4 + m);
+  std::vector<double> a(m), b(m);
+  for (auto& x : a) x = rng.uniform01();
+  for (auto& x : b) x = rng.uniform01();
+  const auto fast = cyclic_convolve(a, b);
+  const auto slow = cyclic_convolve_direct(a, b);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(fast[i], slow[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConvolveSizes,
+                         ::testing::Values(1, 2, 3, 16, 17, 255, 256, 1000));
+
+TEST(Distribution, UniformProperties) {
+  const auto u = Distribution::uniform(100);
+  EXPECT_NEAR(u.pmax(), 0.01, 1e-12);
+  EXPECT_NEAR(u.pmin(), 0.01, 1e-12);
+  EXPECT_NEAR(u.match_probability(), 0.01, 1e-12);
+  EXPECT_NEAR(u.tv_distance_from_uniform(), 0.0, 1e-12);
+}
+
+TEST(Distribution, PointMass) {
+  const auto p = Distribution::point(10, 4);
+  EXPECT_NEAR(p.pmax(), 1.0, 1e-12);
+  EXPECT_NEAR(p.match_probability(), 1.0, 1e-12);
+}
+
+TEST(Distribution, AddIsCyclicConvolution) {
+  // Point masses: point(a) + point(b) = point((a+b) mod m).
+  const auto a = Distribution::point(12, 7);
+  const auto b = Distribution::point(12, 9);
+  const auto sum = a.add(b);
+  EXPECT_NEAR(sum[(7 + 9) % 12], 1.0, 1e-9);
+}
+
+TEST(Distribution, SelfConvolveMatchesRepeatedAdd) {
+  util::Rng rng(5);
+  std::vector<double> w(37);
+  for (auto& x : w) x = rng.uniform01();
+  const Distribution d{w};
+  Distribution iter = d;
+  for (int k = 2; k <= 6; ++k) {
+    iter = iter.add(d);
+    const Distribution pow = d.self_convolve(static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < d.size(); ++i)
+      EXPECT_NEAR(pow[i], iter[i], 1e-9) << "k=" << k << " i=" << i;
+  }
+}
+
+TEST(Distribution, OffsetMatchDeltaZeroIsMatch) {
+  util::Rng rng(6);
+  std::vector<double> w(64);
+  for (auto& x : w) x = rng.uniform01();
+  const Distribution d{w};
+  EXPECT_NEAR(d.offset_match_probability(0), d.match_probability(), 1e-12);
+}
+
+TEST(Distribution, Lemma9_ExactMatchDominatesEveryOffset) {
+  // Lemma 9 of the paper: P[X == Y] >= P[X - Y == c] for every c —
+  // the root cause of the trailer checksum's advantage.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> w(97);
+    for (auto& x : w) x = rng.uniform01() * (rng.chance(0.3) ? 10 : 1);
+    const Distribution d{w};
+    const double match = d.match_probability();
+    for (std::size_t delta = 1; delta < d.size(); ++delta)
+      EXPECT_GE(match + 1e-15, d.offset_match_probability(delta))
+          << "delta=" << delta;
+  }
+}
+
+TEST(Distribution, Corollary3_PMaxNonIncreasingUnderConvolution) {
+  // Corollary 3: summing more independent draws mod M makes the
+  // distribution more uniform (PMax falls, PMin rises).
+  util::Rng rng(8);
+  std::vector<double> w(41);
+  for (auto& x : w) x = rng.uniform01() * (rng.chance(0.2) ? 20 : 1);
+  Distribution d{w};
+  double prev_max = d.pmax();
+  double prev_min = d.pmin();
+  for (int k = 2; k <= 12; ++k) {
+    d = d.add(Distribution{w});
+    EXPECT_LE(d.pmax(), prev_max + 1e-12);
+    EXPECT_GE(d.pmin(), prev_min - 1e-12);
+    prev_max = d.pmax();
+    prev_min = d.pmin();
+  }
+}
+
+
+TEST(Distribution, Lemma1_PMaxOfSumBoundedByEachFactor) {
+  // Lemma 1: PMax(X+Y) <= min(PMax(X), PMax(Y)).
+  util::Rng rng(20);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> wx(53), wy(53);
+    for (auto& v : wx) v = rng.uniform01() * (rng.chance(0.3) ? 9 : 1);
+    for (auto& v : wy) v = rng.uniform01() * (rng.chance(0.3) ? 9 : 1);
+    const Distribution x{wx}, y{wy};
+    const Distribution sum = x.add(y);
+    EXPECT_LE(sum.pmax(), std::min(x.pmax(), y.pmax()) + 1e-12);
+  }
+}
+
+TEST(Distribution, Lemma2_PMinOfSumBoundedBelow) {
+  // Lemma 2: with strictly positive distributions,
+  // PMin(X+Y) >= max(PMin(X), PMin(Y)).
+  util::Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> wx(53), wy(53);
+    for (auto& v : wx) v = 0.05 + rng.uniform01();
+    for (auto& v : wy) v = 0.05 + rng.uniform01();
+    const Distribution x{wx}, y{wy};
+    const Distribution sum = x.add(y);
+    EXPECT_GE(sum.pmin(), std::max(x.pmin(), y.pmin()) - 1e-12);
+  }
+}
+
+TEST(Distribution, Theorem4_ConvergesToUniform) {
+  // The paper's "central limit theorem mod M".
+  std::vector<double> w(255, 0.0);
+  w[0] = 0.5;
+  w[1] = 0.3;
+  w[7] = 0.2;
+  Distribution d{w};
+  const Distribution big = d.self_convolve(4096);
+  EXPECT_LT(big.tv_distance_from_uniform(), 0.01);
+  EXPECT_NEAR(big.pmax(), 1.0 / 255.0, 1e-3);
+}
+
+TEST(Distribution, Lemma5_OneUniformTermMakesSumUniform) {
+  util::Rng rng(9);
+  std::vector<double> w(64);
+  for (auto& x : w) x = rng.uniform01() * (rng.chance(0.2) ? 50 : 1);
+  const Distribution skewed{w};
+  const auto u = Distribution::uniform(64);
+  const auto sum = skewed.add(u);
+  EXPECT_LT(sum.tv_distance_from_uniform(), 1e-9);
+}
+
+TEST(Distribution, RejectsInvalidWeights) {
+  EXPECT_THROW(Distribution({1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(Distribution({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Gamma, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0})
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  // P + Q = 1.
+  EXPECT_NEAR(gamma_p(3.7, 2.2) + gamma_q(3.7, 2.2), 1.0, 1e-12);
+  // Median of chi-square with k dof is roughly k - 2/3.
+  EXPECT_NEAR(chi_square_sf(9.33, 10.0), 0.5, 0.02);
+}
+
+TEST(ChiSquare, UniformDataGetsHighPValue) {
+  Histogram h(64);
+  util::Rng rng(10);
+  for (int i = 0; i < 64000; ++i)
+    h.add(static_cast<std::uint32_t>(rng.below(64)));
+  EXPECT_GT(uniformity_p_value(h), 1e-4);
+}
+
+TEST(ChiSquare, SkewedDataGetsLowPValue) {
+  Histogram h(64);
+  util::Rng rng(11);
+  for (int i = 0; i < 64000; ++i)
+    h.add(static_cast<std::uint32_t>(rng.below(32)));  // half the bins unused
+  EXPECT_LT(uniformity_p_value(h), 1e-10);
+}
+
+TEST(ChiSquare, SparseBinsArePooled) {
+  // 65535 bins, only a few thousand samples: the pooled test should
+  // still behave (uniform data -> non-tiny p-value).
+  Histogram h(65535);
+  util::Rng rng(12);
+  for (int i = 0; i < 5000; ++i)
+    h.add(static_cast<std::uint32_t>(rng.below(65535)));
+  EXPECT_GT(uniformity_p_value(h), 1e-4);
+}
+
+
+TEST(Wilson, BasicProperties) {
+  // Contains the point estimate, shrinks with n, clamps to [0,1].
+  const auto ci = wilson_interval(50, 100);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  const auto tighter = wilson_interval(5000, 10000);
+  EXPECT_GT(tighter.lo, ci.lo);
+  EXPECT_LT(tighter.hi, ci.hi);
+  const auto zero = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_DOUBLE_EQ(zero.hi, 0.0);
+  const auto all = wilson_interval(10, 10);
+  EXPECT_LE(all.hi, 1.0);
+  EXPECT_GT(all.lo, 0.6);
+}
+
+TEST(Wilson, ZeroSuccessesStillInformative) {
+  // The CRC rows: 0 misses in millions of trials still gives a finite
+  // upper bound ("rule of three"-ish: ~ z^2 / n).
+  const auto ci = wilson_interval(0, 1000000);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 1e-5);
+}
+
+TEST(Wilson, KnownValue) {
+  // p=0.1, n=100, z=1.96: Wilson interval ~ [0.0552, 0.1744].
+  const auto ci = wilson_interval(10, 100);
+  EXPECT_NEAR(ci.lo, 0.0552, 0.002);
+  EXPECT_NEAR(ci.hi, 0.1744, 0.002);
+}
+
+}  // namespace
+}  // namespace cksum::stats

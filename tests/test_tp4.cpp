@@ -1,0 +1,106 @@
+// TP4 DT TPDUs and their Fletcher checksum parameter.
+#include <gtest/gtest.h>
+
+#include "net/tp4.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::net {
+namespace {
+
+using util::ByteView;
+using util::Bytes;
+
+Tp4Dt make_dt(std::size_t payload_len, std::uint64_t seed = 1) {
+  Tp4Dt dt;
+  dt.dst_ref = 0x1234;
+  dt.seq = 5;
+  dt.end_of_tsdu = true;
+  dt.user_data.resize(payload_len);
+  util::Rng rng(seed);
+  rng.fill(dt.user_data);
+  return dt;
+}
+
+class Tp4BothMods : public ::testing::TestWithParam<alg::FletcherMod> {};
+
+TEST_P(Tp4BothMods, BuildVerifyRoundTrip) {
+  const alg::FletcherMod mod = GetParam();
+  for (std::size_t len : {0u, 1u, 100u, 1024u}) {
+    const Bytes tpdu = build_tp4_dt(make_dt(len, len), mod);
+    EXPECT_TRUE(verify_tp4_checksum(ByteView(tpdu), mod)) << "len " << len;
+    const auto parsed = parse_tp4_dt(ByteView(tpdu));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->dst_ref, 0x1234);
+    EXPECT_EQ(parsed->seq, 5);
+    EXPECT_TRUE(parsed->end_of_tsdu);
+    EXPECT_EQ(parsed->user_data.size(), len);
+  }
+}
+
+TEST_P(Tp4BothMods, CorruptionDetected) {
+  const alg::FletcherMod mod = GetParam();
+  const Bytes tpdu = build_tp4_dt(make_dt(256, 7), mod);
+  util::Rng rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes corrupted = tpdu;
+    const std::size_t at = rng.below(corrupted.size());
+    const auto flip = static_cast<std::uint8_t>(1 + rng.below(255));
+    if (mod == alg::FletcherMod::kOnes255) {
+      // Skip the 0x00 <-> 0xFF congruence.
+      const std::uint8_t before = corrupted[at];
+      const std::uint8_t after = before ^ flip;
+      if ((before == 0x00 && after == 0xff) ||
+          (before == 0xff && after == 0x00))
+        continue;
+    }
+    corrupted[at] ^= flip;
+    // Structural damage (LI/code) fails parse; payload damage fails
+    // the checksum. Either way the TPDU must be rejected.
+    EXPECT_FALSE(verify_tp4_checksum(ByteView(corrupted), mod))
+        << "byte " << at;
+  }
+}
+
+TEST_P(Tp4BothMods, WrongModulusRejects) {
+  // A mod-255 TPDU does not verify under mod-256 rules and vice versa
+  // (they are different checksums, as the paper's §6.4 bug showed).
+  const alg::FletcherMod mod = GetParam();
+  const alg::FletcherMod other = mod == alg::FletcherMod::kOnes255
+                                     ? alg::FletcherMod::kTwos256
+                                     : alg::FletcherMod::kOnes255;
+  const Bytes tpdu = build_tp4_dt(make_dt(200, 9), mod);
+  EXPECT_FALSE(verify_tp4_checksum(ByteView(tpdu), other));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMods, Tp4BothMods,
+                         ::testing::Values(alg::FletcherMod::kOnes255,
+                                           alg::FletcherMod::kTwos256));
+
+TEST(Tp4, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_tp4_dt(ByteView(Bytes{})).has_value());
+  EXPECT_FALSE(parse_tp4_dt(ByteView(Bytes{8, 0xE0, 0, 0, 0})).has_value());
+  // LI larger than the TPDU.
+  EXPECT_FALSE(parse_tp4_dt(ByteView(Bytes{200, 0xF0, 0, 0, 0})).has_value());
+  // Parameter length overruns the header.
+  Bytes bad = {8, 0xF0, 0, 0, 0, 0xC3, 9, 0, 0};
+  EXPECT_FALSE(parse_tp4_dt(ByteView(bad)).has_value());
+}
+
+TEST(Tp4, MissingChecksumParamFailsVerification) {
+  // A DT with an empty variable part parses but cannot verify.
+  Bytes tpdu = {4, 0xF0, 0x12, 0x34, 0x05, 'd', 'a', 't', 'a'};
+  EXPECT_TRUE(parse_tp4_dt(ByteView(tpdu)).has_value());
+  EXPECT_FALSE(verify_tp4_checksum(ByteView(tpdu)));
+}
+
+TEST(Tp4, ChecksumParamIsHeaderPlaced) {
+  // Documenting the fate-sharing property: the check octets live at
+  // fixed offsets 7-8, inside the header — a TP4-over-AAL5 splice
+  // would keep checksum and header in the same cell, like TCP.
+  const Bytes tpdu = build_tp4_dt(make_dt(64, 3));
+  EXPECT_EQ(tpdu[5], kTp4ChecksumParam);
+  EXPECT_EQ(tpdu[6], 2);
+}
+
+}  // namespace
+}  // namespace cksum::net

@@ -1,0 +1,302 @@
+// cksumlab — command-line multitool over the library.
+//
+//   cksumlab sum <file>...                 all check codes per file
+//   cksumlab profiles                      list synthetic filesystems
+//   cksumlab gen <kind> <bytes> [seed]     synthetic file to stdout
+//   cksumlab splice --profile <name> [opts]
+//   cksumlab splice --dir <path>    [opts] the paper's experiment on
+//                                          YOUR files
+//   cksumlab dist   --profile <name> | --dir <path>
+//
+// splice/dist options:
+//   --transport tcp|f255|f256   transport checksum   (default tcp)
+//   --trailer                   trailer placement    (default header)
+//   --scale <x>                 profile scale        (default 1.0)
+//   --segment <bytes>           TCP segment size     (default 256)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/dircorpus.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "stats/uniformity.hpp"
+#include "util/pcap.hpp"
+
+using namespace cksum;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cksumlab sum <file>...\n"
+               "       cksumlab profiles\n"
+               "       cksumlab gen <kind> <bytes> [seed]\n"
+               "       cksumlab manifest <profile> [scale]\n"
+               "       cksumlab pcap <out.pcap> [profile] [max-packets]\n"
+               "       cksumlab splice (--profile <name> | --dir <path> | --manifest <file>) "
+               "[--transport tcp|f255|f256] [--trailer] [--scale x] "
+               "[--segment n]\n"
+               "       cksumlab dist (--profile <name> | --dir <path>)\n");
+  return 2;
+}
+
+int cmd_sum(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  core::TextTable t({"file", "bytes", "internet", "F-255", "F-256",
+                     "Fletcher-32", "CRC-32", "Adler-32"});
+  for (const auto& path : args) {
+    const util::Bytes data =
+        core::read_file_prefix(path, 1ull << 31);
+    const util::ByteView view(data.data(), data.size());
+    char inet[8], f255[8], f256[8], f32[16], crc[16], adler[16];
+    std::snprintf(inet, sizeof inet, "0x%04x", alg::internet_sum(view));
+    const auto p255 = alg::fletcher_block(view, alg::FletcherMod::kOnes255);
+    const auto p256 = alg::fletcher_block(view, alg::FletcherMod::kTwos256);
+    std::snprintf(f255, sizeof f255, "0x%04x", alg::fletcher_value(p255));
+    std::snprintf(f256, sizeof f256, "0x%04x", alg::fletcher_value(p256));
+    std::snprintf(f32, sizeof f32, "0x%08x",
+                  alg::fletcher32_value(alg::fletcher32_block(view)));
+    std::snprintf(crc, sizeof crc, "0x%08x", alg::crc32(view));
+    std::snprintf(adler, sizeof adler, "0x%08x", alg::adler32(view));
+    t.add_row({path, core::fmt_count(data.size()), inet, f255, f256, f32,
+               crc, adler});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_profiles() {
+  core::TextTable t({"profile", "files", "approx size", "mix"});
+  for (const auto& prof : fsgen::all_profiles()) {
+    const fsgen::Filesystem fs(prof, 1.0);
+    std::string mix;
+    for (const auto& kw : prof.mix) {
+      if (!mix.empty()) mix += ", ";
+      mix += std::string(fsgen::name(kw.kind)) + ":" +
+             std::to_string(static_cast<int>(kw.weight * 100 + 0.5)) + "%";
+    }
+    t.add_row({prof.full_name(), std::to_string(fs.file_count()),
+               core::fmt_count(fs.approx_total_bytes()), mix});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const fsgen::FileKind* kind = nullptr;
+  for (const auto& k : fsgen::kAllKinds) {
+    if (args[0] == fsgen::name(k)) {
+      kind = &k;
+      break;
+    }
+  }
+  if (kind == nullptr) {
+    std::fprintf(stderr, "unknown kind '%s'; available:", args[0].c_str());
+    for (const auto& k : fsgen::kAllKinds)
+      std::fprintf(stderr, " %s", std::string(fsgen::name(k)).c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const std::size_t size = std::stoull(args[1]);
+  const std::uint64_t seed = args.size() > 2 ? std::stoull(args[2]) : 1;
+  const util::Bytes out = fsgen::generate_file(*kind, seed, size);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
+struct CommonOpts {
+  std::string profile;
+  std::string dir;
+  std::string manifest;  // corpus pinned by `cksumlab manifest`
+  net::PacketConfig pkt;
+  double scale = 1.0;
+  std::size_t segment = 256;
+  bool ok = true;
+};
+
+CommonOpts parse_common(const std::vector<std::string>& args) {
+  CommonOpts o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        o.ok = false;
+        return {};
+      }
+      return args[++i];
+    };
+    if (a == "--profile") {
+      o.profile = next();
+    } else if (a == "--manifest") {
+      o.manifest = next();
+    } else if (a == "--dir") {
+      o.dir = next();
+    } else if (a == "--scale") {
+      o.scale = std::stod(next());
+    } else if (a == "--segment") {
+      o.segment = std::stoull(next());
+    } else if (a == "--trailer") {
+      o.pkt.placement = net::ChecksumPlacement::kTrailer;
+    } else if (a == "--transport") {
+      const std::string v = next();
+      if (v == "tcp") {
+        o.pkt.transport = alg::Algorithm::kInternet;
+      } else if (v == "f255") {
+        o.pkt.transport = alg::Algorithm::kFletcher255;
+      } else if (v == "f256") {
+        o.pkt.transport = alg::Algorithm::kFletcher256;
+      } else {
+        o.ok = false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      o.ok = false;
+    }
+  }
+  const int sources = (!o.profile.empty() ? 1 : 0) +
+                      (!o.dir.empty() ? 1 : 0) +
+                      (!o.manifest.empty() ? 1 : 0);
+  if (sources != 1) o.ok = false;  // exactly one corpus source
+  return o;
+}
+
+void print_splice_stats(const core::SpliceStats& st,
+                        const net::PacketConfig& pkt) {
+  core::TextTable t({"", "count", "% remaining"});
+  t.add_row({"files", core::fmt_count(st.files), ""});
+  t.add_row({"packets", core::fmt_count(st.packets), ""});
+  t.add_row({"splices", core::fmt_count(st.total), ""});
+  t.add_row({"caught by header", core::fmt_count(st.caught_by_header), ""});
+  t.add_row({"identical data", core::fmt_count(st.identical), ""});
+  t.add_row({"remaining", core::fmt_count(st.remaining), "100"});
+  t.add_row({"missed by CRC-32", core::fmt_count(st.missed_crc),
+             core::fmt_pct(st.missed_crc, st.remaining)});
+  const std::string name = "missed by " + std::string(alg::name(pkt.transport));
+  t.add_row({name, core::fmt_count(st.missed_transport),
+             core::fmt_pct(st.missed_transport, st.remaining)});
+  t.print(std::cout);
+  std::printf("uniform-data expectation for %s: %s%%\n",
+              std::string(alg::name(pkt.transport)).c_str(),
+              core::fmt_pct(alg::uniform_miss_rate(pkt.transport)).c_str());
+}
+
+int cmd_manifest(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const fsgen::Filesystem fs(fsgen::profile(args[0]),
+                             args.size() > 1 ? std::stod(args[1]) : 1.0);
+  std::fputs(fs.to_manifest().c_str(), stdout);
+  return 0;
+}
+
+int cmd_pcap(const std::vector<std::string>& args) {
+  // cksumlab pcap <out.pcap> [profile] [max-packets]
+  if (args.empty()) return usage();
+  const std::string prof_name =
+      args.size() > 1 ? args[1] : "sics.se:/opt";
+  const std::size_t max_pkts =
+      args.size() > 2 ? std::stoull(args[2]) : 200;
+  const fsgen::Filesystem fs(fsgen::profile(prof_name), 0.2);
+  const net::FlowConfig flow = core::paper_flow_config();
+
+  std::ofstream out(args[0], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
+    return 1;
+  }
+  util::PcapWriter pcap(out);
+  for (std::size_t f = 0; f < fs.file_count(); ++f) {
+    if (pcap.packets_written() >= max_pkts) break;
+    const util::Bytes file = fs.file(f);
+    for (const auto& p : net::segment_file(flow, util::ByteView(file))) {
+      if (pcap.packets_written() >= max_pkts) break;
+      pcap.write_packet(p.ip_bytes());
+    }
+  }
+  std::fprintf(stderr, "%zu packets -> %s (LINKTYPE_RAW)\n",
+               pcap.packets_written(), args[0].c_str());
+  return 0;
+}
+
+int cmd_splice(const std::vector<std::string>& args) {
+  const CommonOpts o = parse_common(args);
+  if (!o.ok) return usage();
+  core::SpliceRunConfig cfg;
+  cfg.flow = core::paper_flow_config();
+  cfg.flow.segment_size = o.segment;
+  cfg.flow.packet = o.pkt;
+  cfg.threads = 0;
+
+  core::SpliceStats st;
+  if (!o.profile.empty()) {
+    const fsgen::Filesystem fs(fsgen::profile(o.profile), o.scale);
+    st = core::run_filesystem(cfg, fs);
+  } else if (!o.manifest.empty()) {
+    const util::Bytes text = core::read_file_prefix(o.manifest, 1u << 24);
+    const fsgen::Filesystem fs = fsgen::Filesystem::from_manifest(
+        fsgen::profile("nsc05"),
+        std::string_view(reinterpret_cast<const char*>(text.data()),
+                         text.size()));
+    st = core::run_filesystem(cfg, fs);
+  } else {
+    st = core::run_directory(cfg, o.dir);
+  }
+  print_splice_stats(st, o.pkt);
+  return 0;
+}
+
+int cmd_dist(const std::vector<std::string>& args) {
+  const CommonOpts o = parse_common(args);
+  if (!o.ok) return usage();
+  core::CellStatsConfig cfg;
+  cfg.ks = {1, 2, 4};
+  cfg.segment_size = o.segment;
+
+  core::CellStatsCollector stats =
+      !o.profile.empty()
+          ? core::collect_cell_stats(fsgen::profile(o.profile), o.scale, cfg)
+          : core::collect_directory_stats(o.dir, cfg);
+
+  const auto& h = stats.tcp_cells();
+  std::printf("cells                 %s\n",
+              core::fmt_count(stats.cells_seen()).c_str());
+  std::printf("most common checksum  0x%04x (%s%% of cells)\n", h.mode(),
+              core::fmt_pct(h.pmax()).c_str());
+  std::printf("top 0.1%% of values    %s%% of cells\n",
+              core::fmt_pct(h.top_fraction_mass(0.001)).c_str());
+  std::printf("entropy               %.2f bits of 16\n", h.entropy_bits());
+  std::printf("uniformity p-value    %.3e\n", stats::uniformity_p_value(h));
+  std::printf("P[2 cells congruent]  %s%%   (uniform 0.0015%%)\n",
+              core::fmt_pct(h.match_probability()).c_str());
+  const auto& lc = stats.local(2);
+  std::printf("local 2-block match   %s%%, excluding identical %s%%\n",
+              core::fmt_pct(lc.p_congruent()).c_str(),
+              core::fmt_pct(lc.p_congruent_excluding_identical()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "sum") return cmd_sum(args);
+    if (cmd == "profiles") return cmd_profiles();
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "manifest") return cmd_manifest(args);
+    if (cmd == "pcap") return cmd_pcap(args);
+    if (cmd == "splice") return cmd_splice(args);
+    if (cmd == "dist") return cmd_dist(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cksumlab: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
