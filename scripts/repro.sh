@@ -15,16 +15,44 @@ export CKSUMLAB_SCALE="$SCALE"
 cmake -B build -G Ninja
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+# In POSIX sh a pipeline reports the LAST command's status, so
+# `ctest ... | tee` would let test failures slip past `set -e` (tee
+# always succeeds). Stash each stage's real status in a file written
+# inside the pipeline's subshell and check it explicitly. The
+# `|| rc=$?` form keeps the inherited `set -e` from killing the
+# subshell before the status is written.
+status_file="$(mktemp)"
+trap 'rm -f "$status_file"' EXIT
 
 {
+  rc=0
+  ctest --test-dir build 2>&1 || rc=$?
+  echo "$rc" > "$status_file"
+} | tee test_output.txt
+read -r ctest_status < "$status_file"
+if [ "$ctest_status" -ne 0 ]; then
+  echo "ctest failed (exit $ctest_status); see test_output.txt" >&2
+  exit "$ctest_status"
+fi
+
+{
+  bench_status=0
   for b in build/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then
       echo "===== $(basename "$b") ====="
-      "$b"
+      if ! "$b"; then
+        bench_status=1
+        echo "BENCH FAILED: $b" >&2
+      fi
       echo
     fi
   done
+  echo "$bench_status" > "$status_file"
 } 2>&1 | tee bench_output.txt
+read -r bench_status < "$status_file"
+if [ "$bench_status" -ne 0 ]; then
+  echo "a bench failed; see bench_output.txt" >&2
+  exit 1
+fi
 
 echo "done: test_output.txt and bench_output.txt refreshed (scale $SCALE)"

@@ -3,9 +3,33 @@
 namespace cksum::atm {
 
 std::optional<VcDemux::Delivery> VcDemux::push(const Cell& cell) {
+  ++tick_;
   const Key key{cell.header.vpi, cell.header.vci};
-  auto done = channels_[key].push(cell);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    if (channels_.size() >= limits_.max_channels && !channels_.empty())
+      evict_idlest();
+    it = channels_.emplace(key, Channel{}).first;
+  }
+  it->second.last_used = tick_;
+
+  // Pending budget: shed non-EOM cells once the global buffer is full.
+  // EOM cells still pass — they always complete (and thus drain) their
+  // channel's PDU, so admitting them only ever reduces pending state.
+  if (!cell.header.end_of_message() &&
+      pending_ >= limits_.max_pending_cells) {
+    ++stats_.budget_drops;
+    return std::nullopt;
+  }
+
+  Reassembler& reasm = it->second.reasm;
+  const std::size_t before = reasm.pending_cells();
+  auto done = reasm.push(cell);
+  pending_ -= before;
+  pending_ += reasm.pending_cells();
+
   if (!done) return std::nullopt;
+  ++stats_.deliveries;
   Delivery d;
   d.vpi = cell.header.vpi;
   d.vci = cell.header.vci;
@@ -13,15 +37,27 @@ std::optional<VcDemux::Delivery> VcDemux::push(const Cell& cell) {
   return d;
 }
 
-std::size_t VcDemux::pending_cells() const noexcept {
-  std::size_t total = 0;
-  for (const auto& [key, reasm] : channels_) total += reasm.pending_cells();
-  return total;
+void VcDemux::evict_idlest() {
+  auto victim = channels_.begin();
+  for (auto it = std::next(victim); it != channels_.end(); ++it) {
+    if (it->second.last_used < victim->second.last_used) victim = it;
+  }
+  pending_ -= victim->second.reasm.pending_cells();
+  ++stats_.evictions;
+  channels_.erase(victim);
 }
 
 void VcDemux::reset_channel(std::uint8_t vpi, std::uint16_t vci) {
   const auto it = channels_.find(Key{vpi, vci});
-  if (it != channels_.end()) it->second.reset();
+  if (it == channels_.end()) return;
+  pending_ -= it->second.reasm.pending_cells();
+  it->second.reasm.reset();
+}
+
+std::uint64_t VcDemux::oversize_discards() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [key, ch] : channels_) total += ch.reasm.oversize_discards();
+  return total;
 }
 
 }  // namespace cksum::atm

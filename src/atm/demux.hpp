@@ -3,6 +3,23 @@
 // each cell to its channel's reassembler (creating state on first
 // sight), discards cells whose HEC failed upstream, and surfaces
 // completed candidate PDUs tagged with their VC.
+//
+// A hostile or faulty stream can try to exhaust the receiver two ways:
+// spraying cells across unbounded VCIs (per-channel state), or opening
+// PDUs whose EOM never arrives (pending-cell buffers). The demux
+// therefore degrades gracefully instead of growing without bound:
+//
+//  * a max-channel cap with idle-channel eviction — when a cell for a
+//    new VC arrives at the cap, the least-recently-used channel's
+//    state is discarded;
+//  * a global pending-cell budget — once the total buffered cells
+//    reach it, non-EOM cells are dropped (EOM cells still pass so
+//    stuck PDUs can complete and drain the buffers).
+//
+// Both degradations are counted; dropped cells surface downstream as
+// ordinary splices/truncations that the AAL5 length and CRC checks
+// catch. Defaults are generous enough that well-behaved streams never
+// notice the limits.
 #pragma once
 
 #include <map>
@@ -12,6 +29,20 @@
 
 namespace cksum::atm {
 
+struct DemuxLimits {
+  /// Max VCs with live reassembly state before LRU eviction kicks in.
+  std::size_t max_channels = 65536;
+  /// Max cells buffered across all channels before non-EOM cells are
+  /// shed.
+  std::size_t max_pending_cells = std::size_t{1} << 22;
+};
+
+struct DemuxStats {
+  std::uint64_t deliveries = 0;    ///< completed candidate PDUs surfaced
+  std::uint64_t budget_drops = 0;  ///< cells shed over the pending budget
+  std::uint64_t evictions = 0;     ///< idle channels evicted at the cap
+};
+
 class VcDemux {
  public:
   struct Delivery {
@@ -20,6 +51,9 @@ class VcDemux {
     Reassembler::Pdu pdu;
   };
 
+  VcDemux() = default;
+  explicit VcDemux(const DemuxLimits& limits) : limits_(limits) {}
+
   /// Feed one cell; returns a completed PDU when this cell ends one.
   std::optional<Delivery> push(const Cell& cell);
 
@@ -27,15 +61,33 @@ class VcDemux {
   std::size_t channel_count() const noexcept { return channels_.size(); }
 
   /// Cells buffered across all channels (diagnosing stuck partial
-  /// reassemblies after EOM loss).
-  std::size_t pending_cells() const noexcept;
+  /// reassemblies after EOM loss). O(1): tracked incrementally.
+  std::size_t pending_cells() const noexcept { return pending_; }
 
   /// Drop a channel's partial state (e.g. on VC teardown).
   void reset_channel(std::uint8_t vpi, std::uint16_t vci);
 
+  const DemuxLimits& limits() const noexcept { return limits_; }
+  const DemuxStats& stats() const noexcept { return stats_; }
+
+  /// Sum of per-channel oversize-PDU discards (EOM lost so long ago
+  /// the buffer outgrew the max CPCS-PDU size).
+  std::uint64_t oversize_discards() const noexcept;
+
  private:
   using Key = std::pair<std::uint8_t, std::uint16_t>;
-  std::map<Key, Reassembler> channels_;
+  struct Channel {
+    Reassembler reasm;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_idlest();
+
+  std::map<Key, Channel> channels_;
+  DemuxLimits limits_{};
+  DemuxStats stats_{};
+  std::uint64_t tick_ = 0;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace cksum::atm

@@ -8,6 +8,7 @@
 // state machine.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 
@@ -22,10 +23,16 @@ class Reassembler {
     bool length_ok = false;
     bool crc_ok = false;
 
-    /// The delivered payload (first `length` bytes) when both checks
-    /// pass.
+    /// The delivered payload (first `length` bytes). Safe to call on
+    /// any candidate PDU, hostile ones included: empty when the length
+    /// check failed or the buffer is too short to hold a trailer, and
+    /// the claimed length is clamped to the buffer so a lying trailer
+    /// can never slice out of range.
     util::ByteView payload() const {
-      return util::ByteView(bytes).first(parse_trailer(util::ByteView(bytes)).length);
+      const util::ByteView all(bytes);
+      if (!length_ok || all.size() < kAal5TrailerLen) return {};
+      const std::size_t claimed = parse_trailer(all).length;
+      return all.first(std::min(claimed, all.size()));
     }
   };
 

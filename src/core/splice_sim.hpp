@@ -71,6 +71,10 @@ struct SpliceStats {
 
   void merge(const SpliceStats& other);
 
+  /// Bitwise equality across every counter — lets tests assert that a
+  /// run is deterministic regardless of thread count.
+  friend bool operator==(const SpliceStats&, const SpliceStats&) = default;
+
   double pct_of_remaining(std::uint64_t n) const {
     return remaining == 0
                ? 0.0

@@ -1,0 +1,151 @@
+#include "faults/channel.hpp"
+
+#include <algorithm>
+
+#include "core/error_inject.hpp"
+
+namespace cksum::faults {
+
+void FaultStats::merge(const FaultStats& o) noexcept {
+  cells_in += o.cells_in;
+  cells_out += o.cells_out;
+  payload_bursts += o.payload_bursts;
+  hec_corruptions += o.hec_corruptions;
+  hec_dropped += o.hec_dropped;
+  hec_miscorrected += o.hec_miscorrected;
+  duplicates += o.duplicates;
+  reorders += o.reorders;
+  eom_flips += o.eom_flips;
+  misdeliveries += o.misdeliveries;
+  truncations += o.truncations;
+  cells_truncated += o.cells_truncated;
+}
+
+namespace {
+
+using atm::Cell;
+
+struct Delayed {
+  Cell cell;
+  std::size_t remaining;  ///< emissions left before release
+};
+
+}  // namespace
+
+std::vector<Cell> FaultyChannel::apply(const std::vector<Cell>& stream) {
+  stats_.cells_in += stream.size();
+
+  // Distinct VCs in this stream — the misdelivery targets.
+  std::vector<std::pair<std::uint8_t, std::uint16_t>> vcs;
+  for (const Cell& c : stream) {
+    const std::pair<std::uint8_t, std::uint16_t> vc{c.header.vpi,
+                                                    c.header.vci};
+    if (std::find(vcs.begin(), vcs.end(), vc) == vcs.end()) vcs.push_back(vc);
+  }
+
+  const unsigned bits_lo = std::clamp(plan_.burst_bits_min, 1u, 64u);
+  const unsigned bits_hi = std::clamp(plan_.burst_bits_max, bits_lo, 64u);
+
+  std::vector<Cell> out;
+  out.reserve(stream.size() + stream.size() / 8 + 4);
+  std::vector<Delayed> held;
+
+  // Emit a cell and release any delayed cells whose window expired.
+  // A released cell does not itself advance the countdowns, so a held
+  // cell slips past at most `reorder_window` direct emissions.
+  const auto emit = [&](const Cell& c) {
+    out.push_back(c);
+    for (auto it = held.begin(); it != held.end();) {
+      if (--it->remaining == 0) {
+        out.push_back(it->cell);
+        it = held.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (const Cell& in : stream) {
+    Cell c = in;
+
+    if (rng_.chance(plan_.payload_burst_rate)) {
+      const unsigned len =
+          bits_lo + static_cast<unsigned>(rng_.below(bits_hi - bits_lo + 1));
+      core::apply_burst(c.payload,
+                        core::random_burst(rng_, 8 * atm::kCellPayload, len));
+      ++stats_.payload_bursts;
+    }
+
+    if (rng_.chance(plan_.eom_flip_rate)) {
+      c.header.set_end_of_message(!c.header.end_of_message());
+      ++stats_.eom_flips;
+    }
+
+    if (rng_.chance(plan_.misdeliver_rate)) {
+      if (vcs.size() > 1) {
+        std::size_t pick = rng_.below(vcs.size());
+        if (vcs[pick] == std::pair{c.header.vpi, c.header.vci})
+          pick = (pick + 1) % vcs.size();
+        c.header.vpi = vcs[pick].first;
+        c.header.vci = vcs[pick].second;
+      } else {
+        c.header.vci = static_cast<std::uint16_t>(
+            c.header.vci ^ (1 + rng_.below(0xffff)));
+      }
+      ++stats_.misdeliveries;
+    }
+
+    if (rng_.chance(plan_.hec_corrupt_rate)) {
+      ++stats_.hec_corruptions;
+      std::uint8_t hdr[atm::kCellHeaderLen];
+      c.header.write(hdr);
+      const unsigned flips = std::max(1u, plan_.hec_flip_bits);
+      for (unsigned k = 0; k < flips; ++k) {
+        const std::uint64_t bit = rng_.below(8 * atm::kCellHeaderLen);
+        hdr[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+      }
+      const auto reparsed =
+          atm::CellHeader::parse(util::ByteView(hdr, atm::kCellHeaderLen));
+      if (!reparsed) {
+        // The receiver's HEC filter discards the cell.
+        ++stats_.hec_dropped;
+        continue;
+      }
+      // Multi-bit flip landed on another valid header: the cell sails
+      // on, possibly onto another VC or with a flipped EOM bit.
+      c.header = *reparsed;
+      ++stats_.hec_miscorrected;
+    }
+
+    if (plan_.reorder_window > 0 && rng_.chance(plan_.reorder_rate)) {
+      held.push_back({c, 1 + rng_.below(plan_.reorder_window)});
+      ++stats_.reorders;
+      continue;
+    }
+
+    emit(c);
+    if (rng_.chance(plan_.duplicate_rate)) {
+      emit(c);
+      ++stats_.duplicates;
+    }
+  }
+
+  // Flush cells still held at end of stream, earliest release first.
+  std::stable_sort(held.begin(), held.end(),
+                   [](const Delayed& a, const Delayed& b) {
+                     return a.remaining < b.remaining;
+                   });
+  for (const Delayed& d : held) out.push_back(d.cell);
+
+  if (!out.empty() && rng_.chance(plan_.truncate_rate)) {
+    const std::size_t keep = rng_.below(out.size());
+    stats_.cells_truncated += out.size() - keep;
+    out.resize(keep);
+    ++stats_.truncations;
+  }
+
+  stats_.cells_out += out.size();
+  return out;
+}
+
+}  // namespace cksum::faults

@@ -1,0 +1,110 @@
+// Composable fault-injection channel for ATM cell streams.
+//
+// The paper's error model covers exactly one fault class — cell drops
+// that splice adjacent AAL5 PDUs. Real links misbehave in more ways
+// than that, and detection behaviour differs sharply by fault class
+// (burst vs random errors, duplication vs reordering vs truncation).
+// The FaultyChannel injects every class the receiver stack can be
+// exposed to, each with an independent rate and counter, so the soak
+// driver and bench_faultmatrix can measure what escapes:
+//
+//  * payload bit-bursts   — core::apply_burst inside a cell payload
+//  * HEC corruption       — bit flips in the 5-byte header; the cell is
+//                           re-parsed and dropped when the HEC check
+//                           fails (the normal case), or carried on with
+//                           its mutated header when a multi-bit flip
+//                           happens to re-validate (miscorrection)
+//  * cell duplication     — a cell delivered twice
+//  * bounded reordering   — a cell delayed past up to `reorder_window`
+//                           successors
+//  * EOM-bit flips        — the AAL5 end-of-message marker toggled
+//                           (header rewritten with a valid HEC: models
+//                           an undetected header error)
+//  * cross-VC misdelivery — VPI/VCI rewritten to another channel seen
+//                           in the same stream
+//  * stream truncation    — the tail of the stream cut off (link reset
+//                           mid-transfer)
+//
+// The channel is deterministic: it owns a seeded Rng, so a (plan,
+// seed, stream) triple always produces the same faulted stream. It is
+// meant to be layered *in front of* the atm::transmit loss/discard
+// policies, which model the switch rather than the wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atm/cell.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::faults {
+
+/// Per-class injection rates. All rates are per-cell probabilities
+/// except truncate_rate, which is per-stream (one cut at most per
+/// apply() call). A default-constructed plan injects nothing.
+struct FaultPlan {
+  double payload_burst_rate = 0.0;
+  unsigned burst_bits_min = 1;    ///< inclusive; clamped to [1, 64]
+  unsigned burst_bits_max = 48;   ///< inclusive; clamped to [min, 64]
+
+  double hec_corrupt_rate = 0.0;
+  unsigned hec_flip_bits = 1;     ///< header bits flipped per corruption
+
+  double duplicate_rate = 0.0;
+
+  double reorder_rate = 0.0;
+  std::size_t reorder_window = 4; ///< max cells a delayed cell slips past
+
+  double eom_flip_rate = 0.0;
+  double misdeliver_rate = 0.0;
+  double truncate_rate = 0.0;
+};
+
+/// One counter per fault class, plus receiver-visible consequences.
+struct FaultStats {
+  std::uint64_t cells_in = 0;
+  std::uint64_t cells_out = 0;
+
+  std::uint64_t payload_bursts = 0;
+  std::uint64_t hec_corruptions = 0;
+  std::uint64_t hec_dropped = 0;      ///< corruptions the HEC check caught
+  std::uint64_t hec_miscorrected = 0; ///< corruptions that re-validated
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t eom_flips = 0;
+  std::uint64_t misdeliveries = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t cells_truncated = 0;
+
+  /// Total injected fault events (the soak driver's progress metric;
+  /// a truncation counts once per cut, not per cell removed).
+  std::uint64_t total_faults() const noexcept {
+    return payload_bursts + hec_corruptions + duplicates + reorders +
+           eom_flips + misdeliveries + truncations;
+  }
+
+  void merge(const FaultStats& o) noexcept;
+};
+
+/// Applies a FaultPlan to cell streams. Stateless across streams apart
+/// from the Rng and the accumulated counters.
+class FaultyChannel {
+ public:
+  FaultyChannel(const FaultPlan& plan, std::uint64_t seed)
+      : plan_(plan), rng_(seed) {}
+
+  /// Pass one stream through the channel. Order of layers: per-cell
+  /// faults (burst, EOM flip, misdelivery, HEC corruption, duplication,
+  /// reordering) in input order, then at most one truncation.
+  std::vector<atm::Cell> apply(const std::vector<atm::Cell>& stream);
+
+  const FaultStats& stats() const noexcept { return stats_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace cksum::faults

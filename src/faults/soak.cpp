@@ -1,0 +1,209 @@
+#include "faults/soak.hpp"
+
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "atm/aal5.hpp"
+#include "atm/cell.hpp"
+#include "fsgen/generator.hpp"
+
+namespace cksum::faults {
+
+void ScenarioResult::merge(const ScenarioResult& o) {
+  faults.merge(o.faults);
+  loss.cells_in += o.loss.cells_in;
+  loss.cells_lost += o.loss.cells_lost;
+  loss.cells_policy_drop += o.loss.cells_policy_drop;
+  demux.deliveries += o.demux.deliveries;
+  demux.budget_drops += o.demux.budget_drops;
+  demux.evictions += o.demux.evictions;
+  cells_to_demux += o.cells_to_demux;
+  pdus_delivered += o.pdus_delivered;
+  pdus_ok += o.pdus_ok;
+  oversize_discards += o.oversize_discards;
+  payloads_sent += o.payloads_sent;
+  violations += o.violations;
+  if (violation_detail.empty()) violation_detail = o.violation_detail;
+}
+
+std::string reproducer_line(const SoakConfig& cfg, std::uint64_t index) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "faultlab replay --seed 0x%llx --scenario %llu",
+                static_cast<unsigned long long>(cfg.seed),
+                static_cast<unsigned long long>(index));
+  std::string line(buf);
+  if (cfg.max_channels)
+    line += " --channels " + std::to_string(cfg.max_channels);
+  if (cfg.max_pending_cells)
+    line += " --budget " + std::to_string(cfg.max_pending_cells);
+  return line;
+}
+
+namespace {
+
+using atm::Cell;
+using util::Bytes;
+using util::ByteView;
+
+/// Scenario-local randomized fault plan: each class is enabled
+/// independently so single-class and composed regimes both occur.
+FaultPlan random_plan(util::Rng& rng) {
+  FaultPlan p;
+  if (rng.chance(0.75)) p.payload_burst_rate = rng.uniform01() * 0.10;
+  p.burst_bits_min = 1;
+  p.burst_bits_max = 1 + static_cast<unsigned>(rng.below(64));
+  if (rng.chance(0.6)) {
+    p.hec_corrupt_rate = rng.uniform01() * 0.06;
+    p.hec_flip_bits = 1 + static_cast<unsigned>(rng.below(3));
+  }
+  if (rng.chance(0.6)) p.duplicate_rate = rng.uniform01() * 0.05;
+  if (rng.chance(0.6)) {
+    p.reorder_rate = rng.uniform01() * 0.08;
+    p.reorder_window = 1 + rng.below(6);
+  }
+  if (rng.chance(0.6)) p.eom_flip_rate = rng.uniform01() * 0.04;
+  if (rng.chance(0.6)) p.misdeliver_rate = rng.uniform01() * 0.05;
+  if (rng.chance(0.3)) p.truncate_rate = 0.5;
+  return p;
+}
+
+atm::LossConfig random_loss(util::Rng& rng) {
+  atm::LossConfig cfg;
+  cfg.cell_loss_rate = rng.chance(0.7) ? rng.uniform01() * 0.03 : 0.0;
+  cfg.burst_continue = rng.uniform01() * 0.5;
+  switch (rng.below(3)) {
+    case 0: cfg.policy = atm::DiscardPolicy::kNone; break;
+    case 1: cfg.policy = atm::DiscardPolicy::kPartialPacketDiscard; break;
+    default: cfg.policy = atm::DiscardPolicy::kEarlyPacketDiscard; break;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const SoakConfig& cfg, std::uint64_t index) {
+  util::Rng rng = util::Rng(cfg.seed).child(index);
+  ScenarioResult res;
+
+  // Demux limits: small enough to engage unless pinned by the caller.
+  atm::DemuxLimits limits;
+  limits.max_channels =
+      cfg.max_channels ? cfg.max_channels : 2 + rng.below(12);
+  limits.max_pending_cells =
+      cfg.max_pending_cells ? cfg.max_pending_cells : 24 + rng.below(512);
+
+  // Virtual channels the scenario transmits on.
+  const std::size_t nvc = 1 + rng.below(8);
+  std::vector<std::pair<std::uint8_t, std::uint16_t>> vcs;
+  for (std::size_t v = 0; v < nvc; ++v)
+    vcs.emplace_back(static_cast<std::uint8_t>(rng.below(4)),
+                     static_cast<std::uint16_t>(32 + v));
+
+  // Corpus: a few generated files, chopped into CPCS payloads spread
+  // round-robin across the VCs. Every sent payload is remembered for
+  // the undetected-corruption check (I3).
+  std::set<Bytes> sent;
+  std::vector<std::vector<Cell>> queues(nvc);
+  const std::size_t nfiles = 3 + rng.below(5);
+  for (std::size_t f = 0; f < nfiles; ++f) {
+    const fsgen::FileKind kind =
+        fsgen::kAllKinds[rng.below(std::size(fsgen::kAllKinds))];
+    const std::size_t size = (std::size_t{1} << (10 + rng.below(4))) +
+                             rng.below(777);
+    const Bytes file = fsgen::generate_file(kind, rng.next(), size);
+    std::size_t off = 0;
+    while (off < file.size()) {
+      const std::size_t len =
+          std::min<std::size_t>(64 + rng.below(1400), file.size() - off);
+      const ByteView payload(file.data() + off, len);
+      off += len;
+      sent.emplace(payload.begin(), payload.end());
+      ++res.payloads_sent;
+      const std::size_t vc = rng.below(nvc);
+      const auto cells = atm::segment_pdu(atm::CpcsPdu::frame(payload),
+                                          vcs[vc].first, vcs[vc].second);
+      auto& q = queues[vc];
+      q.insert(q.end(), cells.begin(), cells.end());
+    }
+  }
+
+  // Interleave the per-VC queues into one link stream (intra-VC order
+  // preserved, as a real link does).
+  std::vector<Cell> stream;
+  std::vector<std::size_t> heads(nvc, 0);
+  std::size_t remaining = 0;
+  for (const auto& q : queues) remaining += q.size();
+  stream.reserve(remaining);
+  while (remaining > 0) {
+    const std::size_t vc = rng.below(nvc);
+    auto& q = queues[vc];
+    if (heads[vc] >= q.size()) continue;
+    const std::size_t run =
+        std::min<std::size_t>(1 + rng.below(4), q.size() - heads[vc]);
+    for (std::size_t k = 0; k < run; ++k)
+      stream.push_back(q[heads[vc] + k]);
+    heads[vc] += run;
+    remaining -= run;
+  }
+
+  // Wire faults, then the switch's loss/discard behaviour.
+  FaultyChannel channel(random_plan(rng), rng.next());
+  const std::vector<Cell> faulted = channel.apply(stream);
+  atm::LossStats loss_stats;
+  const std::vector<Cell> delivered =
+      atm::transmit(faulted, random_loss(rng), rng, &loss_stats);
+
+  // The hardened receiver, with the invariants checked per cell.
+  atm::VcDemux demux(limits);
+  auto violate = [&](const char* what) {
+    ++res.violations;
+    if (res.violation_detail.empty()) res.violation_detail = what;
+  };
+  for (const Cell& cell : delivered) {
+    ++res.cells_to_demux;
+    const auto out = demux.push(cell);
+    if (demux.pending_cells() > limits.max_pending_cells)
+      violate("pending-cell budget exceeded");
+    if (demux.channel_count() > limits.max_channels)
+      violate("channel cap exceeded");
+    if (!out) continue;
+    ++res.pdus_delivered;
+    // payload() must be safe on every candidate, hostile or not.
+    const ByteView payload = out->pdu.payload();
+    if (payload.size() > out->pdu.bytes.size())
+      violate("payload() sliced beyond the PDU buffer");
+    if (out->pdu.length_ok && out->pdu.crc_ok) {
+      ++res.pdus_ok;
+      if (sent.find(Bytes(payload.begin(), payload.end())) == sent.end())
+        violate("undetected corruption: accepted PDU matches no sent payload");
+    }
+    // Occasionally tear a VC down mid-stream (API coverage; must not
+    // disturb the budget accounting).
+    if (rng.chance(0.001)) demux.reset_channel(out->vpi, out->vci);
+  }
+
+  res.faults = channel.stats();
+  res.loss = loss_stats;
+  res.demux = demux.stats();
+  res.oversize_discards = demux.oversize_discards();
+  return res;
+}
+
+SoakResult run_soak(const SoakConfig& cfg) {
+  SoakResult out;
+  for (std::uint64_t i = 0; i < cfg.max_scenarios; ++i) {
+    if (out.totals.faults.total_faults() >= cfg.target_faults) break;
+    const ScenarioResult r = run_scenario(cfg, i);
+    out.totals.merge(r);
+    ++out.scenarios;
+    if (r.violations > 0) {
+      out.reproducer = reproducer_line(cfg, i);
+      if (cfg.stop_on_violation) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cksum::faults

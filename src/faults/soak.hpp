@@ -1,0 +1,79 @@
+// Randomized end-to-end fault soak: generated corpus -> AAL5 framing
+// -> multi-VC cell interleave -> FaultyChannel -> lossy link (switch
+// discard policies) -> hardened VcDemux, with every delivered PDU
+// checked against the invariants the receiver stack promises:
+//
+//  I1  no crash / no out-of-range access (ASan/UBSan enforce this);
+//  I2  demux memory stays within its configured budget — after every
+//      cell, pending_cells() <= max_pending_cells and
+//      channel_count() <= max_channels;
+//  I3  no undetected corruption: any PDU that passes BOTH the AAL5
+//      length check and CRC-32 must be byte-identical to a payload
+//      that was actually sent in the scenario (the residual CRC-32
+//      miss rate of ~2^-32 makes a legitimate collision unobservable
+//      at soak volumes, so any hit is treated as a violation).
+//
+// Scenarios are indexed: scenario i of master seed S derives all its
+// randomness from Rng(S).child(i), so a violation reported as
+// (seed, scenario) replays deterministically in isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "atm/demux.hpp"
+#include "atm/loss.hpp"
+#include "faults/channel.hpp"
+
+namespace cksum::faults {
+
+struct SoakConfig {
+  std::uint64_t seed = 0xC0FFEE;
+  /// Stop once this many fault events have been injected (0 = no
+  /// target; run max_scenarios instead).
+  std::uint64_t target_faults = 1'000'000;
+  std::uint64_t max_scenarios = ~std::uint64_t{0};
+  /// Demux limits; 0 means "randomize per scenario" (small enough
+  /// that the caps actually engage).
+  std::size_t max_channels = 0;
+  std::size_t max_pending_cells = 0;
+  bool stop_on_violation = true;
+};
+
+struct ScenarioResult {
+  FaultStats faults;
+  atm::LossStats loss;
+  atm::DemuxStats demux;
+  std::uint64_t cells_to_demux = 0;
+  std::uint64_t pdus_delivered = 0;  ///< candidate PDUs surfaced
+  std::uint64_t pdus_ok = 0;         ///< passed length + CRC
+  std::uint64_t oversize_discards = 0;
+  std::uint64_t payloads_sent = 0;
+  std::uint64_t violations = 0;
+  std::string violation_detail;  ///< empty when clean
+
+  void merge(const ScenarioResult& o);
+};
+
+struct SoakResult {
+  std::uint64_t scenarios = 0;
+  ScenarioResult totals;
+  /// Non-empty on violation: a faultlab command line that replays the
+  /// offending scenario deterministically.
+  std::string reproducer;
+
+  bool ok() const noexcept { return totals.violations == 0; }
+};
+
+/// Run one indexed scenario. Fully deterministic in (cfg.seed, index,
+/// cfg.max_channels, cfg.max_pending_cells).
+ScenarioResult run_scenario(const SoakConfig& cfg, std::uint64_t index);
+
+/// Run scenarios 0, 1, 2, ... until the fault target (or scenario cap)
+/// is reached, or an invariant is violated.
+SoakResult run_soak(const SoakConfig& cfg);
+
+/// The reproducer command line for one scenario of a soak config.
+std::string reproducer_line(const SoakConfig& cfg, std::uint64_t index);
+
+}  // namespace cksum::faults

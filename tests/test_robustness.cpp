@@ -4,6 +4,10 @@
 // optional — never a crash or hang.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <set>
+
+#include "atm/aal34.hpp"
 #include "atm/cell.hpp"
 #include "atm/reassembler.hpp"
 #include "compress/lzw.hpp"
@@ -103,6 +107,102 @@ TEST(Robustness, ReassemblerSurvivesRandomCellStreams) {
     if (done) {
       // Random fused PDUs must essentially never pass both checks.
       EXPECT_FALSE(done->length_ok && done->crc_ok);
+    }
+  }
+}
+
+TEST(Robustness, Aal34CellDecodeRandomGarbage) {
+  util::Rng rng(10);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Both exact 48-byte buffers and arbitrary lengths (short ones
+    // must be rejected outright).
+    Bytes garbage = random_bytes(rng, trial % 2 ? 48 : rng.below(100));
+    if (atm::Sar34Cell::decode(ByteView(garbage)).has_value()) ++accepted;
+  }
+  // A random CRC-10 matches ~1/1024 of the time (and the LI range
+  // check rejects some of those); far more would mean the CRC isn't
+  // being applied.
+  EXPECT_LT(accepted, 12);
+}
+
+TEST(Robustness, Cpcs34ParseRandomGarbage) {
+  util::Rng rng(11);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes garbage = random_bytes(rng, rng.below(300));
+    if (atm::cpcs34_parse(ByteView(garbage)).has_value()) ++accepted;
+  }
+  // Btag==Etag alone is a 1/256 accident; the BASize/Length/pad checks
+  // cut it further.
+  EXPECT_LT(accepted, 8);
+}
+
+TEST(Robustness, Aal34ReassemblerSurvivesRandomSegmentSoup) {
+  // Structurally arbitrary (but CRC-valid) cells: random segment
+  // types, sequence numbers and lengths must never crash the
+  // reassembler, and nothing it completes may exceed what was pushed.
+  util::Rng rng(12);
+  atm::Aal34Reassembler r;
+  std::size_t pushed_bytes = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    atm::Sar34Cell cell;
+    cell.st = static_cast<atm::SegmentType>(rng.below(4));
+    cell.sn = static_cast<std::uint8_t>(rng.below(16));
+    cell.mid = static_cast<std::uint16_t>(rng.below(1024));
+    cell.li = static_cast<std::uint8_t>(rng.below(atm::kSar34Payload + 1));
+    rng.fill(cell.payload);
+    pushed_bytes += cell.li;
+    const auto out = r.push(cell);
+    if (out) {
+      EXPECT_LE(out->bytes.size(), pushed_bytes);
+      // A randomly fused CPCS-PDU must essentially never validate.
+      (void)atm::cpcs34_parse(ByteView(out->bytes));
+    }
+  }
+}
+
+TEST(Robustness, Aal34MutatedValidStream) {
+  // Encode a valid multi-PDU SAR stream, flip one random bit per cell
+  // copy, and feed whatever still decodes through the reassembler:
+  // mirrors the LZW mutated-valid-stream case. Completed PDUs must
+  // either be an original or fail CPCS validation.
+  util::Rng rng(13);
+  std::vector<std::array<std::uint8_t, 48>> wire;
+  std::set<Bytes> originals;
+  std::uint8_t sn = 0;
+  for (int p = 0; p < 8; ++p) {
+    Bytes payload = random_bytes(rng, 100 + rng.below(400));
+    const Bytes pdu =
+        atm::cpcs34_frame(ByteView(payload), static_cast<std::uint8_t>(p));
+    originals.insert(pdu);
+    const auto cells = atm::aal34_segment(ByteView(pdu), 7, sn);
+    for (const auto& cell : cells) wire.push_back(cell.encode());
+    sn = static_cast<std::uint8_t>((sn + cells.size()) & 0xf);
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    atm::Aal34Reassembler r;
+    for (auto cell_bytes : wire) {
+      if (rng.chance(0.3)) {
+        // 1-3 flipped bits: single-bit errors are always CRC-10
+        // caught; multi-bit ones occasionally slip through and reach
+        // the reassembler with corrupt fields.
+        const std::uint64_t flips = 1 + rng.below(3);
+        for (std::uint64_t f = 0; f < flips; ++f) {
+          const std::uint64_t bit = rng.below(8 * cell_bytes.size());
+          cell_bytes[bit / 8] ^=
+              static_cast<std::uint8_t>(0x80u >> (bit % 8));
+        }
+      }
+      const auto cell = atm::Sar34Cell::decode(
+          ByteView(cell_bytes.data(), cell_bytes.size()));
+      if (!cell) continue;  // CRC-10 caught it — receiver drops
+      const auto out = r.push(*cell);
+      if (out && atm::cpcs34_parse(ByteView(out->bytes)).has_value()) {
+        // Validated PDUs must be bit-identical to an original.
+        EXPECT_TRUE(originals.count(out->bytes))
+            << "mutated stream produced a validated non-original PDU";
+      }
     }
   }
 }

@@ -385,6 +385,30 @@ TEST(SpliceSim, ParallelRunMatchesSequential) {
     EXPECT_EQ(a.missed_by_k[k], b.missed_by_k[k]);
 }
 
+TEST(SpliceSim, ThreadCountDeterminismIsBitwise) {
+  // Stronger than the field-by-field check above: the ENTIRE stats
+  // struct — every counter, both k-histograms, the Table 10 matrix —
+  // must be bitwise identical between threads=1 and threads=4, across
+  // transports and placements.
+  const fsgen::Filesystem fs(fsgen::profile("nsc05"), 0.2);
+  for (const auto transport :
+       {alg::Algorithm::kInternet, alg::Algorithm::kFletcher256}) {
+    for (const auto placement : {net::ChecksumPlacement::kHeader,
+                                 net::ChecksumPlacement::kTrailer}) {
+      SpliceRunConfig seq;
+      seq.flow = flow_with(transport, placement);
+      seq.threads = 1;
+      SpliceRunConfig par = seq;
+      par.threads = 4;
+      const SpliceStats a = run_filesystem(seq, fs);
+      const SpliceStats b = run_filesystem(par, fs);
+      EXPECT_TRUE(a == b) << "threads=4 diverged from threads=1";
+      // And re-running must be self-consistent too.
+      EXPECT_TRUE(b == run_filesystem(par, fs));
+    }
+  }
+}
+
 TEST(SpliceSim, StatsMergeIsAdditive) {
   SpliceStats a, b;
   a.total = 5;

@@ -1,0 +1,188 @@
+// faultlab — fault-injection soak driver over the full receiver stack.
+//
+//   faultlab soak [options]        randomized scenarios until the
+//                                  fault budget is spent; exit 1 (and
+//                                  print one reproducer line) on any
+//                                  invariant violation
+//   faultlab replay --seed S --scenario N [options]
+//                                  re-run exactly one scenario
+//
+// options:
+//   --seed <n>        master seed                    (default 0xC0FFEE)
+//   --faults <n>      injected-fault-event target    (default 1000000)
+//   --max-scenarios <n>  hard scenario cap           (default unlimited)
+//   --channels <n>    pin the demux channel cap      (default per-scenario)
+//   --budget <n>      pin the demux pending budget   (default per-scenario)
+//   --repro-file <p>  also write the reproducer line to this file
+//   --quiet           summary line only
+//
+// Invariants checked (see docs/FAULTS.md): no crash, demux memory
+// bounded by its budget, and no undetected corruption — every PDU
+// passing length+CRC must match a payload that was actually sent.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/report.hpp"
+#include "faults/soak.hpp"
+
+using namespace cksum;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: faultlab soak [--seed n] [--faults n] [--max-scenarios n]\n"
+      "                     [--channels n] [--budget n] [--repro-file p]\n"
+      "                     [--quiet]\n"
+      "       faultlab replay --seed n --scenario n [--channels n] "
+      "[--budget n]\n");
+  return 2;
+}
+
+struct Opts {
+  faults::SoakConfig cfg;
+  std::uint64_t scenario = 0;
+  bool have_scenario = false;
+  std::string repro_file;
+  bool quiet = false;
+  bool ok = true;
+};
+
+Opts parse(const std::vector<std::string>& args) {
+  Opts o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        o.ok = false;
+        return "0";
+      }
+      return args[++i];
+    };
+    if (a == "--seed") {
+      o.cfg.seed = std::stoull(next(), nullptr, 0);
+    } else if (a == "--faults") {
+      o.cfg.target_faults = std::stoull(next());
+    } else if (a == "--max-scenarios") {
+      o.cfg.max_scenarios = std::stoull(next());
+    } else if (a == "--channels") {
+      o.cfg.max_channels = std::stoull(next());
+    } else if (a == "--budget") {
+      o.cfg.max_pending_cells = std::stoull(next());
+    } else if (a == "--scenario") {
+      o.scenario = std::stoull(next(), nullptr, 0);
+      o.have_scenario = true;
+    } else if (a == "--repro-file") {
+      o.repro_file = next();
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      o.ok = false;
+    }
+  }
+  return o;
+}
+
+void print_totals(const faults::ScenarioResult& t) {
+  const faults::FaultStats& f = t.faults;
+  core::TextTable inj({"fault class", "injected"});
+  inj.add_row({"payload burst", core::fmt_count(f.payload_bursts)});
+  inj.add_row({"HEC corruption", core::fmt_count(f.hec_corruptions)});
+  inj.add_row({"  dropped by HEC", core::fmt_count(f.hec_dropped)});
+  inj.add_row({"  miscorrected", core::fmt_count(f.hec_miscorrected)});
+  inj.add_row({"duplication", core::fmt_count(f.duplicates)});
+  inj.add_row({"reordering", core::fmt_count(f.reorders)});
+  inj.add_row({"EOM flip", core::fmt_count(f.eom_flips)});
+  inj.add_row({"misdelivery", core::fmt_count(f.misdeliveries)});
+  inj.add_row({"truncation", core::fmt_count(f.truncations)});
+  inj.add_separator();
+  inj.add_row({"total fault events", core::fmt_count(f.total_faults())});
+  inj.print(std::cout);
+
+  std::printf("\n");
+  core::TextTable rx({"receiver", "count"});
+  rx.add_row({"cells into channel", core::fmt_count(f.cells_in)});
+  rx.add_row({"cells out of channel", core::fmt_count(f.cells_out)});
+  rx.add_row({"cells lost on link", core::fmt_count(t.loss.cells_lost)});
+  rx.add_row({"cells policy-dropped",
+              core::fmt_count(t.loss.cells_policy_drop)});
+  rx.add_row({"cells into demux", core::fmt_count(t.cells_to_demux)});
+  rx.add_row({"budget drops", core::fmt_count(t.demux.budget_drops)});
+  rx.add_row({"channel evictions", core::fmt_count(t.demux.evictions)});
+  rx.add_row({"oversize discards", core::fmt_count(t.oversize_discards)});
+  rx.add_row({"payloads sent", core::fmt_count(t.payloads_sent)});
+  rx.add_row({"candidate PDUs", core::fmt_count(t.pdus_delivered)});
+  rx.add_row({"PDUs passing checks", core::fmt_count(t.pdus_ok)});
+  rx.print(std::cout);
+}
+
+int report(const faults::SoakConfig& cfg, const faults::SoakResult& res,
+           const Opts& o) {
+  if (!o.quiet) {
+    print_totals(res.totals);
+    std::printf("\n");
+  }
+  std::printf("%llu scenarios, %s fault events, %s cells: %s\n",
+              static_cast<unsigned long long>(res.scenarios),
+              core::fmt_count(res.totals.faults.total_faults()).c_str(),
+              core::fmt_count(res.totals.faults.cells_in).c_str(),
+              res.ok() ? "all invariants held" : "INVARIANT VIOLATED");
+  if (!res.ok()) {
+    std::printf("  %s\n  reproduce with: %s\n",
+                res.totals.violation_detail.c_str(),
+                res.reproducer.c_str());
+    if (!o.repro_file.empty()) {
+      std::ofstream f(o.repro_file);
+      f << res.reproducer << "\n";
+    }
+    return 1;
+  }
+  (void)cfg;
+  return 0;
+}
+
+int cmd_soak(const Opts& o) {
+  const faults::SoakResult res = faults::run_soak(o.cfg);
+  return report(o.cfg, res, o);
+}
+
+int cmd_replay(const Opts& o) {
+  if (!o.have_scenario) return usage();
+  const faults::ScenarioResult r = faults::run_scenario(o.cfg, o.scenario);
+  faults::SoakResult res;
+  res.scenarios = 1;
+  res.totals = r;
+  if (r.violations > 0)
+    res.reproducer = faults::reproducer_line(o.cfg, o.scenario);
+  return report(o.cfg, res, o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Opts o;
+  try {
+    o = parse(std::vector<std::string>(argv + 2, argv + argc));
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "faultlab: expected a number after the last option\n");
+    return usage();
+  }
+  if (!o.ok) return usage();
+  try {
+    if (cmd == "soak") return cmd_soak(o);
+    if (cmd == "replay") return cmd_replay(o);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "faultlab: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
