@@ -1,0 +1,41 @@
+#!/bin/sh
+# Run the splice-evaluator benchmark suite and append one trajectory
+# entry to BENCH_splice.json at the repo root.
+#
+#   sh scripts/bench.sh           full run (Release build)
+#   sh scripts/bench.sh --quick   short measurement window (CI smoke)
+#   sh scripts/bench.sh --check   also fail on gross regressions:
+#                                 DFS rate < 1/5 of the previous entry,
+#                                 or DFS slower than the flat evaluator
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+CHECK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --check) CHECK=1 ;;
+    *) echo "usage: $0 [--quick] [--check]" >&2; exit 2 ;;
+  esac
+done
+
+BUILD=build
+cmake -B "$BUILD" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target bench_splice
+
+RAW="$BUILD/bench_splice_raw.json"
+MIN_TIME=0.5
+[ "$QUICK" -eq 1 ] && MIN_TIME=0.05
+
+"$BUILD/bench/bench_splice" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$RAW" \
+  --benchmark_out_format=json
+
+DISTILL_ARGS=""
+[ "$QUICK" -eq 1 ] && DISTILL_ARGS="$DISTILL_ARGS --quick"
+[ "$CHECK" -eq 1 ] && DISTILL_ARGS="$DISTILL_ARGS --check"
+# shellcheck disable=SC2086
+python3 scripts/bench_distill.py "$RAW" BENCH_splice.json $DISTILL_ARGS

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Distill a google-benchmark JSON dump into the BENCH_splice.json
+trajectory at the repo root.
+
+Usage: bench_distill.py RAW_JSON TRAJECTORY_JSON [--quick] [--check]
+
+The trajectory file is a JSON array, one entry per bench.sh run:
+
+    {
+      "date": "2026-08-05T12:34:56Z",
+      "commit": "abc1234...",
+      "quick": false,
+      "splices_per_sec": {"dfs": ..., "flat": ..., "reference": ...},
+      "pairs_per_sec":   {"dfs": ..., "flat": ..., "reference": ...},
+      "speedup_dfs_vs_flat": ...,
+      "speedup_dfs_vs_reference": ...
+    }
+
+--check exits non-zero if the new DFS rate fell below 1/5 of the
+previous entry's, or if the DFS evaluator is slower than the flat one.
+"""
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+
+BENCH_KEYS = {
+    "BM_SpliceDfs": "dfs",
+    "BM_SpliceFlat": "flat",
+    "BM_SpliceReference": "reference",
+}
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("raw", help="google-benchmark --benchmark_out JSON")
+    ap.add_argument("trajectory", help="BENCH_splice.json to append to")
+    ap.add_argument("--quick", action="store_true")
+    ap.add_argument("--check", action="store_true")
+    args = ap.parse_args()
+
+    with open(args.raw) as f:
+        raw = json.load(f)
+
+    splices = {}
+    pairs = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        key = BENCH_KEYS.get(b.get("name", "").split("/")[0])
+        if key is None:
+            continue
+        splices[key] = b.get("items_per_second")
+        pairs[key] = b.get("pairs_per_sec")
+
+    missing = [k for k in BENCH_KEYS.values() if splices.get(k) is None]
+    if missing:
+        print(f"bench_distill: missing benchmarks: {missing}", file=sys.stderr)
+        return 1
+
+    entry = {
+        "date": datetime.datetime.now(datetime.timezone.utc)
+                .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "commit": git_commit(),
+        "quick": args.quick,
+        "splices_per_sec": splices,
+        "pairs_per_sec": pairs,
+        "speedup_dfs_vs_flat": splices["dfs"] / splices["flat"],
+        "speedup_dfs_vs_reference": splices["dfs"] / splices["reference"],
+    }
+
+    try:
+        with open(args.trajectory) as f:
+            trajectory = json.load(f)
+        if not isinstance(trajectory, list):
+            raise ValueError("trajectory is not a JSON array")
+    except FileNotFoundError:
+        trajectory = []
+
+    previous = trajectory[-1] if trajectory else None
+    trajectory.append(entry)
+    with open(args.trajectory, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+
+    print(f"dfs:       {splices['dfs']:.3e} splices/sec")
+    print(f"flat:      {splices['flat']:.3e} splices/sec "
+          f"({entry['speedup_dfs_vs_flat']:.1f}x slower than dfs)")
+    print(f"reference: {splices['reference']:.3e} splices/sec "
+          f"({entry['speedup_dfs_vs_reference']:.1f}x slower than dfs)")
+    print(f"appended entry #{len(trajectory)} to {args.trajectory}")
+
+    if args.check:
+        ok = True
+        if entry["speedup_dfs_vs_flat"] < 1.0:
+            print("CHECK FAILED: DFS evaluator slower than flat baseline",
+                  file=sys.stderr)
+            ok = False
+        if previous is not None:
+            prev_dfs = previous.get("splices_per_sec", {}).get("dfs")
+            if prev_dfs and splices["dfs"] < prev_dfs / 5.0:
+                print(f"CHECK FAILED: DFS rate {splices['dfs']:.3e} is >5x "
+                      f"below previous {prev_dfs:.3e}", file=sys.stderr)
+                ok = False
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,23 @@
 # One-command reproduction: build, test, regenerate every table and
 # figure, and capture the outputs next to EXPERIMENTS.md.
 #
-#   scripts/repro.sh [scale]
+#   scripts/repro.sh [scale] [--bench]
 #
 # `scale` multiplies every synthetic corpus (default 1; the paper-sized
-# runs used in EXPERIMENTS.md). Expect ~1 minute at scale 1.
+# runs used in EXPERIMENTS.md). Expect ~1 minute at scale 1. With
+# `--bench`, also run scripts/bench.sh at the end to append a
+# splice-evaluator entry to BENCH_splice.json.
 set -eu
 cd "$(dirname "$0")/.."
 
-SCALE="${1:-1}"
+SCALE=1
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) SCALE="$arg" ;;
+  esac
+done
 export CKSUMLAB_SCALE="$SCALE"
 
 cmake -B build -G Ninja
@@ -53,6 +62,10 @@ read -r bench_status < "$status_file"
 if [ "$bench_status" -ne 0 ]; then
   echo "a bench failed; see bench_output.txt" >&2
   exit 1
+fi
+
+if [ "$RUN_BENCH" -eq 1 ]; then
+  sh scripts/bench.sh
 fi
 
 echo "done: test_output.txt and bench_output.txt refreshed (scale $SCALE)"

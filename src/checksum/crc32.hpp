@@ -73,15 +73,23 @@ class CrcCombiner {
  public:
   explicit CrcCombiner(std::size_t len_b) noexcept;
 
+  /// Advance a finalised CRC through |B| zero bytes — the linear map
+  /// underlying combine(). Exposed separately because the splice DFS
+  /// decomposes a splice CRC into an XOR of independently-advanced
+  /// per-cell CRCs (advance(a ^ b) == advance(a) ^ advance(b)).
+  std::uint32_t advance(std::uint32_t crc) const noexcept {
+    std::uint32_t out = 0;
+    for (int t = 0; t < 8; ++t)
+      out ^= nibble_[static_cast<std::size_t>(t)]
+                    [(crc >> (4 * t)) & 0xfu];
+    return out;
+  }
+
   /// crc32(A ++ B) given finalised crc32(A) and crc32(B).
   /// Identical algebra to zlib's crc32_combine: advance A's register
   /// through |B| zero bytes, then XOR with B's CRC.
   std::uint32_t combine(std::uint32_t crc_a, std::uint32_t crc_b) const noexcept {
-    std::uint32_t out = 0;
-    for (int t = 0; t < 8; ++t)
-      out ^= nibble_[static_cast<std::size_t>(t)]
-                    [(crc_a >> (4 * t)) & 0xfu];
-    return out ^ crc_b;
+    return advance(crc_a) ^ crc_b;
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "core/pdu_model.hpp"
 
+#include "net/validate.hpp"
 #include "util/hash.hpp"
 
 namespace cksum::core {
@@ -30,6 +31,17 @@ SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
     cp.crc = alg::crc32(cell);
     cp.hash = util::hash64(cell);
     sp.cells.push_back(cp);
+  }
+
+  sp.hdr_require_ipck = cfg.fill_ip_header && !cfg.legacy95_headers;
+  sp.hdr_legacy95 = cfg.legacy95_headers;
+  sp.hdr_ok_self.resize(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    sp.hdr_ok_self[i] =
+        net::check_headers(sp.pdu.cell(i), sp.total_len, sp.hdr_require_ipck,
+                           sp.hdr_legacy95) == net::HeaderCheck::kOk
+            ? 1
+            : 0;
   }
 
   sp.stored_crc = sp.pdu.trailer().crc;

@@ -83,6 +83,15 @@ struct SimPacket {
   /// trailer check bytes sit wholly within the EOM coverage — the
   /// preconditions of the partial-sums fast path.
   bool fast_path_ok = true;
+
+  /// Header-check verdict per non-EOM cell, against THIS packet's own
+  /// AAL5 length. In a fixed-segment flow almost every adjacent pair
+  /// has equal lengths, so evaluate_pair can reuse this vector instead
+  /// of re-running the (IP-parse + checksum) checks once per pair;
+  /// unequal-length pairs recompute against the partner's length.
+  std::vector<std::uint8_t> hdr_ok_self;
+  bool hdr_require_ipck = false;  ///< flags hdr_ok_self was built with
+  bool hdr_legacy95 = false;
 };
 
 /// Build a SimPacket (frame the datagram in AAL5, compute partials).

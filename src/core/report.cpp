@@ -47,6 +47,15 @@ std::string fmt_sci(double v) {
   return buf;
 }
 
+std::string fmt_path_mix(std::uint64_t fast, std::uint64_t slow) {
+  const std::uint64_t total = fast + slow;
+  if (total == 0) return "no splices evaluated";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.4f%% fast path",
+                100.0 * static_cast<double>(fast) / static_cast<double>(total));
+  return std::string(buf) + " (" + fmt_count(slow) + " slow)";
+}
+
 TextTable::TextTable(std::vector<std::string> header) {
   columns_ = header.size();
   rows_.push_back({std::move(header), false});

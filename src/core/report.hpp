@@ -21,6 +21,11 @@ std::string fmt_pct(std::uint64_t num, std::uint64_t den);
 /// Scientific notation with 2 significant digits ("1.5e-05").
 std::string fmt_sci(double v);
 
+/// Evaluator path mix: "99.9734% fast path (1,234 slow)". The splice
+/// simulator resolves almost every splice from partial sums; this line
+/// surfaces how often it had to fall back to materialisation.
+std::string fmt_path_mix(std::uint64_t fast, std::uint64_t slow);
+
 /// Column-aligned text table.
 class TextTable {
  public:

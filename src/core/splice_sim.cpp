@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <bit>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "atm/splice.hpp"
 #include "compress/lzw.hpp"
@@ -21,20 +24,58 @@ const alg::CrcCombiner& comb44() {
   return c;
 }
 
+/// Zeros-operator advancing a finalised CRC past everything that
+/// follows a non-EOM cell at distance `d` cell slots from the last
+/// non-EOM position: d full cells plus the EOM cell's 44 CRC-covered
+/// bytes. One table per distance, built once per process — a splice
+/// CRC is then the XOR of per-cell advanced CRCs (the operator is
+/// linear), independent of which other cells the splice keeps.
+const alg::CrcCombiner& suffix_comb(std::size_t d) {
+  static const std::vector<alg::CrcCombiner> cache = [] {
+    std::vector<alg::CrcCombiner> v;
+    v.reserve(atm::kMaxSpliceCells);
+    for (std::size_t i = 0; i < atm::kMaxSpliceCells; ++i)
+      v.emplace_back(44 + i * atm::kCellPayload);
+    return v;
+  }();
+  return cache[d];
+}
+
 struct PairContext {
   const net::PacketConfig* cfg = nullptr;
   const SimPacket* p1 = nullptr;
   const SimPacket* p2 = nullptr;
-  bool fast = false;
   bool fletcher = false;  ///< transport is a Fletcher sum
   bool mod255 = false;
   bool header_placement = true;
   /// Per p1 non-EOM cell: would these 48 bytes pass the header checks
   /// as the first cell of a splice of p2's AAL5 length?
-  std::vector<bool> hdr_ok;
+  const std::uint8_t* hdr_ok = nullptr;
 };
 
-void classify(const PairContext& ctx, const atm::SpliceSpec& s, bool identical,
+/// hdr_ok for the pair: reuse p1's precomputed self-check when the
+/// lengths (and check flavour) match, else compute into `scratch`.
+const std::uint8_t* pair_hdr_ok(const net::PacketConfig& cfg,
+                                const SimPacket& p1, const SimPacket& p2,
+                                std::vector<std::uint8_t>& scratch) {
+  const bool require_ipck = cfg.fill_ip_header && !cfg.legacy95_headers;
+  const std::size_t n1 = p1.pdu.num_cells();
+  if (p1.total_len == p2.total_len && p1.hdr_ok_self.size() == n1 - 1 &&
+      p1.hdr_require_ipck == require_ipck &&
+      p1.hdr_legacy95 == cfg.legacy95_headers) {
+    return p1.hdr_ok_self.data();
+  }
+  scratch.resize(n1 - 1);
+  for (std::size_t i = 0; i + 1 < n1; ++i) {
+    scratch[i] = net::check_headers(p1.pdu.cell(i), p2.total_len, require_ipck,
+                                    cfg.legacy95_headers) == net::HeaderCheck::kOk
+                     ? 1
+                     : 0;
+  }
+  return scratch.data();
+}
+
+void classify(const PairContext& ctx, unsigned k1, bool hdr2, bool identical,
               bool transport_pass, bool crc_pass, SpliceStats& st) {
   if (identical) {
     ++st.identical;
@@ -56,12 +97,11 @@ void classify(const PairContext& ctx, const atm::SpliceSpec& s, bool identical,
   if (crc_pass && transport_pass) ++st.missed_both;
 
   const std::size_t n2 = ctx.p2->cells.size();
-  const std::size_t k =
-      std::min<std::size_t>(n2 - s.k1, kMaxTrackedK - 1);
+  const std::size_t k = std::min<std::size_t>(n2 - k1, kMaxTrackedK - 1);
   ++st.remaining_by_k[k];
   if (transport_pass) ++st.missed_by_k[k];
 
-  if (s.mask2 & 1u) {  // packet 2's header cell is in the splice
+  if (hdr2) {  // packet 2's header cell is in the splice
     ++st.remaining_with_hdr2;
     if (transport_pass) ++st.missed_with_hdr2;
   }
@@ -76,17 +116,190 @@ void eval_slow(const PairContext& ctx, const atm::SpliceSpec& s,
     ++st.caught_by_header;
     return;
   }
-  classify(ctx, s, o.identical, o.transport_pass, o.crc_pass, st);
+  classify(ctx, s.k1, (s.mask2 & 1u) != 0, o.identical, o.transport_pass,
+           o.crc_pass, st);
 }
 
-void eval_fast(const PairContext& ctx, const atm::SpliceSpec& s,
-               SpliceStats& st) {
+// ---------------------------------------------------------------------------
+// Prefix-sharing DFS evaluator.
+//
+// Every splice that survives the AAL5 length check has exactly n2
+// cells, so a kept cell's contribution to each check value depends
+// only on its distance d from the last non-EOM position:
+//
+//   Internet   position-independent cell sum
+//   Fletcher   a, and b + (48*d + eom_len) * a   (unrolling the
+//              classic B += |block| * A recurrence over the suffix)
+//   CRC-32     suffix_comb(d).advance(cell crc)  (advance past the d
+//              trailing cells + 44 EOM bytes; XOR-combines because
+//              the zeros-operator is linear over GF(2))
+//
+// so check values are plain sums/XORs of per-(cell, distance) terms
+// plus pair constants, and splices sharing a prefix share its fold.
+//
+// The walk is split in two phases around the k1 + k2 = n2 - 1
+// constraint. Phase 2 enumerates p2's kept subsets once, anchored to
+// the END (the largest kept index sits at position e2-1), which makes
+// a subset's fold independent of k1 — one pool of 2^e2 - 1 combos,
+// bucketed by size, serves every phase-1 branch. Phase 1 walks p1's
+// kept subsets (after the mandatory first cell) in ascending order and
+// joins each node against the bucket with the matching k2. Leaves cost
+// a handful of adds; each pool/walk edge folds one cell.
+// ---------------------------------------------------------------------------
+
+/// Accumulated contributions of the cells a DFS branch has chosen so
+/// far (beyond the always-present first cell and EOM cell).
+struct Agg {
+  std::uint64_t inet = 0;
+  std::uint64_t fa = 0;   ///< unreduced Fletcher A term
+  std::uint64_t fb = 0;   ///< unreduced, distance-weighted B term
+  std::uint32_t crc = 0;  ///< XOR of distance-advanced per-cell CRCs
+  bool eq1 = true;        ///< chosen cells match p1's at their position
+  bool eq2 = true;        ///< chosen cells match p2's at their position
+};
+
+struct SuffixCombo {
+  Agg agg;
+  bool hdr2 = false;  ///< combo includes p2's header cell (cell 0)
+};
+
+/// Constants of one pair's DFS.
+struct DfsPair {
+  const PairContext* ctx = nullptr;
+  const CellPartial* c1 = nullptr;
+  const CellPartial* c2 = nullptr;
+  unsigned e1 = 0, e2 = 0;
+  std::uint64_t eom_len = 0;
+  bool mod255 = false;
+  bool track1 = false;       ///< n1 == n2: identical-to-p1 is possible
+  bool ident1_base = false;  ///< track1 and EOM coverage matches p1's
+  bool ident2_head = false;  ///< first cell's hash matches p2's cell 0
+  // Pair constants: first cell at position 0 plus the EOM cell.
+  std::uint64_t iconst = 0;
+  std::uint64_t fconst_a = 0, fconst_b = 0;
+  std::uint32_t crc_target = 0;
+  std::uint16_t stored_canon = 0;
+  SpliceStats* st = nullptr;
+};
+
+/// Fold one kept cell at splice position `pos` (>= 1) into `a`.
+inline void fold(const DfsPair& fs, Agg& a, const CellPartial& c,
+                 unsigned pos) {
+  const unsigned d = fs.e2 - 1 - pos;
+  a.inet += c.inet;
+  const alg::FletcherPair& fp = fs.mod255 ? c.f255 : c.f256;
+  a.fa += fp.a;
+  a.fb += fp.b +
+          (static_cast<std::uint64_t>(atm::kCellPayload) * d + fs.eom_len) *
+              fp.a;
+  a.crc ^= suffix_comb(d).advance(c.crc);
+  a.eq2 = a.eq2 && c.hash == fs.c2[pos].hash;
+  if (fs.track1) a.eq1 = a.eq1 && c.hash == fs.c1[pos].hash;
+}
+
+void dfs_leaf(const DfsPair& fs, const Agg& a1, const SuffixCombo& c2,
+              unsigned k1) {
+  const PairContext& ctx = *fs.ctx;
+  const bool identical = (fs.ident1_base && a1.eq1 && c2.agg.eq1) ||
+                         (fs.ident2_head && a1.eq2 && c2.agg.eq2);
+  bool transport_pass;
+  if (ctx.fletcher) {
+    const std::uint32_t m = fs.mod255 ? 255u : 256u;
+    const std::uint64_t fa = fs.fconst_a + a1.fa + c2.agg.fa;
+    const std::uint64_t fb = fs.fconst_b + a1.fb + c2.agg.fb;
+    transport_pass = (fa % m == 0) && (fb % m == 0);
+  } else {
+    std::uint64_t sum = fs.iconst + a1.inet + c2.agg.inet;
+    while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+    const std::uint16_t content = static_cast<std::uint16_t>(sum);
+    const std::uint16_t expect =
+        ctx.cfg->invert_checksum ? alg::ones_neg(content) : content;
+    transport_pass = fs.stored_canon == alg::ones_canonical(expect);
+  }
+  const bool crc_pass = (a1.crc ^ c2.agg.crc) == fs.crc_target;
+  classify(ctx, k1, c2.hdr2, identical, transport_pass, crc_pass, *fs.st);
+}
+
+/// Phase 2: pool every way p2's non-EOM cells can fill the LAST r
+/// splice positions, bucketed by r. Cells are chosen in descending
+/// index order; choosing cell `idx` with r cells already placed puts
+/// it at distance r from the end (position e2-1-r), so a combo's fold
+/// never depends on k1 and one pool serves every phase-1 branch. Each
+/// nonempty subset is emitted exactly once, on the edge that adds its
+/// smallest-index cell last.
+void suffix_pool(const DfsPair& fs, int from, unsigned r, const Agg& agg,
+                 std::vector<std::vector<SuffixCombo>>& buckets) {
+  const unsigned pos = fs.e2 - 1 - r;
+  for (int idx = from; idx >= 0; --idx) {
+    Agg a = agg;
+    fold(fs, a, fs.c2[idx], pos);
+    buckets[r + 1].push_back({a, idx == 0});
+    if (r + 2 <= fs.e2 - 1 && idx > 0)
+      suffix_pool(fs, idx - 1, r + 1, a, buckets);
+  }
+}
+
+/// Exact-size variant for packets too large to pool (2^e2 combos):
+/// regrow the suffix per phase-1 node, still prefix-shared within it.
+void suffix_exact(const DfsPair& fs, int from, unsigned need, unsigned r,
+                  const Agg& a2, bool hdr2, const Agg& a1, unsigned k1) {
+  if (r == need) {
+    dfs_leaf(fs, a1, {a2, hdr2}, k1);
+    return;
+  }
+  const unsigned pos = fs.e2 - 1 - r;
+  // idx+1 cells remain available below `idx`; prune branches that
+  // cannot reach `need`.
+  for (int idx = from; idx + 1 >= static_cast<int>(need - r); --idx) {
+    Agg a = a2;
+    fold(fs, a, fs.c2[idx], pos);
+    suffix_exact(fs, idx - 1, need, r + 1, a, hdr2 || idx == 0, a1, k1);
+  }
+}
+
+/// Packets whose suffix pool stays comfortably small (2^14 combos,
+/// well under a megabyte of thread-local scratch). Larger packets —
+/// none exist under the default MTUs — fall back to suffix_exact.
+constexpr unsigned kMaxPooledSuffixCells = 14;
+
+/// Phase 1: DFS over p1's kept cells after the mandatory first cell.
+/// The node reached after choosing t cells (k1 = t+1) joins every
+/// pooled suffix of size e2-k1, then extends by each later cell; a
+/// subset's fold happens once, on the edge adding its largest index.
+void prefix_walk(const DfsPair& fs, unsigned from, unsigned t, const Agg& agg,
+                 const std::vector<std::vector<SuffixCombo>>* buckets) {
+  const unsigned k1 = t + 1;
+  const unsigned k2 = fs.e2 - k1;
+  if (buckets != nullptr) {
+    for (const SuffixCombo& c2 : (*buckets)[k2]) dfs_leaf(fs, agg, c2, k1);
+  } else if (k2 == 0) {
+    dfs_leaf(fs, agg, SuffixCombo{}, k1);
+  } else {
+    suffix_exact(fs, static_cast<int>(fs.e2) - 1, k2, 0, Agg{}, false, agg,
+                 k1);
+  }
+  if (k1 + 1 > fs.e2) return;  // a longer prefix would force k2 < 0
+  for (unsigned idx = from; idx < fs.e1; ++idx) {
+    Agg a = agg;
+    fold(fs, a, fs.c1[idx], t + 1);
+    prefix_walk(fs, idx + 1, t + 1, a, buckets);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat (pre-DFS) per-splice evaluation — benchmark baseline and
+// differential-test oracle.
+// ---------------------------------------------------------------------------
+
+void eval_fast_flat(const PairContext& ctx, const atm::SpliceSpec& s,
+                    SpliceStats& st) {
   const SimPacket& p1 = *ctx.p1;
   const SimPacket& p2 = *ctx.p2;
   const unsigned first = static_cast<unsigned>(std::countr_zero(s.mask1));
 
   if (!ctx.hdr_ok[first]) {
     ++st.caught_by_header;
+    ++st.fast_path;
     return;
   }
   if (first != 0) {
@@ -95,6 +308,7 @@ void eval_fast(const PairContext& ctx, const atm::SpliceSpec& s,
     eval_slow(ctx, s, st);
     return;
   }
+  ++st.fast_path;
 
   const std::size_t n1 = p1.cells.size();
   const std::size_t n2 = p2.cells.size();
@@ -160,7 +374,22 @@ void eval_fast(const PairContext& ctx, const atm::SpliceSpec& s,
   }
 
   const bool crc_pass = crc == p2.stored_crc;
-  classify(ctx, s, ident1 || ident2, transport_pass, crc_pass, st);
+  classify(ctx, s.k1, (s.mask2 & 1u) != 0, ident1 || ident2, transport_pass,
+           crc_pass, st);
+}
+
+PairContext make_pair_context(const net::PacketConfig& cfg, const SimPacket& p1,
+                              const SimPacket& p2,
+                              std::vector<std::uint8_t>& hdr_scratch) {
+  PairContext ctx;
+  ctx.cfg = &cfg;
+  ctx.p1 = &p1;
+  ctx.p2 = &p2;
+  ctx.fletcher = cfg.transport != alg::Algorithm::kInternet;
+  ctx.mod255 = cfg.transport == alg::Algorithm::kFletcher255;
+  ctx.header_placement = cfg.placement == net::ChecksumPlacement::kHeader;
+  ctx.hdr_ok = pair_hdr_ok(cfg, p1, p2, hdr_scratch);
+  return ctx;
 }
 
 }  // namespace
@@ -236,6 +465,7 @@ void SpliceStats::merge(const SpliceStats& o) {
     missed_by_k[i] += o.missed_by_k[i];
   }
   slow_path += o.slow_path;
+  fast_path += o.fast_path;
 }
 
 void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
@@ -245,40 +475,127 @@ void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
   const std::size_t n2 = p2.pdu.num_cells();
   if (n1 < 2 || n2 < 1) return;
 
-  PairContext ctx;
-  ctx.cfg = &cfg;
-  ctx.p1 = &p1;
-  ctx.p2 = &p2;
-  ctx.fast = p2.fast_path_ok;
-  ctx.fletcher = cfg.transport != alg::Algorithm::kInternet;
-  ctx.mod255 = cfg.transport == alg::Algorithm::kFletcher255;
-  ctx.header_placement = cfg.placement == net::ChecksumPlacement::kHeader;
-  ctx.hdr_ok.resize(n1 - 1);
-  const bool require_ipck = cfg.fill_ip_header && !cfg.legacy95_headers;
-  for (std::size_t i = 0; i + 1 < n1; ++i) {
-    ctx.hdr_ok[i] =
-        net::check_headers(p1.pdu.cell(i), p2.total_len, require_ipck,
-                           cfg.legacy95_headers) == net::HeaderCheck::kOk;
+  const std::uint64_t total_pair = atm::splice_count(n1, n2);
+  if (total_pair == 0) return;
+  stats.total += total_pair;
+
+  std::vector<std::uint8_t> hdr_scratch;
+  const PairContext ctx = make_pair_context(cfg, p1, p2, hdr_scratch);
+
+  if (!p2.fast_path_ok) {
+    atm::for_each_splice(
+        n1, n2, [&](const atm::SpliceSpec& s) { eval_slow(ctx, s, stats); });
+    return;
   }
+
+  // Header gate, taken per subtree instead of per splice: all splices
+  // starting at cell i share its header verdict, so a failing subtree
+  // is counted wholesale and a passing one with i > 0 (a data cell
+  // that happens to parse as a header — rare) goes to the slow path.
+  const std::size_t e1 = n1 - 1;
+  bool any_slow = false;
+  for (std::size_t i = 0; i < e1; ++i) {
+    const std::uint64_t sub = atm::splice_count_first_cell(n1, n2, i);
+    if (!ctx.hdr_ok[i]) {
+      stats.caught_by_header += sub;
+      stats.fast_path += sub;
+    } else if (i != 0) {
+      any_slow = true;
+    } else {
+      stats.fast_path += sub;
+    }
+  }
+  if (any_slow) {
+    atm::for_each_splice(n1, n2, [&](const atm::SpliceSpec& s) {
+      const unsigned first = static_cast<unsigned>(std::countr_zero(s.mask1));
+      if (first != 0 && ctx.hdr_ok[first]) eval_slow(ctx, s, stats);
+    });
+  }
+  if (!ctx.hdr_ok[0]) return;  // the whole DFS subtree was bulk-counted
+
+  DfsPair fs;
+  fs.ctx = &ctx;
+  fs.c1 = p1.cells.data();
+  fs.c2 = p2.cells.data();
+  fs.e1 = static_cast<unsigned>(e1);
+  fs.e2 = static_cast<unsigned>(n2 - 1);
+  fs.eom_len = p2.tp.eom_len;
+  fs.mod255 = ctx.mod255;
+  fs.track1 = n1 == n2;
+  fs.ident1_base = fs.track1 && p2.eom_cov_hash == p1.eom_cov_hash;
+  fs.ident2_head = p1.cells[0].hash == p2.cells[0].hash;
+  fs.iconst = static_cast<std::uint64_t>(p1.tp.head_sum) + p2.tp.eom_sum;
+  {
+    const alg::FletcherPair& hf =
+        ctx.mod255 ? p1.tp.head_f255 : p1.tp.head_f256;
+    const alg::FletcherPair& ef = ctx.mod255 ? p2.tp.eom_f255 : p2.tp.eom_f256;
+    fs.fconst_a = static_cast<std::uint64_t>(hf.a) + ef.a;
+    fs.fconst_b =
+        static_cast<std::uint64_t>(hf.b) + ef.b +
+        (static_cast<std::uint64_t>(atm::kCellPayload) * (fs.e2 - 1) +
+         fs.eom_len) *
+            hf.a;
+  }
+  fs.crc_target = p2.stored_crc ^ p2.crc_head44 ^
+                  suffix_comb(fs.e2 - 1).advance(p1.cells[0].crc);
+  fs.stored_canon = alg::ones_canonical(ctx.header_placement ? p1.tp.stored
+                                                             : p2.tp.stored);
+  fs.st = &stats;
+
+  if (fs.e2 <= kMaxPooledSuffixCells) {
+    thread_local std::vector<std::vector<SuffixCombo>> buckets;
+    if (buckets.size() < fs.e2) buckets.resize(fs.e2);
+    for (auto& b : buckets) b.clear();
+    buckets[0].push_back(SuffixCombo{});  // k2 = 0: only p2's EOM
+    if (fs.e2 >= 2)
+      suffix_pool(fs, static_cast<int>(fs.e2) - 1, 0, Agg{}, buckets);
+    prefix_walk(fs, 1, 0, Agg{}, &buckets);
+  } else {
+    prefix_walk(fs, 1, 0, Agg{}, nullptr);
+  }
+}
+
+void evaluate_pair_flat(const net::PacketConfig& cfg, const SimPacket& p1,
+                        const SimPacket& p2, SpliceStats& stats) {
+  ++stats.pairs;
+  const std::size_t n1 = p1.pdu.num_cells();
+  const std::size_t n2 = p2.pdu.num_cells();
+  if (n1 < 2 || n2 < 1) return;
+  atm::check_splice_cells(n1, n2);
+
+  std::vector<std::uint8_t> hdr_scratch;
+  const PairContext ctx = make_pair_context(cfg, p1, p2, hdr_scratch);
+  const bool fast = p2.fast_path_ok;
 
   atm::for_each_splice(n1, n2, [&](const atm::SpliceSpec& s) {
     ++stats.total;
-    if (ctx.fast) {
-      eval_fast(ctx, s, stats);
+    if (fast) {
+      eval_fast_flat(ctx, s, stats);
     } else {
       eval_slow(ctx, s, stats);
     }
   });
 }
 
-SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file) {
-  SpliceStats st;
+namespace {
+
+/// Compress (optionally) and packetize one file — shared by the
+/// sequential and work-stealing paths.
+std::vector<SimPacket> prepare_file(const SpliceRunConfig& cfg,
+                                    util::ByteView file) {
   util::Bytes compressed;
   if (cfg.compress_files) {
     compressed = compress::lzw_compress(file);
     file = util::ByteView(compressed);
   }
-  const std::vector<SimPacket> pkts = packetize_file(cfg.flow, file);
+  return packetize_file(cfg.flow, file);
+}
+
+}  // namespace
+
+SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file) {
+  SpliceStats st;
+  const std::vector<SimPacket> pkts = prepare_file(cfg, file);
   st.files = 1;
   st.packets = pkts.size();
   for (std::size_t i = 0; i + 1 < pkts.size(); ++i)
@@ -290,34 +607,103 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
                            const fsgen::Filesystem& fs) {
   unsigned threads = cfg.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(1, fs.file_count())));
+  const std::size_t nfiles = fs.file_count();
 
-  if (threads <= 1) {
+  if (threads <= 1 || nfiles == 0) {
     SpliceStats st;
-    for (std::size_t i = 0; i < fs.file_count(); ++i) {
+    for (std::size_t i = 0; i < nfiles; ++i) {
       const util::Bytes file = fs.file(i);
       st.merge(run_file(cfg, util::ByteView(file)));
     }
     return st;
   }
 
-  // Files are independent flows: shard them over a small worker pool
-  // and merge the per-thread statistics (all counters are additive).
+  // Pair-granular work stealing: whichever worker claims a file
+  // packetizes it once, then its adjacent-pair range is carved into
+  // fixed chunks that any idle worker can steal, so one large file no
+  // longer serialises the run. Every SpliceStats counter is additive,
+  // so the merged result is bitwise identical for any thread count or
+  // interleaving.
+  struct FileWork {
+    std::vector<SimPacket> pkts;
+    std::atomic<std::size_t> next_pair{0};
+    std::size_t pair_count = 0;
+  };
+  constexpr std::size_t kPairChunk = 8;
+
   std::vector<SpliceStats> partial(threads);
-  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> next_file{0};
+  std::atomic<unsigned> packetizing{0};
+  std::mutex mu;  // guards `open`
+  std::vector<std::shared_ptr<FileWork>> open;
+
+  auto worker = [&](unsigned t) {
+    SpliceStats& st = partial[t];
+    for (;;) {
+      // 1) Steal a pair chunk from any open file.
+      std::shared_ptr<FileWork> fw;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto it = open.begin(); it != open.end();) {
+          if ((*it)->next_pair.load(std::memory_order_relaxed) >=
+              (*it)->pair_count) {
+            it = open.erase(it);  // drained; in-flight chunks hold refs
+          } else {
+            fw = *it;
+            break;
+          }
+        }
+      }
+      if (fw != nullptr) {
+        const std::size_t begin = fw->next_pair.fetch_add(kPairChunk);
+        const std::size_t end =
+            std::min(begin + kPairChunk, fw->pair_count);
+        for (std::size_t j = begin; j < end; ++j)
+          evaluate_pair(cfg.flow.packet, fw->pkts[j], fw->pkts[j + 1], st);
+        continue;
+      }
+      // 2) No open pairs: claim and packetize the next file. The
+      //    in-flight counter keeps step 3 from declaring victory while
+      //    a file is being opened. (Bumped before the claim so a
+      //    racing worker can never observe files-exhausted with the
+      //    counter already back at zero.)
+      packetizing.fetch_add(1);
+      const std::size_t i = next_file.fetch_add(1);
+      if (i < nfiles) {
+        const util::Bytes file = fs.file(i);
+        auto work = std::make_shared<FileWork>();
+        work->pkts = prepare_file(cfg, util::ByteView(file));
+        st.files += 1;
+        st.packets += work->pkts.size();
+        if (work->pkts.size() >= 2) {
+          work->pair_count = work->pkts.size() - 1;
+          std::lock_guard<std::mutex> lock(mu);
+          open.push_back(std::move(work));
+        }
+        packetizing.fetch_sub(1);
+        continue;
+      }
+      packetizing.fetch_sub(1);
+      // 3) Files exhausted: done once no file is mid-packetize and no
+      //    open file has unclaimed pairs.
+      if (packetizing.load() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        bool pending = false;
+        for (const auto& w : open) {
+          if (w->next_pair.load(std::memory_order_relaxed) < w->pair_count) {
+            pending = true;
+            break;
+          }
+        }
+        if (!pending) return;
+      }
+      std::this_thread::yield();
+    }
+  };
+
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= fs.file_count()) return;
-        const util::Bytes file = fs.file(i);
-        partial[t].merge(run_file(cfg, util::ByteView(file)));
-      }
-    });
-  }
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (auto& th : pool) th.join();
 
   SpliceStats st;

@@ -29,9 +29,11 @@ struct SpliceRunConfig {
   net::FlowConfig flow;
   /// LZW-compress each file before transfer (Table 7).
   bool compress_files = false;
-  /// Worker threads for filesystem-level runs (files are independent
-  /// transfers, so they parallelise perfectly). 0 = use all hardware
-  /// threads; 1 = sequential.
+  /// Worker threads for filesystem-level runs. Work is claimed at
+  /// (file, pair-chunk) granularity, so a single large file spreads
+  /// over all workers too; every counter is additive, so the merged
+  /// statistics are bitwise identical for any thread count. 0 = use
+  /// all hardware threads; 1 = sequential.
   unsigned threads = 1;
 };
 
@@ -68,6 +70,10 @@ struct SpliceStats {
   std::array<std::uint64_t, kMaxTrackedK> missed_by_k{};
 
   std::uint64_t slow_path = 0;  ///< splices evaluated by materialisation
+  /// Splices evaluated (or bulk-accounted) from partial sums alone.
+  /// fast_path + slow_path == total; the reference corpus stays >99%
+  /// fast (asserted in tests).
+  std::uint64_t fast_path = 0;
 
   void merge(const SpliceStats& other);
 
@@ -83,8 +89,22 @@ struct SpliceStats {
 };
 
 /// Evaluate every splice of the adjacent pair (p1, p2).
+///
+/// Splices are walked as a prefix-sharing DFS over cell positions:
+/// each DFS edge folds one cell's partial sums into an accumulator
+/// (combined CRC, unreduced Internet/Fletcher sums, identical-to-p1/p2
+/// hash state) shared by every splice extending that prefix, so the
+/// amortised cost per splice is O(1) instead of O(cells). Subtrees
+/// whose first cell fails the header checks are bulk-accounted
+/// combinatorially without being enumerated.
 void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
                    const SimPacket& p2, SpliceStats& stats);
+
+/// The pre-DFS evaluator: flat enumeration with a per-splice O(cells)
+/// refold. Kept as the benchmark baseline and as a differential-test
+/// oracle — it must produce bitwise-identical SpliceStats.
+void evaluate_pair_flat(const net::PacketConfig& cfg, const SimPacket& p1,
+                        const SimPacket& p2, SpliceStats& stats);
 
 /// Outcome of one splice under the receiver's checks.
 struct SpliceOutcome {

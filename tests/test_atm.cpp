@@ -3,6 +3,8 @@
 
 #include <bit>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "atm/aal5.hpp"
 #include "atm/splice.hpp"
@@ -96,6 +98,49 @@ TEST(SpliceCount, MatchesPaperCombinatorics) {
   EXPECT_EQ(splice_count(1, 7), 0u);  // pkt1 has no droppable cells
   EXPECT_EQ(splice_count(2, 1), 0u);  // splice must be exactly 1 cell = pkt2
   EXPECT_EQ(splice_count(2, 2), 1u);  // keep p1c0 + p2 EOM
+}
+
+TEST(SpliceCount, CellCapBoundary) {
+  // 32 cells (31 non-EOM) is the widest shape the 32-bit masks can
+  // enumerate; 33 used to shift by 32 (UB) and silently truncate.
+  EXPECT_EQ(splice_count(32, 2), 31u);
+  std::uint64_t count = 0;
+  for_each_splice(32, 2, [&](const SpliceSpec&) { ++count; });
+  EXPECT_EQ(count, 31u);
+
+  EXPECT_THROW(splice_count(33, 7), std::length_error);
+  EXPECT_THROW(splice_count(7, 33), std::length_error);
+  EXPECT_THROW(for_each_splice(33, 7, [](const SpliceSpec&) {}),
+               std::length_error);
+  EXPECT_THROW(for_each_splice(7, 33, [](const SpliceSpec&) {}),
+               std::length_error);
+  EXPECT_THROW(splice_count_first_cell(33, 7, 0), std::length_error);
+}
+
+TEST(SpliceCount, FirstCellPartitionsSpliceSpace) {
+  // Summing the per-first-cell counts over i recovers splice_count,
+  // and each count matches direct enumeration (first kept cell of
+  // pkt1 = lowest set bit of mask1).
+  for (const auto& [n1, n2] : {std::pair<std::size_t, std::size_t>{7, 7},
+                              {7, 2},
+                              {2, 7},
+                              {3, 3},
+                              {10, 4},
+                              {4, 10}}) {
+    std::vector<std::uint64_t> by_first(n1, 0);
+    for_each_splice(n1, n2, [&](const SpliceSpec& s) {
+      ++by_first[static_cast<std::size_t>(std::countr_zero(s.mask1))];
+    });
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n1; ++i) {
+      EXPECT_EQ(splice_count_first_cell(n1, n2, i), by_first[i])
+          << "n1=" << n1 << " n2=" << n2 << " i=" << i;
+      sum += splice_count_first_cell(n1, n2, i);
+    }
+    EXPECT_EQ(sum, splice_count(n1, n2));
+  }
+  // The paper's 7/7 split, explicitly.
+  EXPECT_EQ(splice_count_first_cell(7, 7, 0), 462u);
 }
 
 class SpliceEnum

@@ -206,5 +206,35 @@ TEST(GenericCrc, RejectsBadWidth) {
   EXPECT_THROW(GenericCrc(33, 0x3), std::invalid_argument);
 }
 
+TEST(GenericCrc, CombinerMatchesGeneralCombine) {
+  // The nibble-table Combiner and the per-call combine must agree —
+  // for CRC-32 and a narrow width where rows past the register are 0.
+  util::Rng rng(11);
+  for (const std::size_t width : {32u, 16u, 8u}) {
+    const GenericCrc g(width, standard_poly(width));
+    for (const std::size_t len : {1u, 44u, 48u, 300u}) {
+      const GenericCrc::Combiner comb = g.combiner(len);
+      for (int i = 0; i < 50; ++i) {
+        const auto a = static_cast<std::uint32_t>(rng.next()) & g.mask();
+        const auto b = static_cast<std::uint32_t>(rng.next()) & g.mask();
+        EXPECT_EQ(comb.combine(a, b), g.combine(a, b, len))
+            << "width=" << width << " len=" << len;
+        EXPECT_EQ(comb.advance(a ^ b), comb.advance(a) ^ comb.advance(b));
+      }
+    }
+  }
+}
+
+TEST(GenericCrc, CombinerCacheReturnsStableReferences) {
+  const GenericCrc g(32, standard_poly(32));
+  CombinerCache cache(g);
+  const GenericCrc::Combiner& c48 = cache.get(48);
+  // Populating more entries must not invalidate earlier references
+  // (the splice evaluator holds them across a whole corpus run).
+  for (std::size_t len = 1; len < 64; ++len) cache.get(len);
+  EXPECT_EQ(&c48, &cache.get(48));
+  EXPECT_EQ(c48.combine(0x1234u, 0x5678u), g.combine(0x1234u, 0x5678u, 48));
+}
+
 }  // namespace
 }  // namespace cksum::alg

@@ -4,12 +4,14 @@
 // placements, and ablations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 
 #include "core/experiments.hpp"
 #include "core/pdu_model.hpp"
 #include "core/splice_sim.hpp"
 #include "fsgen/generator.hpp"
+#include "net/packet.hpp"
 #include "util/rng.hpp"
 
 namespace cksum::core {
@@ -30,37 +32,57 @@ net::FlowConfig flow_with(alg::Algorithm transport,
 }
 
 /// Reference statistics computed entirely through the byte-level
-/// oracle, mirroring evaluate_pair's classification.
+/// oracle: a full mirror of evaluate_pair's classification, down to
+/// the k-histograms, hdr2 population and Table 10 matrix. Only the
+/// fast_path/slow_path evaluator-internals are left at zero.
 SpliceStats reference_pair_stats(const net::PacketConfig& cfg,
                                  const SimPacket& p1, const SimPacket& p2) {
   SpliceStats st;
   ++st.pairs;
-  atm::for_each_splice(p1.pdu.num_cells(), p2.pdu.num_cells(),
-                       [&](const atm::SpliceSpec& s) {
-                         ++st.total;
-                         const SpliceOutcome o =
-                             evaluate_splice_reference(cfg, p1, p2, s);
-                         if (o.caught_by_header) {
-                           ++st.caught_by_header;
-                           return;
-                         }
-                         if (o.identical) {
-                           ++st.identical;
-                           if (o.transport_pass)
-                             ++st.pass_identical;
-                           else
-                             ++st.fail_identical;
-                           return;
-                         }
-                         ++st.remaining;
-                         if (o.transport_pass) {
-                           ++st.missed_transport;
-                           ++st.pass_changed;
-                         } else {
-                           ++st.fail_changed;
-                         }
-                         if (o.crc_pass) ++st.missed_crc;
-                       });
+  const std::size_t n2 = p2.pdu.num_cells();
+  atm::for_each_splice(
+      p1.pdu.num_cells(), n2, [&](const atm::SpliceSpec& s) {
+        ++st.total;
+        const SpliceOutcome o = evaluate_splice_reference(cfg, p1, p2, s);
+        if (o.caught_by_header) {
+          ++st.caught_by_header;
+          return;
+        }
+        if (o.identical) {
+          ++st.identical;
+          if (o.transport_pass)
+            ++st.pass_identical;
+          else
+            ++st.fail_identical;
+          return;
+        }
+        ++st.remaining;
+        if (o.transport_pass) {
+          ++st.missed_transport;
+          ++st.pass_changed;
+        } else {
+          ++st.fail_changed;
+        }
+        if (o.crc_pass) ++st.missed_crc;
+        if (o.crc_pass && o.transport_pass) ++st.missed_both;
+        const std::size_t k = std::min<std::size_t>(n2 - s.k1, kMaxTrackedK - 1);
+        ++st.remaining_by_k[k];
+        if (o.transport_pass) ++st.missed_by_k[k];
+        if ((s.mask2 & 1u) != 0) {
+          ++st.remaining_with_hdr2;
+          if (o.transport_pass) ++st.missed_with_hdr2;
+        }
+      });
+  return st;
+}
+
+/// Copy with the evaluator-internal path counters zeroed, so a DFS
+/// result can be compared bitwise against the oracle mirror (which
+/// never takes the fast path) or against the flat evaluator (which
+/// takes it for different splices).
+SpliceStats without_path_counters(SpliceStats st) {
+  st.fast_path = 0;
+  st.slow_path = 0;
   return st;
 }
 
@@ -239,6 +261,99 @@ TEST(FastVsReference, RandomisedConfigurationsAgree) {
     expect_same_counters(fast, ref,
                          ("trial " + std::to_string(trial)).c_str());
   }
+}
+
+TEST(FastVsReference, DfsBitwiseEqualsOracleOnCraftedPairs) {
+  // Property test over crafted packet pairs, including shapes
+  // packetize_file never produces (n2 > n1, runt meeting runt): the
+  // ENTIRE DFS result — k-histograms, hdr2 population, Table 10
+  // matrix, missed_both — must equal the byte-level oracle mirror bit
+  // for bit. Path counters are zeroed (the mirror never takes the
+  // fast path) but must partition the total.
+  util::Rng rng(0xb17e);
+  for (int trial = 0; trial < 48; ++trial) {
+    net::FlowConfig flow = paper_flow_config();
+    flow.packet.transport =
+        std::array{alg::Algorithm::kInternet, alg::Algorithm::kFletcher255,
+                   alg::Algorithm::kFletcher256}[rng.below(3)];
+    flow.packet.placement = rng.chance(0.5)
+                                ? net::ChecksumPlacement::kHeader
+                                : net::ChecksumPlacement::kTrailer;
+    flow.packet.invert_checksum = rng.chance(0.8);
+    flow.packet.fill_ip_header = rng.chance(0.8);
+
+    // n cells hold a 40-byte datagram header plus payload of
+    // 48(n-2)+1 .. 48(n-1) bytes (odd lengths arise naturally).
+    const auto payload_for = [&](std::size_t n) {
+      const std::size_t lo = 48 * (n - 2) + 1;
+      const std::size_t len = lo + rng.below(48);
+      Bytes payload(len);
+      for (auto& b : payload)  // zero-heavy, so identical and
+        b = rng.chance(0.4)    // transport-missed splices arise
+                ? 0
+                : static_cast<std::uint8_t>(rng.next());
+      return payload;
+    };
+
+    const std::size_t n1 = 2 + rng.below(11);
+    const std::size_t n2 = 2 + rng.below(11);
+    const Bytes pay1 = payload_for(n1);
+    const Bytes pay2 =
+        (n1 == n2 && rng.chance(0.3)) ? pay1 : payload_for(n2);
+    const SimPacket p1 = make_sim_packet(
+        flow.packet, net::build_packet(flow.packet, flow.initial_seq, 1,
+                                       ByteView(pay1)));
+    const SimPacket p2 = make_sim_packet(
+        flow.packet,
+        net::build_packet(flow.packet,
+                          flow.initial_seq +
+                              static_cast<std::uint32_t>(pay1.size()),
+                          2, ByteView(pay2)));
+
+    SpliceStats fast;
+    evaluate_pair(flow.packet, p1, p2, fast);
+    EXPECT_EQ(fast.fast_path + fast.slow_path, fast.total)
+        << "trial " << trial;
+    const SpliceStats ref = reference_pair_stats(flow.packet, p1, p2);
+    EXPECT_TRUE(without_path_counters(fast) == ref)
+        << "trial " << trial << " n1=" << n1 << " n2=" << n2;
+  }
+}
+
+TEST(SpliceSim, FlatEvaluatorBitwiseMatchesDfs) {
+  // The flat enumerator (kept as the benchmark baseline) and the DFS
+  // must agree on everything, including which splices are slow-path:
+  // both defer exactly the header-passing splices that don't start at
+  // pkt1's cell 0.
+  for (const auto placement : {net::ChecksumPlacement::kHeader,
+                               net::ChecksumPlacement::kTrailer}) {
+    const net::FlowConfig flow =
+        flow_with(alg::Algorithm::kInternet, placement);
+    const Bytes file =
+        fsgen::generate_file(fsgen::FileKind::kGmonProfile, 21, 8000);
+    const auto pkts = packetize_file(flow, ByteView(file));
+    ASSERT_GE(pkts.size(), 2u);
+    SpliceStats dfs, flat;
+    for (std::size_t i = 0; i + 1 < pkts.size(); ++i) {
+      evaluate_pair(flow.packet, pkts[i], pkts[i + 1], dfs);
+      evaluate_pair_flat(flow.packet, pkts[i], pkts[i + 1], flat);
+    }
+    EXPECT_TRUE(dfs == flat);
+    EXPECT_EQ(flat.fast_path + flat.slow_path, flat.total);
+  }
+}
+
+TEST(SpliceSim, ReferenceCorpusStaysFastPath) {
+  // The partial-sums evaluator only materialises splices whose first
+  // kept cell passes the header checks but isn't pkt1's cell 0 — on
+  // the reference corpus that is well under 1% of all splices.
+  SpliceRunConfig cfg;
+  cfg.flow = paper_flow_config();
+  const fsgen::Filesystem fs(fsgen::profile("nsc05"), 0.2);
+  const SpliceStats st = run_filesystem(cfg, fs);
+  ASSERT_GT(st.total, 0u);
+  EXPECT_EQ(st.fast_path + st.slow_path, st.total);
+  EXPECT_GT(st.fast_path * 100, st.total * 99);
 }
 
 TEST(SpliceSim, TotalMatchesCombinatorics) {

@@ -13,6 +13,7 @@
 //   --trailer                   trailer placement    (default header)
 //   --scale <x>                 profile scale        (default 1.0)
 //   --segment <bytes>           TCP segment size     (default 256)
+//   --verbose                   evaluator internals (splice: path mix)
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -40,7 +41,7 @@ int usage() {
                "       cksumlab pcap <out.pcap> [profile] [max-packets]\n"
                "       cksumlab splice (--profile <name> | --dir <path> | --manifest <file>) "
                "[--transport tcp|f255|f256] [--trailer] [--scale x] "
-               "[--segment n]\n"
+               "[--segment n] [--verbose]\n"
                "       cksumlab dist (--profile <name> | --dir <path>)\n");
   return 2;
 }
@@ -117,6 +118,7 @@ struct CommonOpts {
   net::PacketConfig pkt;
   double scale = 1.0;
   std::size_t segment = 256;
+  bool verbose = false;  // evaluator internals (path mix, pair count)
   bool ok = true;
 };
 
@@ -143,6 +145,8 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
       o.segment = std::stoull(next());
     } else if (a == "--trailer") {
       o.pkt.placement = net::ChecksumPlacement::kTrailer;
+    } else if (a == "--verbose") {
+      o.verbose = true;
     } else if (a == "--transport") {
       const std::string v = next();
       if (v == "tcp") {
@@ -167,7 +171,7 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
 }
 
 void print_splice_stats(const core::SpliceStats& st,
-                        const net::PacketConfig& pkt) {
+                        const net::PacketConfig& pkt, bool verbose) {
   core::TextTable t({"", "count", "% remaining"});
   t.add_row({"files", core::fmt_count(st.files), ""});
   t.add_row({"packets", core::fmt_count(st.packets), ""});
@@ -184,6 +188,11 @@ void print_splice_stats(const core::SpliceStats& st,
   std::printf("uniform-data expectation for %s: %s%%\n",
               std::string(alg::name(pkt.transport)).c_str(),
               core::fmt_pct(alg::uniform_miss_rate(pkt.transport)).c_str());
+  if (verbose) {
+    std::printf("pairs evaluated:    %s\n", core::fmt_count(st.pairs).c_str());
+    std::printf("evaluator path mix: %s\n",
+                core::fmt_path_mix(st.fast_path, st.slow_path).c_str());
+  }
 }
 
 int cmd_manifest(const std::vector<std::string>& args) {
@@ -246,7 +255,7 @@ int cmd_splice(const std::vector<std::string>& args) {
   } else {
     st = core::run_directory(cfg, o.dir);
   }
-  print_splice_stats(st, o.pkt);
+  print_splice_stats(st, o.pkt, o.verbose);
   return 0;
 }
 
