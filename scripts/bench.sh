@@ -23,7 +23,7 @@ done
 
 BUILD=build
 cmake -B "$BUILD" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" --target bench_splice
+cmake --build "$BUILD" --target bench_splice cksumlab
 
 RAW="$BUILD/bench_splice_raw.json"
 MIN_TIME=0.5
@@ -34,8 +34,18 @@ MIN_TIME=0.5
   --benchmark_out="$RAW" \
   --benchmark_out_format=json
 
+# Telemetry run manifest for the same corpus family (see
+# docs/OBSERVABILITY.md); its headline numbers ride along in the
+# trajectory entry.
+MANIFEST="$BUILD/metrics_manifest.json"
+"$BUILD/tools/cksumlab" splice --quick --metrics-out "$MANIFEST" \
+  > /dev/null
+python3 scripts/check_manifest.py "$MANIFEST" \
+  --require-family splice --require-family sched
+
 DISTILL_ARGS=""
 [ "$QUICK" -eq 1 ] && DISTILL_ARGS="$DISTILL_ARGS --quick"
 [ "$CHECK" -eq 1 ] && DISTILL_ARGS="$DISTILL_ARGS --check"
 # shellcheck disable=SC2086
-python3 scripts/bench_distill.py "$RAW" BENCH_splice.json $DISTILL_ARGS
+python3 scripts/bench_distill.py "$RAW" BENCH_splice.json \
+  --manifest "$MANIFEST" $DISTILL_ARGS

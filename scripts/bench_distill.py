@@ -3,6 +3,7 @@
 trajectory at the repo root.
 
 Usage: bench_distill.py RAW_JSON TRAJECTORY_JSON [--quick] [--check]
+                        [--manifest PATH]
 
 The trajectory file is a JSON array, one entry per bench.sh run:
 
@@ -13,8 +14,19 @@ The trajectory file is a JSON array, one entry per bench.sh run:
       "splices_per_sec": {"dfs": ..., "flat": ..., "reference": ...},
       "pairs_per_sec":   {"dfs": ..., "flat": ..., "reference": ...},
       "speedup_dfs_vs_flat": ...,
-      "speedup_dfs_vs_reference": ...
+      "speedup_dfs_vs_reference": ...,
+      "manifest": { ... }   # optional: telemetry run-manifest summary
     }
+
+A missing, empty, or whitespace-only trajectory file starts a fresh
+array; a non-empty file that is not valid JSON is an error (the file
+is left untouched rather than clobbered). Entries are validated
+against the schema above before the file is rewritten — a malformed
+new entry aborts, malformed pre-existing entries only warn.
+
+--manifest ingests a cksum-metrics/1 run manifest (produced by
+`cksumlab splice --metrics-out`, see docs/OBSERVABILITY.md) and
+records its headline numbers under the entry's "manifest" key.
 
 --check exits non-zero if the new DFS rate fell below 1/5 of the
 previous entry's, or if the DFS evaluator is slower than the flat one.
@@ -31,6 +43,93 @@ BENCH_KEYS = {
     "BM_SpliceFlat": "flat",
     "BM_SpliceReference": "reference",
 }
+
+MANIFEST_SCHEMA = "cksum-metrics/1"
+
+
+def load_trajectory(path):
+    """Parse the trajectory array. Returns (entries, error)."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except FileNotFoundError:
+        return [], None
+    if not text.strip():
+        return [], None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as e:
+        return None, f"{path} is not valid JSON ({e}); not overwriting"
+    if not isinstance(data, list):
+        return None, f"{path} is not a JSON array; not overwriting"
+    return data, None
+
+
+def validate_entry(entry):
+    """Schema problems with one trajectory entry, [] when clean."""
+    problems = []
+    if not isinstance(entry, dict):
+        return ["entry is not an object"]
+    for key in ("date", "commit"):
+        if not isinstance(entry.get(key), str) or not entry.get(key):
+            problems.append(f"{key!r} missing or not a non-empty string")
+    if not isinstance(entry.get("quick"), bool):
+        problems.append("'quick' missing or not a bool")
+    for key in ("splices_per_sec", "pairs_per_sec"):
+        rates = entry.get(key)
+        if not isinstance(rates, dict):
+            problems.append(f"{key!r} missing or not an object")
+            continue
+        for bench in BENCH_KEYS.values():
+            if not isinstance(rates.get(bench), (int, float)):
+                problems.append(f"{key!r}[{bench!r}] missing or not a number")
+    for key in ("speedup_dfs_vs_flat", "speedup_dfs_vs_reference"):
+        if not isinstance(entry.get(key), (int, float)):
+            problems.append(f"{key!r} missing or not a number")
+    if "manifest" in entry and not isinstance(entry["manifest"], dict):
+        problems.append("'manifest' present but not an object")
+    return problems
+
+
+def manifest_summary(path):
+    """Headline numbers from a cksum-metrics/1 run manifest.
+
+    Returns (summary, error); validation failures are errors because a
+    bad manifest means the telemetry pipeline itself is broken.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, f"cannot read manifest {path}: {e}"
+    if not isinstance(doc, dict) or doc.get("schema") != MANIFEST_SCHEMA:
+        got = doc.get("schema") if isinstance(doc, dict) else type(doc)
+        return None, (f"manifest {path}: schema is {got!r}, "
+                      f"want {MANIFEST_SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return None, f"manifest {path}: 'metrics' missing"
+
+    def value(name):
+        m = metrics.get(name)
+        return m.get("value") if isinstance(m, dict) else None
+
+    for name in ("splice.total", "splice.pairs"):
+        if not isinstance(value(name), int):
+            return None, f"manifest {path}: metric {name!r} missing"
+    fast = value("splice.fast_path") or 0
+    slow = value("splice.slow_path") or 0
+    evaluated = fast + slow
+    return {
+        "tool": doc.get("tool"),
+        "corpus": doc.get("corpus"),
+        "threads": doc.get("threads"),
+        "git": doc.get("git"),
+        "wall_seconds": doc.get("wall_seconds"),
+        "splices": value("splice.total"),
+        "pairs": value("splice.pairs"),
+        "fast_path_fraction": fast / evaluated if evaluated else None,
+    }, None
 
 
 def git_commit() -> str:
@@ -49,6 +148,9 @@ def main() -> int:
     ap.add_argument("trajectory", help="BENCH_splice.json to append to")
     ap.add_argument("--quick", action="store_true")
     ap.add_argument("--check", action="store_true")
+    ap.add_argument("--manifest", metavar="PATH",
+                    help="cksum-metrics/1 run manifest to summarize "
+                         "into the entry")
     args = ap.parse_args()
 
     with open(args.raw) as f:
@@ -81,13 +183,27 @@ def main() -> int:
         "speedup_dfs_vs_reference": splices["dfs"] / splices["reference"],
     }
 
-    try:
-        with open(args.trajectory) as f:
-            trajectory = json.load(f)
-        if not isinstance(trajectory, list):
-            raise ValueError("trajectory is not a JSON array")
-    except FileNotFoundError:
-        trajectory = []
+    if args.manifest:
+        summary, err = manifest_summary(args.manifest)
+        if err:
+            print(f"bench_distill: {err}", file=sys.stderr)
+            return 1
+        entry["manifest"] = summary
+
+    problems = validate_entry(entry)
+    if problems:
+        for p in problems:
+            print(f"bench_distill: new entry invalid: {p}", file=sys.stderr)
+        return 1
+
+    trajectory, err = load_trajectory(args.trajectory)
+    if err:
+        print(f"bench_distill: {err}", file=sys.stderr)
+        return 1
+    for i, old in enumerate(trajectory):
+        for p in validate_entry(old):
+            print(f"bench_distill: warning: {args.trajectory} entry "
+                  f"#{i + 1}: {p}", file=sys.stderr)
 
     previous = trajectory[-1] if trajectory else None
     trajectory.append(entry)
@@ -100,6 +216,14 @@ def main() -> int:
           f"({entry['speedup_dfs_vs_flat']:.1f}x slower than dfs)")
     print(f"reference: {splices['reference']:.3e} splices/sec "
           f"({entry['speedup_dfs_vs_reference']:.1f}x slower than dfs)")
+    if "manifest" in entry:
+        m = entry["manifest"]
+        frac = m["fast_path_fraction"]
+        print(f"manifest:  {m['splices']:,} splices / {m['pairs']:,} pairs "
+              f"on {m['corpus']} in {m['wall_seconds']:.3f}s "
+              f"({100.0 * frac:.2f}% fast path)" if frac is not None else
+              f"manifest:  {m['splices']:,} splices / {m['pairs']:,} pairs "
+              f"on {m['corpus']}")
     print(f"appended entry #{len(trajectory)} to {args.trajectory}")
 
     if args.check:

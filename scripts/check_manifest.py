@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a telemetry run manifest against the cksum-metrics/1 schema.
+
+Usage: check_manifest.py MANIFEST [--require-family FAM]...
+
+The schema is documented in src/obs/snapshot.hpp and
+docs/OBSERVABILITY.md. CI runs this against the manifest produced by
+`cksumlab splice --quick --metrics-out` so a malformed export fails the
+perf-smoke job rather than silently breaking downstream tooling.
+
+--require-family fails validation unless at least one metric of that
+family (the segment before the first '.') is present, e.g.
+`--require-family splice --require-family sched`.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cksum-metrics/1"
+KINDS = {"counter", "gauge", "histogram"}
+TAGS = {"deterministic", "scheduling", "timing"}
+HISTOGRAM_BUCKETS = 32
+
+
+def check_metric(name, m, problems):
+    if "." not in name:
+        problems.append(f"metric {name!r}: name is not <family>.<metric>")
+    if not isinstance(m, dict):
+        problems.append(f"metric {name!r}: not an object")
+        return
+    kind = m.get("kind")
+    if kind not in KINDS:
+        problems.append(f"metric {name!r}: bad kind {kind!r}")
+        return
+    if m.get("tag") not in TAGS:
+        problems.append(f"metric {name!r}: bad tag {m.get('tag')!r}")
+    if kind == "counter":
+        v = m.get("value")
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"metric {name!r}: counter value {v!r}")
+    elif kind == "gauge":
+        if not isinstance(m.get("value"), int):
+            problems.append(f"metric {name!r}: gauge value {m.get('value')!r}")
+    else:  # histogram
+        for key in ("count", "sum"):
+            v = m.get(key)
+            if not isinstance(v, int) or v < 0:
+                problems.append(f"metric {name!r}: histogram {key} {v!r}")
+        buckets = m.get("buckets")
+        if (not isinstance(buckets, list)
+                or len(buckets) != HISTOGRAM_BUCKETS
+                or any(not isinstance(b, int) or b < 0 for b in buckets)):
+            problems.append(f"metric {name!r}: bad buckets")
+        elif isinstance(m.get("count"), int) and sum(buckets) != m["count"]:
+            problems.append(
+                f"metric {name!r}: bucket total {sum(buckets)} != "
+                f"count {m['count']}")
+
+
+def check_manifest(doc, require_families):
+    problems = []
+    if not isinstance(doc, dict):
+        return ["manifest is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("tool", "corpus", "git"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            problems.append(f"{key!r} missing or not a non-empty string")
+    for key in ("seed", "threads"):
+        if not isinstance(doc.get(key), int) or doc.get(key) < 0:
+            problems.append(f"{key!r} missing or not a non-negative integer")
+    if isinstance(doc.get("threads"), int) and doc["threads"] < 1:
+        problems.append("'threads' must be >= 1")
+    ws = doc.get("wall_seconds")
+    if not isinstance(ws, (int, float)) or ws < 0:
+        problems.append(f"'wall_seconds' missing or negative: {ws!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("'metrics' missing or empty")
+        metrics = {}
+    for name, m in metrics.items():
+        check_metric(name, m, problems)
+    if "report" in doc and not isinstance(doc["report"], dict):
+        problems.append("'report' present but not an object")
+    families = {name.split(".", 1)[0] for name in metrics}
+    for fam in require_families:
+        if fam not in families:
+            problems.append(f"required metric family {fam!r} absent")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("manifest")
+    ap.add_argument("--require-family", action="append", default=[],
+                    metavar="FAM")
+    args = ap.parse_args()
+
+    try:
+        with open(args.manifest) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_manifest: {args.manifest}: {e}", file=sys.stderr)
+        return 1
+
+    problems = check_manifest(doc, args.require_family)
+    if problems:
+        for p in problems:
+            print(f"check_manifest: {args.manifest}: {p}", file=sys.stderr)
+        return 1
+    nmetrics = len(doc["metrics"])
+    print(f"{args.manifest}: valid {SCHEMA} manifest "
+          f"({doc['tool']}, {nmetrics} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

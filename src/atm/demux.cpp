@@ -1,8 +1,37 @@
 #include "atm/demux.hpp"
 
+#include "obs/registry.hpp"
+
 namespace cksum::atm {
 
+namespace {
+
+struct DemuxMetrics {
+  obs::Counter cells, deliveries, budget_drops, evictions;
+};
+
+const DemuxMetrics& dmx() {
+  static const DemuxMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    DemuxMetrics v;
+    v.cells = r.counter("demux.cells");
+    v.deliveries = r.counter("demux.deliveries");
+    v.budget_drops = r.counter("demux.budget_drops");
+    v.evictions = r.counter("demux.evictions");
+    return v;
+  }();
+  return m;
+}
+
+}  // namespace
+
+void register_atm_metrics() {
+  register_reassembler_metrics();
+  (void)dmx();
+}
+
 std::optional<VcDemux::Delivery> VcDemux::push(const Cell& cell) {
+  dmx().cells.add(1);
   ++tick_;
   const Key key{cell.header.vpi, cell.header.vci};
   auto it = channels_.find(key);
@@ -19,6 +48,7 @@ std::optional<VcDemux::Delivery> VcDemux::push(const Cell& cell) {
   if (!cell.header.end_of_message() &&
       pending_ >= limits_.max_pending_cells) {
     ++stats_.budget_drops;
+    dmx().budget_drops.add(1);
     return std::nullopt;
   }
 
@@ -30,6 +60,7 @@ std::optional<VcDemux::Delivery> VcDemux::push(const Cell& cell) {
 
   if (!done) return std::nullopt;
   ++stats_.deliveries;
+  dmx().deliveries.add(1);
   Delivery d;
   d.vpi = cell.header.vpi;
   d.vci = cell.header.vci;
@@ -44,6 +75,7 @@ void VcDemux::evict_idlest() {
   }
   pending_ -= victim->second.reasm.pending_cells();
   ++stats_.evictions;
+  dmx().evictions.add(1);
   channels_.erase(victim);
 }
 

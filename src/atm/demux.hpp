@@ -29,6 +29,10 @@
 
 namespace cksum::atm {
 
+/// Idempotently register the demux.* and reasm.* metric families with
+/// obs::Registry::global() (see docs/OBSERVABILITY.md).
+void register_atm_metrics();
+
 struct DemuxLimits {
   /// Max VCs with live reassembly state before LRU eviction kicks in.
   std::size_t max_channels = 65536;

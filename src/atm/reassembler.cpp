@@ -1,12 +1,38 @@
 #include "atm/reassembler.hpp"
 
+#include "obs/registry.hpp"
+
 namespace cksum::atm {
+
+namespace {
+
+struct ReasmMetrics {
+  obs::Counter pdus, pdus_length_ok, pdus_crc_ok, oversize;
+};
+
+const ReasmMetrics& rmx() {
+  static const ReasmMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    ReasmMetrics v;
+    v.pdus = r.counter("reasm.pdus_completed");
+    v.pdus_length_ok = r.counter("reasm.pdus_length_ok");
+    v.pdus_crc_ok = r.counter("reasm.pdus_crc_ok");
+    v.oversize = r.counter("reasm.oversize_discards");
+    return v;
+  }();
+  return m;
+}
+
+}  // namespace
+
+void register_reassembler_metrics() { (void)rmx(); }
 
 std::optional<Reassembler::Pdu> Reassembler::push(const Cell& cell) {
   if (buffer_.size() + kCellPayload > kMaxPduBytes) {
     // The in-progress PDU can no longer be legal; a real SAR entity
     // discards and resynchronises at the next EOM.
     ++oversize_;
+    rmx().oversize.add(1);
     buffer_.clear();
   }
   buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
@@ -19,6 +45,10 @@ std::optional<Reassembler::Pdu> Reassembler::push(const Cell& cell) {
   out.length_ok =
       length_consistent(out.bytes.size() / kCellPayload, trailer.length);
   out.crc_ok = crc_ok(util::ByteView(out.bytes));
+  const ReasmMetrics& m = rmx();
+  m.pdus.add(1);
+  if (out.length_ok) m.pdus_length_ok.add(1);
+  if (out.crc_ok) m.pdus_crc_ok.add(1);
   return out;
 }
 

@@ -16,6 +16,10 @@
 
 namespace cksum::atm {
 
+/// Idempotently register the reasm.* metric family with
+/// obs::Registry::global() (see docs/OBSERVABILITY.md).
+void register_reassembler_metrics();
+
 class Reassembler {
  public:
   struct Pdu {

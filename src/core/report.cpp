@@ -6,6 +6,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/splice_sim.hpp"
+#include "obs/snapshot.hpp"
+
 namespace cksum::core {
 
 std::string fmt_count(std::uint64_t n) {
@@ -54,6 +57,56 @@ std::string fmt_path_mix(std::uint64_t fast, std::uint64_t slow) {
   std::snprintf(buf, sizeof buf, "%.4f%% fast path",
                 100.0 * static_cast<double>(fast) / static_cast<double>(total));
   return std::string(buf) + " (" + fmt_count(slow) + " slow)";
+}
+
+std::string splice_stats_json(const SpliceStats& st,
+                              std::string_view transport_name) {
+  std::string out = "{";
+  const auto field = [&](std::string_view key, std::uint64_t v) {
+    if (out.size() > 1) out += ", ";
+    out += "\"" + std::string(key) + "\": " + std::to_string(v);
+  };
+  out += "\"transport\": \"" + obs::json_escape(transport_name) + "\"";
+  field("files", st.files);
+  field("packets", st.packets);
+  field("pairs", st.pairs);
+  field("splices", st.total);
+  field("caught_by_header", st.caught_by_header);
+  field("identical", st.identical);
+  field("remaining", st.remaining);
+  field("missed_crc", st.missed_crc);
+  field("missed_transport", st.missed_transport);
+  field("missed_both", st.missed_both);
+  field("fail_identical", st.fail_identical);
+  field("pass_identical", st.pass_identical);
+  field("fail_changed", st.fail_changed);
+  field("pass_changed", st.pass_changed);
+  field("remaining_with_hdr2", st.remaining_with_hdr2);
+  field("missed_with_hdr2", st.missed_with_hdr2);
+  field("fast_path", st.fast_path);
+  field("slow_path", st.slow_path);
+  {
+    const std::uint64_t evaluated = st.fast_path + st.slow_path;
+    char frac[32];
+    std::snprintf(frac, sizeof frac, "%.8f",
+                  evaluated == 0 ? 0.0
+                                 : static_cast<double>(st.fast_path) /
+                                       static_cast<double>(evaluated));
+    out += ", \"fast_path_fraction\": " + std::string(frac);
+  }
+  const auto array = [&](std::string_view key,
+                         const std::array<std::uint64_t, kMaxTrackedK>& a) {
+    out += ", \"" + std::string(key) + "\": [";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(a[i]);
+    }
+    out += "]";
+  };
+  array("remaining_by_k", st.remaining_by_k);
+  array("missed_by_k", st.missed_by_k);
+  out += "}";
+  return out;
 }
 
 TextTable::TextTable(std::vector<std::string> header) {

@@ -5,9 +5,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cksum::core {
+
+struct SpliceStats;
 
 /// "12,345,678" — counts the way the paper's tables print them.
 std::string fmt_count(std::uint64_t n);
@@ -25,6 +28,14 @@ std::string fmt_sci(double v);
 /// simulator resolves almost every splice from partial sums; this line
 /// surfaces how often it had to fall back to materialisation.
 std::string fmt_path_mix(std::uint64_t fast, std::uint64_t slow);
+
+/// Machine-readable rendering of a splice run: one JSON object with
+/// every SpliceStats counter — including the fast/slow evaluator path
+/// mix, which the text report only surfaces under --verbose — so the
+/// JSON output round-trips everything the text tables print. Embedded
+/// verbatim as the "report" member of the telemetry run manifest.
+std::string splice_stats_json(const SpliceStats& st,
+                              std::string_view transport_name);
 
 /// Column-aligned text table.
 class TextTable {

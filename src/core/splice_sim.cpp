@@ -1,5 +1,6 @@
 #include "core/splice_sim.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <memory>
@@ -10,10 +11,111 @@
 #include "atm/splice.hpp"
 #include "compress/lzw.hpp"
 #include "net/validate.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
 
 namespace cksum::core {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Telemetry. Counters are never touched per splice: evaluate_pair
+// accumulates into its SpliceStats as before and a flush object adds
+// the per-pair deltas to the registry on the way out, so the DFS inner
+// loop costs at most one plain increment (the node count) and the
+// registry sees a handful of relaxed adds per pair. All splice.*
+// counters are additive and thread-count invariant (Tag
+// kDeterministic); sched.* depends on worker interleaving.
+// ---------------------------------------------------------------------------
+
+struct SpliceMetrics {
+  obs::Counter files, packets, pairs, splices, fast, slow, caught_by_header,
+      identical, remaining, missed_crc, missed_transport, dfs_nodes;
+  obs::Counter sched_files, sched_chunks, sched_steals;
+  obs::Gauge sched_open_files;
+  obs::Histogram packetize_ns, chunk_ns;
+};
+
+const SpliceMetrics& smx() {
+  static const SpliceMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    SpliceMetrics v;
+    v.files = r.counter("splice.files");
+    v.packets = r.counter("splice.packets");
+    v.pairs = r.counter("splice.pairs");
+    v.splices = r.counter("splice.total");
+    v.fast = r.counter("splice.fast_path");
+    v.slow = r.counter("splice.slow_path");
+    v.caught_by_header = r.counter("splice.caught_by_header");
+    v.identical = r.counter("splice.identical");
+    v.remaining = r.counter("splice.remaining");
+    v.missed_crc = r.counter("splice.missed_crc");
+    v.missed_transport = r.counter("splice.missed_transport");
+    v.dfs_nodes = r.counter("splice.dfs_nodes");
+    v.sched_files = r.counter("sched.files_claimed", obs::Tag::kScheduling);
+    v.sched_chunks = r.counter("sched.chunks_claimed", obs::Tag::kScheduling);
+    v.sched_steals = r.counter("sched.chunks_stolen", obs::Tag::kScheduling);
+    v.sched_open_files = r.gauge("sched.open_files", obs::Tag::kScheduling);
+    v.packetize_ns = r.histogram("sched.packetize_ns", obs::Tag::kTiming);
+    v.chunk_ns = r.histogram("sched.chunk_ns", obs::Tag::kTiming);
+    return v;
+  }();
+  return m;
+}
+
+#ifndef OBS_DISABLE
+
+/// Flushes one evaluate_pair call's SpliceStats deltas (the stats
+/// object is shared across many pairs) into the registry on scope
+/// exit, covering every early return.
+class SpliceObsFlush {
+ public:
+  explicit SpliceObsFlush(SpliceStats& st)
+      : st_(st),
+        pairs_(st.pairs),
+        total_(st.total),
+        fast_(st.fast_path),
+        slow_(st.slow_path),
+        caught_(st.caught_by_header),
+        identical_(st.identical),
+        remaining_(st.remaining),
+        missed_crc_(st.missed_crc),
+        missed_transport_(st.missed_transport) {}
+  SpliceObsFlush(const SpliceObsFlush&) = delete;
+  SpliceObsFlush& operator=(const SpliceObsFlush&) = delete;
+  ~SpliceObsFlush() {
+    const SpliceMetrics& m = smx();
+    m.pairs.add(st_.pairs - pairs_);
+    m.splices.add(st_.total - total_);
+    m.fast.add(st_.fast_path - fast_);
+    m.slow.add(st_.slow_path - slow_);
+    m.caught_by_header.add(st_.caught_by_header - caught_);
+    m.identical.add(st_.identical - identical_);
+    m.remaining.add(st_.remaining - remaining_);
+    m.missed_crc.add(st_.missed_crc - missed_crc_);
+    m.missed_transport.add(st_.missed_transport - missed_transport_);
+    m.dfs_nodes.add(dfs_nodes);
+  }
+
+  std::uint64_t dfs_nodes = 0;  ///< folds performed by the DFS walk
+
+ private:
+  // Only the flushed scalars are captured — copying the whole
+  // SpliceStats would drag its by-k arrays through every pair.
+  SpliceStats& st_;
+  const std::uint64_t pairs_, total_, fast_, slow_, caught_, identical_,
+      remaining_, missed_crc_, missed_transport_;
+};
+
+#else
+
+class SpliceObsFlush {
+ public:
+  explicit SpliceObsFlush(SpliceStats&) {}
+  std::uint64_t dfs_nodes = 0;
+};
+
+#endif
 
 const alg::CrcCombiner& comb48() {
   static const alg::CrcCombiner c(atm::kCellPayload);
@@ -180,7 +282,44 @@ struct DfsPair {
   std::uint32_t crc_target = 0;
   std::uint16_t stored_canon = 0;
   SpliceStats* st = nullptr;
+  /// Fold count for splice.dfs_nodes, flushed per pair. The pooled
+  /// paths never touch it per fold — their counts are derived in
+  /// closed form by evaluate_pair — so only suffix_exact (packets too
+  /// large to pool; none under the default MTUs) increments it live.
+  std::uint64_t* dfs_nodes = nullptr;
 };
+
+#ifndef OBS_DISABLE
+/// Folds performed by prefix_walk for a pair: one per nonempty subset
+/// of p1's optional cells (indices 1..e1-1), pruned at depth e2-1 by
+/// the `k1 + 1 > e2` guard, i.e. sum over d in [1, dmax] of
+/// C(e1-1, d). Counting in closed form keeps the telemetry out of
+/// fold(), the DFS inner loop; the cumulative sums are tabulated so
+/// the per-pair cost is one lookup (n is bounded by kMaxSpliceCells,
+/// and the row sums fit u64 up to n = 63).
+std::uint64_t prefix_fold_count(unsigned e1, unsigned e2) {
+  constexpr unsigned kMaxN = 64;
+  // cum[n][d] = sum_{j=1}^{d} C(n, j), built by Pascal's rule.
+  static const auto cum = [] {
+    auto t = std::make_unique<
+        std::array<std::array<std::uint64_t, kMaxN>, kMaxN>>();
+    std::array<std::uint64_t, kMaxN> row{};  // C(n, j)
+    for (unsigned n = 0; n < kMaxN; ++n) {
+      for (unsigned j = n; j > 0; --j) row[j] += row[j - 1];
+      row[0] = 1;
+      std::uint64_t sum = 0;
+      for (unsigned d = 0; d < kMaxN; ++d) {
+        if (d > 0) sum += d <= n ? row[d] : 0;
+        (*t)[n][d] = sum;
+      }
+    }
+    return t;
+  }();
+  const unsigned n = std::min(e1 - 1, kMaxN - 1);
+  const unsigned dmax = std::min({n, e2 - 1, kMaxN - 1});
+  return (*cum)[n][dmax];
+}
+#endif
 
 /// Fold one kept cell at splice position `pos` (>= 1) into `a`.
 inline void fold(const DfsPair& fs, Agg& a, const CellPartial& c,
@@ -253,6 +392,9 @@ void suffix_exact(const DfsPair& fs, int from, unsigned need, unsigned r,
   for (int idx = from; idx + 1 >= static_cast<int>(need - r); --idx) {
     Agg a = a2;
     fold(fs, a, fs.c2[idx], pos);
+#ifndef OBS_DISABLE
+    ++*fs.dfs_nodes;  // cold path: no closed form with the pruning
+#endif
     suffix_exact(fs, idx - 1, need, r + 1, a, hdr2 || idx == 0, a1, k1);
   }
 }
@@ -470,6 +612,7 @@ void SpliceStats::merge(const SpliceStats& o) {
 
 void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
                    const SimPacket& p2, SpliceStats& stats) {
+  SpliceObsFlush obs_flush(stats);
   ++stats.pairs;
   const std::size_t n1 = p1.pdu.num_cells();
   const std::size_t n2 = p2.pdu.num_cells();
@@ -541,6 +684,7 @@ void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
   fs.stored_canon = alg::ones_canonical(ctx.header_placement ? p1.tp.stored
                                                              : p2.tp.stored);
   fs.st = &stats;
+  fs.dfs_nodes = &obs_flush.dfs_nodes;
 
   if (fs.e2 <= kMaxPooledSuffixCells) {
     thread_local std::vector<std::vector<SuffixCombo>> buckets;
@@ -549,14 +693,26 @@ void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
     buckets[0].push_back(SuffixCombo{});  // k2 = 0: only p2's EOM
     if (fs.e2 >= 2)
       suffix_pool(fs, static_cast<int>(fs.e2) - 1, 0, Agg{}, buckets);
+#ifndef OBS_DISABLE
+    // Every pool entry past the seeded k2 = 0 one cost exactly one
+    // fold; the prefix side has a closed form. Summing here keeps the
+    // DFS itself free of telemetry.
+    for (std::size_t r = 1; r < buckets.size(); ++r)
+      obs_flush.dfs_nodes += buckets[r].size();
+    obs_flush.dfs_nodes += prefix_fold_count(fs.e1, fs.e2);
+#endif
     prefix_walk(fs, 1, 0, Agg{}, &buckets);
   } else {
+#ifndef OBS_DISABLE
+    obs_flush.dfs_nodes += prefix_fold_count(fs.e1, fs.e2);
+#endif
     prefix_walk(fs, 1, 0, Agg{}, nullptr);
   }
 }
 
 void evaluate_pair_flat(const net::PacketConfig& cfg, const SimPacket& p1,
                         const SimPacket& p2, SpliceStats& stats) {
+  SpliceObsFlush obs_flush(stats);
   ++stats.pairs;
   const std::size_t n1 = p1.pdu.num_cells();
   const std::size_t n2 = p2.pdu.num_cells();
@@ -583,6 +739,7 @@ namespace {
 /// sequential and work-stealing paths.
 std::vector<SimPacket> prepare_file(const SpliceRunConfig& cfg,
                                     util::ByteView file) {
+  obs::ScopedTimer timer(smx().packetize_ns);
   util::Bytes compressed;
   if (cfg.compress_files) {
     compressed = compress::lzw_compress(file);
@@ -593,11 +750,15 @@ std::vector<SimPacket> prepare_file(const SpliceRunConfig& cfg,
 
 }  // namespace
 
+void register_splice_metrics() { (void)smx(); }
+
 SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file) {
   SpliceStats st;
   const std::vector<SimPacket> pkts = prepare_file(cfg, file);
   st.files = 1;
   st.packets = pkts.size();
+  smx().files.add(1);
+  smx().packets.add(pkts.size());
   for (std::size_t i = 0; i + 1 < pkts.size(); ++i)
     evaluate_pair(cfg.flow.packet, pkts[i], pkts[i + 1], st);
   return st;
@@ -628,8 +789,10 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
     std::vector<SimPacket> pkts;
     std::atomic<std::size_t> next_pair{0};
     std::size_t pair_count = 0;
+    unsigned owner = 0;  ///< worker that packetized it (steal counting)
   };
   constexpr std::size_t kPairChunk = 8;
+  const SpliceMetrics& mx = smx();
 
   std::vector<SpliceStats> partial(threads);
   std::atomic<std::size_t> next_file{0};
@@ -647,6 +810,7 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
         for (auto it = open.begin(); it != open.end();) {
           if ((*it)->next_pair.load(std::memory_order_relaxed) >=
               (*it)->pair_count) {
+            mx.sched_open_files.sub(1);
             it = open.erase(it);  // drained; in-flight chunks hold refs
           } else {
             fw = *it;
@@ -658,8 +822,13 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
         const std::size_t begin = fw->next_pair.fetch_add(kPairChunk);
         const std::size_t end =
             std::min(begin + kPairChunk, fw->pair_count);
-        for (std::size_t j = begin; j < end; ++j)
-          evaluate_pair(cfg.flow.packet, fw->pkts[j], fw->pkts[j + 1], st);
+        if (begin < end) {
+          mx.sched_chunks.add(1);
+          if (fw->owner != t) mx.sched_steals.add(1);
+          obs::ScopedTimer timer(mx.chunk_ns);
+          for (std::size_t j = begin; j < end; ++j)
+            evaluate_pair(cfg.flow.packet, fw->pkts[j], fw->pkts[j + 1], st);
+        }
         continue;
       }
       // 2) No open pairs: claim and packetize the next file. The
@@ -673,10 +842,15 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
         const util::Bytes file = fs.file(i);
         auto work = std::make_shared<FileWork>();
         work->pkts = prepare_file(cfg, util::ByteView(file));
+        work->owner = t;
         st.files += 1;
         st.packets += work->pkts.size();
+        mx.sched_files.add(1);
+        mx.files.add(1);
+        mx.packets.add(work->pkts.size());
         if (work->pkts.size() >= 2) {
           work->pair_count = work->pkts.size() - 1;
+          mx.sched_open_files.add(1);
           std::lock_guard<std::mutex> lock(mu);
           open.push_back(std::move(work));
         }

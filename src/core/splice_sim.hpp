@@ -122,6 +122,13 @@ SpliceOutcome evaluate_splice_reference(const net::PacketConfig& cfg,
                                         const SimPacket& p2,
                                         const atm::SpliceSpec& splice);
 
+/// Idempotently register the splice/scheduler metric families with
+/// obs::Registry::global(). The evaluator registers lazily on first
+/// use; drivers call this up front so exported manifests carry the
+/// full family (zero-valued where nothing ran). Names and tags are
+/// documented in docs/OBSERVABILITY.md.
+void register_splice_metrics();
+
 /// Simulate the transfer of one file and evaluate all adjacent pairs.
 SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file);
 

@@ -3,8 +3,61 @@
 #include <algorithm>
 
 #include "core/error_inject.hpp"
+#include "obs/registry.hpp"
 
 namespace cksum::faults {
+
+namespace {
+
+struct FaultMetrics {
+  obs::Counter cells_in, cells_out;
+  obs::Counter payload_bursts, hec_injected, hec_dropped, hec_miscorrected,
+      duplicates, reorders, eom_flips, misdeliveries, truncations,
+      cells_truncated;
+};
+
+const FaultMetrics& fmx() {
+  static const FaultMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    FaultMetrics v;
+    v.cells_in = r.counter("faults.cells_in");
+    v.cells_out = r.counter("faults.cells_out");
+    v.payload_bursts = r.counter("faults.payload_burst.injected");
+    v.hec_injected = r.counter("faults.hec.injected");
+    v.hec_dropped = r.counter("faults.hec.dropped");
+    v.hec_miscorrected = r.counter("faults.hec.miscorrected");
+    v.duplicates = r.counter("faults.duplicate.injected");
+    v.reorders = r.counter("faults.reorder.injected");
+    v.eom_flips = r.counter("faults.eom_flip.injected");
+    v.misdeliveries = r.counter("faults.misdeliver.injected");
+    v.truncations = r.counter("faults.truncate.injected");
+    v.cells_truncated = r.counter("faults.truncate.cells");
+    return v;
+  }();
+  return m;
+}
+
+/// Flushes the per-apply() FaultStats deltas into the registry, one
+/// relaxed add per class per stream rather than per event.
+void flush_fault_metrics(const FaultStats& before, const FaultStats& after) {
+  const FaultMetrics& m = fmx();
+  m.cells_in.add(after.cells_in - before.cells_in);
+  m.cells_out.add(after.cells_out - before.cells_out);
+  m.payload_bursts.add(after.payload_bursts - before.payload_bursts);
+  m.hec_injected.add(after.hec_corruptions - before.hec_corruptions);
+  m.hec_dropped.add(after.hec_dropped - before.hec_dropped);
+  m.hec_miscorrected.add(after.hec_miscorrected - before.hec_miscorrected);
+  m.duplicates.add(after.duplicates - before.duplicates);
+  m.reorders.add(after.reorders - before.reorders);
+  m.eom_flips.add(after.eom_flips - before.eom_flips);
+  m.misdeliveries.add(after.misdeliveries - before.misdeliveries);
+  m.truncations.add(after.truncations - before.truncations);
+  m.cells_truncated.add(after.cells_truncated - before.cells_truncated);
+}
+
+}  // namespace
+
+void register_fault_metrics() { (void)fmx(); }
 
 void FaultStats::merge(const FaultStats& o) noexcept {
   cells_in += o.cells_in;
@@ -33,6 +86,7 @@ struct Delayed {
 }  // namespace
 
 std::vector<Cell> FaultyChannel::apply(const std::vector<Cell>& stream) {
+  const FaultStats before = stats_;
   stats_.cells_in += stream.size();
 
   // Distinct VCs in this stream — the misdelivery targets.
@@ -145,6 +199,7 @@ std::vector<Cell> FaultyChannel::apply(const std::vector<Cell>& stream) {
   }
 
   stats_.cells_out += out.size();
+  flush_fault_metrics(before, stats_);
   return out;
 }
 

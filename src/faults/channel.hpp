@@ -39,6 +39,12 @@
 
 namespace cksum::faults {
 
+/// Idempotently register the faults.* metric family with
+/// obs::Registry::global(). The channel registers lazily on first
+/// apply(); drivers call this up front so exported manifests carry
+/// the full family (see docs/OBSERVABILITY.md).
+void register_fault_metrics();
+
 /// Per-class injection rates. All rates are per-cell probabilities
 /// except truncate_rate, which is per-stream (one cut at most per
 /// apply() call). A default-constructed plan injects nothing.

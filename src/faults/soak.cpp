@@ -8,8 +8,31 @@
 #include "atm/aal5.hpp"
 #include "atm/cell.hpp"
 #include "fsgen/generator.hpp"
+#include "obs/registry.hpp"
 
 namespace cksum::faults {
+
+namespace {
+
+struct SoakMetrics {
+  obs::Counter scenarios, payloads_sent, pdus_delivered, pdus_ok, violations;
+};
+
+const SoakMetrics& kmx() {
+  static const SoakMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    SoakMetrics v;
+    v.scenarios = r.counter("soak.scenarios");
+    v.payloads_sent = r.counter("soak.payloads_sent");
+    v.pdus_delivered = r.counter("soak.pdus_delivered");
+    v.pdus_ok = r.counter("soak.pdus_ok");
+    v.violations = r.counter("soak.violations");
+    return v;
+  }();
+  return m;
+}
+
+}  // namespace
 
 void ScenarioResult::merge(const ScenarioResult& o) {
   faults.merge(o.faults);
@@ -188,6 +211,13 @@ ScenarioResult run_scenario(const SoakConfig& cfg, std::uint64_t index) {
   res.loss = loss_stats;
   res.demux = demux.stats();
   res.oversize_discards = demux.oversize_discards();
+
+  const SoakMetrics& m = kmx();
+  m.scenarios.add(1);
+  m.payloads_sent.add(res.payloads_sent);
+  m.pdus_delivered.add(res.pdus_delivered);
+  m.pdus_ok.add(res.pdus_ok);
+  m.violations.add(res.violations);
   return res;
 }
 

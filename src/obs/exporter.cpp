@@ -1,0 +1,82 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+
+namespace cksum::obs {
+
+MetricsExporter::MetricsExporter(Registry& reg, Options opts)
+    : reg_(reg),
+      opts_(std::move(opts)),
+      t0_(std::chrono::steady_clock::now()) {
+  if (!opts_.manifest_path.empty())
+    jsonl_.open(opts_.manifest_path + ".jsonl", std::ios::trunc);
+  if (jsonl_.is_open() || opts_.ticker)
+    thread_ = std::thread([this] { pump(); });
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+double MetricsExporter::elapsed_seconds() const {
+  const auto dt = std::chrono::steady_clock::now() - t0_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+void MetricsExporter::pump() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, opts_.period, [this] { return stop_; })) return;
+    lock.unlock();
+    emit(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void MetricsExporter::emit(bool final_line) {
+  const Snapshot snap = reg_.snapshot();
+  const double elapsed = elapsed_seconds();
+  if (jsonl_.is_open()) {
+    char t[32];
+    std::snprintf(t, sizeof t, "%.3f", elapsed);
+    jsonl_ << "{\"t\": " << t << ", \"metrics\": " << metrics_json(snap)
+           << "}\n";
+    jsonl_.flush();
+  }
+  if (opts_.ticker) {
+    const std::string line =
+        opts_.ticker_line ? opts_.ticker_line(snap, elapsed)
+                          : "elapsed " + std::to_string(elapsed) + "s";
+    // \r + erase-to-end keeps a shrinking line from leaving residue.
+    std::fprintf(stderr, "\r%s\033[K", line.c_str());
+    if (final_line) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    ticker_drawn_ = true;
+  }
+}
+
+void MetricsExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (!finished_ && ticker_drawn_) {
+    std::fprintf(stderr, "\n");  // leave the last ticker line intact
+    std::fflush(stderr);
+  }
+}
+
+bool MetricsExporter::finish(RunInfo info) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+  }
+  stop();
+  emit(/*final_line=*/true);
+  if (opts_.manifest_path.empty()) return true;
+  if (info.wall_seconds == 0.0) info.wall_seconds = elapsed_seconds();
+  return write_manifest(opts_.manifest_path, info, reg_.snapshot());
+}
+
+}  // namespace cksum::obs

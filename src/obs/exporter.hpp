@@ -1,0 +1,66 @@
+// Background snapshot pump for long-running drivers.
+//
+// Every `period` the exporter snapshots a Registry, appends one JSONL
+// progress line ({"t": <elapsed s>, "metrics": {...}}) to
+// `<manifest_path>.jsonl`, and — when the ticker is enabled — redraws
+// a single status line on stderr built by the caller's ticker_line
+// callback from the same snapshot, so the live view and the exported
+// stream can never disagree. finish() stops the pump, emits one final
+// JSONL line, and writes the run manifest.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/snapshot.hpp"
+
+namespace cksum::obs {
+
+class MetricsExporter {
+ public:
+  struct Options {
+    /// Final manifest path; empty disables both the manifest and the
+    /// JSONL stream (the ticker still works).
+    std::string manifest_path;
+    std::chrono::milliseconds period{500};
+    bool ticker = false;  ///< redraw a one-line progress on stderr
+    /// Builds the ticker line from a snapshot; defaults to elapsed
+    /// time only.
+    std::function<std::string(const Snapshot&, double elapsed_seconds)>
+        ticker_line;
+  };
+
+  MetricsExporter(Registry& reg, Options opts);
+  ~MetricsExporter();  ///< stops the pump; writes nothing
+
+  double elapsed_seconds() const;
+
+  /// Stop the pump and write the manifest (wall_seconds is filled in
+  /// from the exporter's own clock when the caller leaves it 0).
+  /// Returns false if the manifest could not be written.
+  bool finish(RunInfo info);
+
+ private:
+  void pump();
+  void emit(bool final_line);
+  void stop();
+
+  Registry& reg_;
+  Options opts_;
+  std::chrono::steady_clock::time_point t0_;
+  std::ofstream jsonl_;
+  bool ticker_drawn_ = false;
+  bool finished_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cksum::obs

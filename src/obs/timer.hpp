@@ -1,0 +1,45 @@
+// RAII latency span: measures the enclosing scope with the steady
+// clock and feeds the elapsed nanoseconds into a Histogram. Timing
+// metrics should be registered with Tag::kTiming so determinism
+// tooling skips them. Under OBS_DISABLE the timer is an empty object —
+// not even the clock is read.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/registry.hpp"
+
+namespace cksum::obs {
+
+#ifndef OBS_DISABLE
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram h)
+      : h_(h), t0_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    h_.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+
+ private:
+  Histogram h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+#else
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif
+
+}  // namespace cksum::obs

@@ -1,0 +1,287 @@
+// Telemetry registry: sharded aggregation exactness, merge
+// associativity, tag-filtered determinism of the pipeline metrics,
+// and the manifest JSON rendering.
+//
+// The aggregation properties under test are the design contract of
+// src/obs/registry.hpp: every merge is a plain addition over
+// per-thread shards, so totals must be exact regardless of thread
+// count, partitioning, or when snapshots are taken.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "fsgen/profile.hpp"
+#include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/timer.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::obs {
+namespace {
+
+#ifndef OBS_DISABLE
+
+TEST(Registry, CounterGaugeHistogramBasics) {
+  Registry reg;
+  Counter c = reg.counter("t.counter");
+  Gauge g = reg.gauge("t.gauge");
+  Histogram h = reg.histogram("t.hist");
+
+  c.add();
+  c.add(41);
+  g.add(10);
+  g.sub(3);
+  h.observe(0);    // folds into bucket 0
+  h.observe(1);    // bucket 0
+  h.observe(7);    // bucket 2
+  h.observe(100);  // bucket 6
+
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  const MetricValue* mc = snap.find("t.counter");
+  ASSERT_NE(mc, nullptr);
+  EXPECT_EQ(mc->kind, Kind::kCounter);
+  EXPECT_EQ(mc->value, 42u);
+  const MetricValue* mg = snap.find("t.gauge");
+  ASSERT_NE(mg, nullptr);
+  EXPECT_EQ(mg->gauge, 7);
+  const MetricValue* mh = snap.find("t.hist");
+  ASSERT_NE(mh, nullptr);
+  EXPECT_EQ(mh->value, 4u);    // sample count
+  EXPECT_EQ(mh->sum, 108u);
+  ASSERT_EQ(mh->buckets.size(), kHistogramBuckets);
+  EXPECT_EQ(mh->buckets[0], 2u);
+  EXPECT_EQ(mh->buckets[2], 1u);
+  EXPECT_EQ(mh->buckets[6], 1u);
+  EXPECT_EQ(snap.find("t.absent"), nullptr);
+}
+
+TEST(Registry, RegistrationIsIdempotentByName) {
+  Registry reg;
+  Counter a = reg.counter("t.same");
+  Counter b = reg.counter("t.same");
+  a.add(1);
+  b.add(2);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.find("t.same")->value, 3u);
+}
+
+TEST(Registry, KindClashYieldsInertHandle) {
+  Registry reg;
+  Counter c = reg.counter("t.clash");
+  Gauge g = reg.gauge("t.clash");  // same name, other kind -> inert
+  c.add(5);
+  g.add(100);  // must not land anywhere
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.find("t.clash")->kind, Kind::kCounter);
+  EXPECT_EQ(snap.find("t.clash")->value, 5u);
+}
+
+TEST(Registry, SlotBudgetOverflowYieldsInertHandle) {
+  Registry reg;
+  // Each histogram takes kHistogramBuckets + 1 = 33 slots; the 32nd
+  // would need slot 1024 + ... > kMaxSlots and must come back inert.
+  std::vector<Histogram> hs;
+  for (int i = 0; i < 40; ++i)
+    hs.push_back(reg.histogram("t.h" + std::to_string(i)));
+  for (const Histogram& h : hs) h.observe(1);  // inert ones are no-ops
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.metrics.size(), kMaxSlots / (kHistogramBuckets + 1));
+  for (const MetricValue& m : snap.metrics) EXPECT_EQ(m.value, 1u);
+}
+
+TEST(Registry, DefaultHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add(1);
+  g.add(1);
+  h.observe(1);  // must not crash
+}
+
+TEST(Registry, MultiThreadedCounterAggregationIsExact) {
+  Registry reg;
+  Counter c = reg.counter("t.mt");
+  Gauge g = reg.gauge("t.mt_gauge");
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kAdds = 200000;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) {
+        c.add(1);
+        g.add(3);
+        g.sub(3);  // nets to zero across every interleaving
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("t.mt")->value, kThreads * kAdds);
+  EXPECT_EQ(snap.find("t.mt_gauge")->gauge, 0);
+}
+
+TEST(Registry, SnapshotsMidRunDoNotPerturbTheFinalTotal) {
+  Registry reg;
+  Counter c = reg.counter("t.obs");
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kAdds = 100000;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) c.add(1);
+    });
+  // Snapshot continuously while the writers run: every mid-run total
+  // must be monotone (counters only grow) and the final total exact —
+  // aggregation is read-only, so observing cannot lose updates.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t now = reg.snapshot().find("t.obs")->value;
+    EXPECT_GE(now, last);
+    EXPECT_LE(now, kThreads * kAdds);
+    last = now;
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(reg.snapshot().find("t.obs")->value, kThreads * kAdds);
+  // Once quiesced, repeated snapshots are identical.
+  EXPECT_EQ(reg.snapshot().metrics, reg.snapshot().metrics);
+}
+
+// Property: partitioning one sample stream across any number of
+// threads yields the identical histogram — shard merging is a sum per
+// bucket, hence associative and commutative.
+TEST(Registry, HistogramMergeIsPartitionIndependent) {
+  util::Rng rng(0xB0B);
+  std::vector<std::uint64_t> samples(20000);
+  for (auto& s : samples) {
+    // Mix magnitudes so many buckets are exercised.
+    const unsigned shift = static_cast<unsigned>(rng.below(40));
+    s = rng.next() >> shift;
+  }
+
+  std::vector<MetricValue> reference;
+  for (const unsigned parts : {1u, 2u, 3u, 7u}) {
+    Registry reg;
+    Histogram h = reg.histogram("t.part");
+    std::vector<std::thread> pool;
+    for (unsigned p = 0; p < parts; ++p) {
+      pool.emplace_back([&, p] {
+        // Strided partition: thread p observes samples p, p+parts, ...
+        for (std::size_t i = p; i < samples.size(); i += parts)
+          h.observe(samples[i]);
+      });
+    }
+    for (auto& th : pool) th.join();
+    const Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.metrics.size(), 1u);
+    if (reference.empty()) {
+      reference = snap.metrics;
+      EXPECT_EQ(reference[0].value, samples.size());
+    } else {
+      EXPECT_EQ(snap.metrics, reference) << parts << " partitions diverged";
+    }
+  }
+}
+
+TEST(Registry, ResetZeroesEverySlotButKeepsHandles) {
+  Registry reg;
+  Counter c = reg.counter("t.reset");
+  Histogram h = reg.histogram("t.reset_h");
+  c.add(9);
+  h.observe(9);
+  reg.reset();
+  Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("t.reset")->value, 0u);
+  EXPECT_EQ(snap.find("t.reset_h")->value, 0u);
+  EXPECT_EQ(snap.find("t.reset_h")->sum, 0u);
+  c.add(2);  // handles stay live after reset
+  EXPECT_EQ(reg.snapshot().find("t.reset")->value, 2u);
+}
+
+TEST(ScopedTimer, FeedsTheHistogram) {
+  Registry reg;
+  Histogram h = reg.histogram("t.timer_ns");
+  for (int i = 0; i < 5; ++i) {
+    ScopedTimer timer(h);
+  }
+  const Snapshot snap = reg.snapshot();
+  const MetricValue* m = snap.find("t.timer_ns");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 5u);  // one sample per scope
+}
+
+TEST(Manifest, JsonCarriesIdentityAndMetrics) {
+  Registry reg;
+  reg.counter("t.manifest\"quoted").add(3);
+  RunInfo info;
+  info.tool = "unit test";
+  info.corpus = "none";
+  info.seed = 7;
+  info.threads = 2;
+  info.wall_seconds = 1.5;
+  info.extra_json = "\"report\": {\"x\": 1}";
+  const std::string j = manifest_json(info, reg.snapshot());
+  EXPECT_NE(j.find("\"schema\": \"cksum-metrics/1\""), std::string::npos);
+  EXPECT_NE(j.find("\"tool\": \"unit test\""), std::string::npos);
+  EXPECT_NE(j.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(j.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(j.find("t.manifest\\\"quoted"), std::string::npos);  // escaped
+  EXPECT_NE(j.find("\"report\": {\"x\": 1}"), std::string::npos);
+  EXPECT_NE(j.find("\"git\": \""), std::string::npos);
+}
+
+// The pipeline's determinism contract (satellite of the telemetry
+// subsystem): every kDeterministic-tagged metric produced by a splice
+// run over a fixed corpus must be bitwise identical whether the run
+// used 1, 2, or 8 worker threads. kScheduling/kTiming metrics (chunk
+// claims, steal counts, latency histograms) are excluded by tag — that
+// exclusion IS the tag's meaning.
+TEST(PipelineMetrics, DeterministicTagIsThreadCountInvariant) {
+  core::register_splice_metrics();
+  core::SpliceRunConfig cfg;
+  cfg.flow = core::paper_flow_config();
+  const fsgen::Filesystem fs(fsgen::profile("nsc05"), 0.05);
+
+  const auto deterministic_metrics = [&](unsigned threads) {
+    Registry::global().reset();
+    cfg.threads = threads;
+    (void)core::run_filesystem(cfg, fs);
+    std::vector<MetricValue> out;
+    for (MetricValue& m : Registry::global().snapshot().metrics)
+      if (m.tag == Tag::kDeterministic) out.push_back(std::move(m));
+    return out;
+  };
+
+  const std::vector<MetricValue> one = deterministic_metrics(1);
+  const std::vector<MetricValue> two = deterministic_metrics(2);
+  const std::vector<MetricValue> eight = deterministic_metrics(8);
+  ASSERT_FALSE(one.empty());
+  bool splice_seen = false;
+  for (const MetricValue& m : one) {
+    splice_seen = splice_seen || m.name == "splice.total";
+    EXPECT_NE(m.tag, Tag::kTiming);
+  }
+  EXPECT_TRUE(splice_seen);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  Registry::global().reset();  // leave no residue for other tests
+}
+
+#else  // OBS_DISABLE
+
+TEST(Registry, DisabledBuildYieldsInertHandles) {
+  Registry reg;
+  Counter c = reg.counter("t.off");
+  c.add(5);
+  EXPECT_TRUE(reg.snapshot().metrics.empty());
+}
+
+#endif  // OBS_DISABLE
+
+}  // namespace
+}  // namespace cksum::obs

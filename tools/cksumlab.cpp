@@ -13,18 +13,35 @@
 //   --trailer                   trailer placement    (default header)
 //   --scale <x>                 profile scale        (default 1.0)
 //   --segment <bytes>           TCP segment size     (default 256)
+//   --threads <n>               worker threads; 0 = all cores (default)
 //   --verbose                   evaluator internals (splice: path mix)
+//   --json                      machine-readable splice report on stdout
+//   --metrics-out <path>        write the telemetry run manifest there
+//                               (plus a <path>.jsonl progress stream);
+//                               see docs/OBSERVABILITY.md
+//   --progress                  force the live one-line ticker on stderr
+//                               (on by default when stderr is a tty and
+//                               telemetry export is active)
+//   --quick                     CI shorthand: nsc05 profile at scale 0.1
+//                               when no corpus source is given
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
 
+#include "atm/demux.hpp"
 #include "core/dircorpus.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "faults/channel.hpp"
+#include "obs/exporter.hpp"
 #include "stats/uniformity.hpp"
 #include "util/pcap.hpp"
 
@@ -39,9 +56,10 @@ int usage() {
                "       cksumlab gen <kind> <bytes> [seed]\n"
                "       cksumlab manifest <profile> [scale]\n"
                "       cksumlab pcap <out.pcap> [profile] [max-packets]\n"
-               "       cksumlab splice (--profile <name> | --dir <path> | --manifest <file>) "
+               "       cksumlab splice (--profile <name> | --dir <path> | --manifest <file> | --quick) "
                "[--transport tcp|f255|f256] [--trailer] [--scale x] "
-               "[--segment n] [--verbose]\n"
+               "[--segment n] [--threads n] [--verbose] [--json] "
+               "[--metrics-out <path>] [--progress]\n"
                "       cksumlab dist (--profile <name> | --dir <path>)\n");
   return 2;
 }
@@ -115,15 +133,21 @@ struct CommonOpts {
   std::string profile;
   std::string dir;
   std::string manifest;  // corpus pinned by `cksumlab manifest`
+  std::string metrics_out;  // telemetry run-manifest path ("" = off)
   net::PacketConfig pkt;
   double scale = 1.0;
   std::size_t segment = 256;
+  unsigned threads = 0;  // 0 = all hardware threads
   bool verbose = false;  // evaluator internals (path mix, pair count)
+  bool json = false;     // machine-readable report on stdout
+  bool progress = false; // force the stderr ticker even without a tty
   bool ok = true;
 };
 
 CommonOpts parse_common(const std::vector<std::string>& args) {
   CommonOpts o;
+  bool quick = false;
+  bool scale_set = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -141,12 +165,23 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
       o.dir = next();
     } else if (a == "--scale") {
       o.scale = std::stod(next());
+      scale_set = true;
     } else if (a == "--segment") {
       o.segment = std::stoull(next());
+    } else if (a == "--threads") {
+      o.threads = static_cast<unsigned>(std::stoul(next()));
     } else if (a == "--trailer") {
       o.pkt.placement = net::ChecksumPlacement::kTrailer;
     } else if (a == "--verbose") {
       o.verbose = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--metrics-out") {
+      o.metrics_out = next();
+    } else if (a == "--quick") {
+      quick = true;
     } else if (a == "--transport") {
       const std::string v = next();
       if (v == "tcp") {
@@ -163,9 +198,14 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
       o.ok = false;
     }
   }
-  const int sources = (!o.profile.empty() ? 1 : 0) +
-                      (!o.dir.empty() ? 1 : 0) +
-                      (!o.manifest.empty() ? 1 : 0);
+  int sources = (!o.profile.empty() ? 1 : 0) + (!o.dir.empty() ? 1 : 0) +
+                (!o.manifest.empty() ? 1 : 0);
+  if (quick && sources == 0) {
+    // CI shorthand: a corpus small enough for smoke jobs.
+    o.profile = "nsc05";
+    if (!scale_set) o.scale = 0.1;
+    sources = 1;
+  }
   if (sources != 1) o.ok = false;  // exactly one corpus source
   return o;
 }
@@ -232,20 +272,67 @@ int cmd_pcap(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Live one-line view of a splice run, built from the same snapshot
+/// the JSONL progress stream is written from.
+std::string splice_ticker_line(const obs::Snapshot& snap, double elapsed) {
+  const auto get = [&](std::string_view name) -> std::uint64_t {
+    const obs::MetricValue* m = snap.find(name);
+    return m != nullptr ? m->value : 0;
+  };
+  const std::uint64_t fast = get("splice.fast_path");
+  const std::uint64_t slow = get("splice.slow_path");
+  const std::uint64_t evaluated = fast + slow;
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "splice: %llu files  %llu pairs  %llu splices  %.2f%% fast  %.1fs",
+      static_cast<unsigned long long>(get("splice.files")),
+      static_cast<unsigned long long>(get("splice.pairs")),
+      static_cast<unsigned long long>(get("splice.total")),
+      evaluated == 0 ? 0.0
+                     : 100.0 * static_cast<double>(fast) /
+                           static_cast<double>(evaluated),
+      elapsed);
+  return buf;
+}
+
 int cmd_splice(const std::vector<std::string>& args) {
   const CommonOpts o = parse_common(args);
   if (!o.ok) return usage();
+
+  // Register every metric family up front so exported manifests carry
+  // complete (if zero-valued) families, not just the ones touched.
+  core::register_splice_metrics();
+  faults::register_fault_metrics();
+  atm::register_atm_metrics();
+
   core::SpliceRunConfig cfg;
   cfg.flow = core::paper_flow_config();
   cfg.flow.segment_size = o.segment;
   cfg.flow.packet = o.pkt;
-  cfg.threads = 0;
+  cfg.threads = o.threads;
+  const unsigned resolved_threads =
+      o.threads != 0 ? o.threads
+                     : std::max(1u, std::thread::hardware_concurrency());
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!o.metrics_out.empty() || o.progress) {
+    obs::MetricsExporter::Options eo;
+    eo.manifest_path = o.metrics_out;
+    eo.ticker = o.progress || isatty(2) != 0;
+    eo.ticker_line = splice_ticker_line;
+    exporter = std::make_unique<obs::MetricsExporter>(obs::Registry::global(),
+                                                      std::move(eo));
+  }
 
   core::SpliceStats st;
+  std::string corpus;
   if (!o.profile.empty()) {
+    corpus = o.profile;
     const fsgen::Filesystem fs(fsgen::profile(o.profile), o.scale);
     st = core::run_filesystem(cfg, fs);
   } else if (!o.manifest.empty()) {
+    corpus = o.manifest;
     const util::Bytes text = core::read_file_prefix(o.manifest, 1u << 24);
     const fsgen::Filesystem fs = fsgen::Filesystem::from_manifest(
         fsgen::profile("nsc05"),
@@ -253,9 +340,31 @@ int cmd_splice(const std::vector<std::string>& args) {
                          text.size()));
     st = core::run_filesystem(cfg, fs);
   } else {
+    corpus = o.dir;
     st = core::run_directory(cfg, o.dir);
   }
-  print_splice_stats(st, o.pkt, o.verbose);
+
+  const std::string report =
+      core::splice_stats_json(st, alg::name(o.pkt.transport));
+  if (exporter) {
+    obs::RunInfo info;
+    info.tool = "cksumlab splice";
+    info.corpus = corpus;
+    info.seed = 0;  // splice corpora are pinned by profile/scale, not seed
+    info.threads = resolved_threads;
+    info.extra_json = "\"report\": " + report;
+    if (!exporter->finish(std::move(info))) {
+      std::fprintf(stderr, "cksumlab: cannot write manifest to %s\n",
+                   o.metrics_out.c_str());
+      return 1;
+    }
+  }
+
+  if (o.json) {
+    std::printf("%s\n", report.c_str());
+  } else {
+    print_splice_stats(st, o.pkt, o.verbose);
+  }
   return 0;
 }
 

@@ -14,21 +14,30 @@
 //   --channels <n>    pin the demux channel cap      (default per-scenario)
 //   --budget <n>      pin the demux pending budget   (default per-scenario)
 //   --repro-file <p>  also write the reproducer line to this file
+//   --metrics-out <p> write the telemetry run manifest (and a
+//                     <p>.jsonl progress stream); docs/OBSERVABILITY.md
+//   --progress        force the live one-line ticker on stderr
 //   --quiet           summary line only
 //
 // Invariants checked (see docs/FAULTS.md): no crash, demux memory
 // bounded by its budget, and no undetected corruption — every PDU
 // passing length+CRC must match a payload that was actually sent.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <fstream>
 
+#include "atm/demux.hpp"
 #include "core/report.hpp"
+#include "faults/channel.hpp"
 #include "faults/soak.hpp"
+#include "obs/exporter.hpp"
 
 using namespace cksum;
 
@@ -39,7 +48,7 @@ int usage() {
       stderr,
       "usage: faultlab soak [--seed n] [--faults n] [--max-scenarios n]\n"
       "                     [--channels n] [--budget n] [--repro-file p]\n"
-      "                     [--quiet]\n"
+      "                     [--metrics-out p] [--progress] [--quiet]\n"
       "       faultlab replay --seed n --scenario n [--channels n] "
       "[--budget n]\n");
   return 2;
@@ -50,6 +59,8 @@ struct Opts {
   std::uint64_t scenario = 0;
   bool have_scenario = false;
   std::string repro_file;
+  std::string metrics_out;
+  bool progress = false;
   bool quiet = false;
   bool ok = true;
 };
@@ -80,6 +91,10 @@ Opts parse(const std::vector<std::string>& args) {
       o.have_scenario = true;
     } else if (a == "--repro-file") {
       o.repro_file = next();
+    } else if (a == "--metrics-out") {
+      o.metrics_out = next();
+    } else if (a == "--progress") {
+      o.progress = true;
     } else if (a == "--quiet") {
       o.quiet = true;
     } else {
@@ -148,20 +163,81 @@ int report(const faults::SoakConfig& cfg, const faults::SoakResult& res,
   return 0;
 }
 
+/// Live one-line view of a soak run. Fault events are summed over the
+/// per-class `faults.*.injected` counters — the same definition as
+/// FaultStats::total_faults().
+std::string soak_ticker_line(const obs::Snapshot& snap, double elapsed) {
+  std::uint64_t events = 0;
+  for (const obs::MetricValue& m : snap.metrics) {
+    if (m.name.size() > 9 &&
+        m.name.compare(m.name.size() - 9, 9, ".injected") == 0)
+      events += m.value;
+  }
+  const auto get = [&](std::string_view name) -> std::uint64_t {
+    const obs::MetricValue* m = snap.find(name);
+    return m != nullptr ? m->value : 0;
+  };
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "soak: %llu scenarios  %llu fault events  %llu cells  "
+      "%llu violations  %.1fs",
+      static_cast<unsigned long long>(get("soak.scenarios")),
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(get("faults.cells_in")),
+      static_cast<unsigned long long>(get("soak.violations")), elapsed);
+  return buf;
+}
+
+/// Starts the exporter (when asked for) around `run`, finishing with a
+/// manifest identifying this soak/replay configuration.
+template <typename Run>
+int with_metrics(const Opts& o, const char* tool, Run run) {
+  faults::register_fault_metrics();
+  atm::register_atm_metrics();
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!o.metrics_out.empty() || o.progress) {
+    obs::MetricsExporter::Options eo;
+    eo.manifest_path = o.metrics_out;
+    eo.ticker = o.progress || isatty(2) != 0;
+    eo.ticker_line = soak_ticker_line;
+    exporter = std::make_unique<obs::MetricsExporter>(obs::Registry::global(),
+                                                      std::move(eo));
+  }
+  const int rc = run();
+  if (exporter) {
+    obs::RunInfo info;
+    info.tool = tool;
+    info.corpus = "fsgen-random";  // scenario corpora are seed-derived
+    info.seed = o.cfg.seed;
+    info.threads = 1;
+    if (!exporter->finish(std::move(info))) {
+      std::fprintf(stderr, "faultlab: cannot write manifest to %s\n",
+                   o.metrics_out.c_str());
+      return 1;
+    }
+  }
+  return rc;
+}
+
 int cmd_soak(const Opts& o) {
-  const faults::SoakResult res = faults::run_soak(o.cfg);
-  return report(o.cfg, res, o);
+  return with_metrics(o, "faultlab soak", [&] {
+    const faults::SoakResult res = faults::run_soak(o.cfg);
+    return report(o.cfg, res, o);
+  });
 }
 
 int cmd_replay(const Opts& o) {
   if (!o.have_scenario) return usage();
-  const faults::ScenarioResult r = faults::run_scenario(o.cfg, o.scenario);
-  faults::SoakResult res;
-  res.scenarios = 1;
-  res.totals = r;
-  if (r.violations > 0)
-    res.reproducer = faults::reproducer_line(o.cfg, o.scenario);
-  return report(o.cfg, res, o);
+  return with_metrics(o, "faultlab replay", [&] {
+    const faults::ScenarioResult r = faults::run_scenario(o.cfg, o.scenario);
+    faults::SoakResult res;
+    res.scenarios = 1;
+    res.totals = r;
+    if (r.violations > 0)
+      res.reproducer = faults::reproducer_line(o.cfg, o.scenario);
+    return report(o.cfg, res, o);
+  });
 }
 
 }  // namespace
