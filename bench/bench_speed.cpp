@@ -3,7 +3,10 @@
 // slower still. google-benchmark over the algorithm engines.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "checksum/checksum.hpp"
+#include "checksum/kernels/kernel.hpp"
 #include "core/pdu_model.hpp"
 #include "core/splice_sim.hpp"
 #include "util/rng.hpp"
@@ -129,6 +132,44 @@ void BM_SpliceEvaluatePair(benchmark::State& state) {
                           923);  // splices per pair
 }
 
+// Per-kernel throughput rows (BM_Kernel_<alg>_<kernel>) over the
+// registry in src/checksum/kernels/. Registered at runtime so the row
+// set tracks the registry; bench_distill.py folds the 64 KiB rows into
+// the trajectory's kernel_throughput family.
+template <typename Fn>
+void register_kernel_bench(const cksum::alg::kern::Kernel& k,
+                           const char* alg, Fn fn) {
+  const std::string name =
+      std::string("BM_Kernel_") + alg + "_" + std::string(k.name);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [fn](benchmark::State& state) {
+        const ByteView data(buffer().data(),
+                            static_cast<std::size_t>(state.range(0)));
+        for (auto _ : state) benchmark::DoNotOptimize(fn(data));
+        state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                                state.range(0));
+      })
+      ->Arg(296)
+      ->Arg(65536);
+}
+
+void register_kernel_benchmarks() {
+  for (const cksum::alg::kern::Kernel& k : cksum::alg::kern::kernels()) {
+    register_kernel_bench(k, "internet",
+                          [&k](ByteView d) { return k.internet_sum(d); });
+    register_kernel_bench(k, "fletcher255", [&k](ByteView d) {
+      return k.fletcher(d, cksum::alg::FletcherMod::kOnes255);
+    });
+    register_kernel_bench(k, "fletcher32",
+                          [&k](ByteView d) { return k.fletcher32(d); });
+    register_kernel_bench(k, "adler32",
+                          [&k](ByteView d) { return k.adler32(1, d); });
+    register_kernel_bench(k, "crc32",
+                          [&k](ByteView d) { return k.crc32(0, d); });
+  }
+}
+
 }  // namespace
 
 // 48-byte ATM cell, 296-byte packet, 4KB page, 64KB bulk.
@@ -144,4 +185,13 @@ BENCHMARK(BM_Crc32Slice8)->Arg(296)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_Crc32CellCombine);
 BENCHMARK(BM_SpliceEvaluatePair);
 
-BENCHMARK_MAIN();
+// Custom main: the per-kernel rows are registered against the runtime
+// registry before the statically-declared benchmarks run.
+int main(int argc, char** argv) {
+  register_kernel_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

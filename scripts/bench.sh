@@ -6,7 +6,8 @@
 #   sh scripts/bench.sh --quick   short measurement window (CI smoke)
 #   sh scripts/bench.sh --check   also fail on gross regressions:
 #                                 DFS rate < 1/5 of the previous entry,
-#                                 or DFS slower than the flat evaluator
+#                                 DFS slower than the flat evaluator,
+#                                 or slicing-by-8 CRC-32 < 3x scalar
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,7 +24,7 @@ done
 
 BUILD=build
 cmake -B "$BUILD" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" --target bench_splice cksumlab
+cmake --build "$BUILD" --target bench_splice bench_speed cksumlab
 
 RAW="$BUILD/bench_splice_raw.json"
 MIN_TIME=0.5
@@ -32,6 +33,16 @@ MIN_TIME=0.5
 "$BUILD/bench/bench_splice" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out="$RAW" \
+  --benchmark_out_format=json
+
+# Per-kernel checksum throughput (the BM_Kernel_<alg>_<kernel> rows of
+# bench_speed); distilled into the trajectory's kernel_throughput
+# family. See src/checksum/kernels/ and docs/PERF.md.
+RAWK="$BUILD/bench_kernels_raw.json"
+"$BUILD/bench/bench_speed" \
+  --benchmark_filter='BM_Kernel_' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$RAWK" \
   --benchmark_out_format=json
 
 # Telemetry run manifest for the same corpus family (see
@@ -48,4 +59,4 @@ DISTILL_ARGS=""
 [ "$CHECK" -eq 1 ] && DISTILL_ARGS="$DISTILL_ARGS --check"
 # shellcheck disable=SC2086
 python3 scripts/bench_distill.py "$RAW" BENCH_splice.json \
-  --manifest "$MANIFEST" $DISTILL_ARGS
+  --manifest "$MANIFEST" --speed "$RAWK" $DISTILL_ARGS

@@ -3,7 +3,7 @@
 trajectory at the repo root.
 
 Usage: bench_distill.py RAW_JSON TRAJECTORY_JSON [--quick] [--check]
-                        [--manifest PATH]
+                        [--manifest PATH] [--speed PATH]
 
 The trajectory file is a JSON array, one entry per bench.sh run:
 
@@ -15,7 +15,9 @@ The trajectory file is a JSON array, one entry per bench.sh run:
       "pairs_per_sec":   {"dfs": ..., "flat": ..., "reference": ...},
       "speedup_dfs_vs_flat": ...,
       "speedup_dfs_vs_reference": ...,
-      "manifest": { ... }   # optional: telemetry run-manifest summary
+      "manifest": { ... },  # optional: telemetry run-manifest summary
+      "kernel_throughput": {"crc32": {"scalar": ..., "slicing": ...,
+                                      "swar": ...}, ...}  # optional
     }
 
 A missing, empty, or whitespace-only trajectory file starts a fresh
@@ -28,8 +30,15 @@ new entry aborts, malformed pre-existing entries only warn.
 `cksumlab splice --metrics-out`, see docs/OBSERVABILITY.md) and
 records its headline numbers under the entry's "manifest" key.
 
+--speed ingests a bench_speed JSON dump (BM_Kernel_<alg>_<kernel>
+rows, see bench/bench_speed.cpp) and records the 64 KiB bulk
+throughput per algorithm per kernel under "kernel_throughput".
+
 --check exits non-zero if the new DFS rate fell below 1/5 of the
-previous entry's, or if the DFS evaluator is slower than the flat one.
+previous entry's, if the DFS evaluator is slower than the flat one,
+or (when --speed is given) if slicing-by-8 CRC-32 is less than 3x the
+scalar byte-table kernel — the locally recorded trajectory entries
+show >=4x, the gate is looser only to absorb CI-runner noise.
 """
 
 import argparse
@@ -88,7 +97,56 @@ def validate_entry(entry):
             problems.append(f"{key!r} missing or not a number")
     if "manifest" in entry and not isinstance(entry["manifest"], dict):
         problems.append("'manifest' present but not an object")
+    if "kernel_throughput" in entry:
+        kt = entry["kernel_throughput"]
+        if not isinstance(kt, dict):
+            problems.append("'kernel_throughput' present but not an object")
+        else:
+            for alg, per_kernel in kt.items():
+                if not isinstance(per_kernel, dict) or not all(
+                        isinstance(v, (int, float))
+                        for v in per_kernel.values()):
+                    problems.append(
+                        f"'kernel_throughput'[{alg!r}] not an object of "
+                        f"numbers")
     return problems
+
+
+# Bulk-buffer argument whose bytes/sec becomes the recorded throughput.
+SPEED_BULK_ARG = "65536"
+
+
+def speed_throughput(path):
+    """kernel_throughput family from a bench_speed JSON dump.
+
+    Rows are named BM_Kernel_<alg>_<kernel>/<bytes>; only the bulk
+    (64 KiB) rows are recorded. Returns (family, error).
+    """
+    try:
+        with open(path) as f:
+            raw = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, f"cannot read speed dump {path}: {e}"
+    family = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        base, _, arg = name.partition("/")
+        parts = base.split("_")
+        if len(parts) != 4 or parts[:2] != ["BM", "Kernel"]:
+            continue
+        if arg != SPEED_BULK_ARG:
+            continue
+        bps = b.get("bytes_per_second")
+        if not isinstance(bps, (int, float)):
+            return None, f"speed dump {path}: {name} has no bytes_per_second"
+        family.setdefault(parts[2], {})[parts[3]] = bps
+    if not family:
+        return None, (f"speed dump {path}: no BM_Kernel_* rows at "
+                      f"/{SPEED_BULK_ARG} — was bench_speed run with "
+                      f"--benchmark_filter='BM_Kernel_'?")
+    return family, None
 
 
 def manifest_summary(path):
@@ -151,6 +209,9 @@ def main() -> int:
     ap.add_argument("--manifest", metavar="PATH",
                     help="cksum-metrics/1 run manifest to summarize "
                          "into the entry")
+    ap.add_argument("--speed", metavar="PATH",
+                    help="bench_speed JSON dump whose BM_Kernel_* rows "
+                         "become the entry's kernel_throughput family")
     args = ap.parse_args()
 
     with open(args.raw) as f:
@@ -190,6 +251,13 @@ def main() -> int:
             return 1
         entry["manifest"] = summary
 
+    if args.speed:
+        family, err = speed_throughput(args.speed)
+        if err:
+            print(f"bench_distill: {err}", file=sys.stderr)
+            return 1
+        entry["kernel_throughput"] = family
+
     problems = validate_entry(entry)
     if problems:
         for p in problems:
@@ -224,10 +292,22 @@ def main() -> int:
               f"({100.0 * frac:.2f}% fast path)" if frac is not None else
               f"manifest:  {m['splices']:,} splices / {m['pairs']:,} pairs "
               f"on {m['corpus']}")
+    if "kernel_throughput" in entry:
+        for alg, per_kernel in sorted(entry["kernel_throughput"].items()):
+            rates = ", ".join(f"{k} {v / 1e9:.2f} GB/s"
+                              for k, v in sorted(per_kernel.items()))
+            print(f"kernel {alg}: {rates}")
     print(f"appended entry #{len(trajectory)} to {args.trajectory}")
 
     if args.check:
         ok = True
+        crc = entry.get("kernel_throughput", {}).get("crc32", {})
+        if crc.get("scalar") and crc.get("slicing"):
+            ratio = crc["slicing"] / crc["scalar"]
+            if ratio < 3.0:
+                print(f"CHECK FAILED: slicing-by-8 CRC-32 only {ratio:.2f}x "
+                      f"scalar (want >=3x)", file=sys.stderr)
+                ok = False
         if entry["speedup_dfs_vs_flat"] < 1.0:
             print("CHECK FAILED: DFS evaluator slower than flat baseline",
                   file=sys.stderr)

@@ -2,6 +2,8 @@
 """Validate a telemetry run manifest against the cksum-metrics/1 schema.
 
 Usage: check_manifest.py MANIFEST [--require-family FAM]...
+                         [--require-kernel [NAME]]
+                         [--diff-deterministic OTHER]
 
 The schema is documented in src/obs/snapshot.hpp and
 docs/OBSERVABILITY.md. CI runs this against the manifest produced by
@@ -11,6 +13,16 @@ perf-smoke job rather than silently breaking downstream tooling.
 --require-family fails validation unless at least one metric of that
 family (the segment before the first '.') is present, e.g.
 `--require-family splice --require-family sched`.
+
+--require-kernel fails unless the manifest records which checksum
+kernel served the run (the top-level "kernel" member written by
+cksumlab/faultlab); with a NAME, the recorded kernel must match it.
+
+--diff-deterministic OTHER fails if any deterministic-tagged metric
+(or the report, if both manifests carry one) differs from OTHER's.
+Scheduling- and timing-tagged metrics are exempt: CI uses this to
+assert that runs under different checksum kernels (or thread counts)
+produce bitwise-identical results.
 """
 
 import argparse
@@ -83,10 +95,58 @@ def check_manifest(doc, require_families):
         check_metric(name, m, problems)
     if "report" in doc and not isinstance(doc["report"], dict):
         problems.append("'report' present but not an object")
+    if "kernel" in doc and (not isinstance(doc["kernel"], str)
+                            or not doc["kernel"]):
+        problems.append("'kernel' present but not a non-empty string")
     families = {name.split(".", 1)[0] for name in metrics}
     for fam in require_families:
         if fam not in families:
             problems.append(f"required metric family {fam!r} absent")
+    return problems
+
+
+def check_kernel(doc, want):
+    """Problems with the manifest's kernel record, [] when clean.
+
+    `want` is None (no check), "" (any kernel acceptable, but one must
+    be recorded), or a kernel name that must match exactly.
+    """
+    if want is None:
+        return []
+    kernel = doc.get("kernel") if isinstance(doc, dict) else None
+    if not isinstance(kernel, str) or not kernel:
+        return ["no 'kernel' member — run does not record which "
+                "checksum kernel served it"]
+    if want and kernel != want:
+        return [f"kernel is {kernel!r}, want {want!r}"]
+    return []
+
+
+def deterministic_view(doc):
+    """The portions of a manifest that must be invariant across kernel
+    selections and thread counts: deterministic-tagged metrics plus the
+    embedded report (when present)."""
+    metrics = doc.get("metrics") if isinstance(doc, dict) else {}
+    det = {name: m for name, m in (metrics or {}).items()
+           if isinstance(m, dict) and m.get("tag") == "deterministic"}
+    return {"metrics": det, "report": doc.get("report")}
+
+
+def diff_deterministic(doc, other_doc, other_path):
+    """Differences between the two manifests' deterministic views."""
+    mine = deterministic_view(doc)
+    theirs = deterministic_view(other_doc)
+    problems = []
+    for name in sorted(set(mine["metrics"]) | set(theirs["metrics"])):
+        a = mine["metrics"].get(name)
+        b = theirs["metrics"].get(name)
+        if a != b:
+            problems.append(
+                f"deterministic metric {name!r} differs from "
+                f"{other_path}: {a!r} vs {b!r}")
+    if (mine["report"] is not None and theirs["report"] is not None
+            and mine["report"] != theirs["report"]):
+        problems.append(f"embedded report differs from {other_path}")
     return problems
 
 
@@ -95,6 +155,13 @@ def main():
     ap.add_argument("manifest")
     ap.add_argument("--require-family", action="append", default=[],
                     metavar="FAM")
+    ap.add_argument("--require-kernel", nargs="?", const="", default=None,
+                    metavar="NAME",
+                    help="require the manifest to record its checksum "
+                         "kernel (optionally a specific one)")
+    ap.add_argument("--diff-deterministic", metavar="OTHER",
+                    help="fail if deterministic-tagged metrics or the "
+                         "report differ from manifest OTHER")
     args = ap.parse_args()
 
     try:
@@ -105,13 +172,25 @@ def main():
         return 1
 
     problems = check_manifest(doc, args.require_family)
+    problems += check_kernel(doc, args.require_kernel)
+    if args.diff_deterministic:
+        try:
+            with open(args.diff_deterministic) as f:
+                other = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_manifest: {args.diff_deterministic}: {e}",
+                  file=sys.stderr)
+            return 1
+        problems += diff_deterministic(doc, other, args.diff_deterministic)
     if problems:
         for p in problems:
             print(f"check_manifest: {args.manifest}: {p}", file=sys.stderr)
         return 1
     nmetrics = len(doc["metrics"])
+    kernel = (f", kernel {doc['kernel']}"
+              if isinstance(doc.get("kernel"), str) else "")
     print(f"{args.manifest}: valid {SCHEMA} manifest "
-          f"({doc['tool']}, {nmetrics} metrics)")
+          f"({doc['tool']}, {nmetrics} metrics{kernel})")
     return 0
 
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "checksum/crc32.hpp"
+#include "checksum/kernels/kernel.hpp"
 
 namespace cksum::atm {
 
@@ -27,7 +28,7 @@ CpcsPdu CpcsPdu::frame(util::ByteView payload, std::uint8_t uu,
                    static_cast<std::uint16_t>(payload.size()));
   // CRC over everything with the CRC field still zero.
   const std::uint32_t crc =
-      alg::crc32(util::ByteView(pdu.bytes_.data(), total - 4));
+      alg::kern::crc32(util::ByteView(pdu.bytes_.data(), total - 4));
   util::store_be32(trailer + 4, crc);
   return pdu;
 }
@@ -61,7 +62,7 @@ bool crc_ok(util::ByteView pdu_bytes) {
   if (pdu_bytes.size() < kAal5TrailerLen) return false;
   const Aal5Trailer t = parse_trailer(pdu_bytes);
   const std::uint32_t computed =
-      alg::crc32(pdu_bytes.first(pdu_bytes.size() - 4));
+      alg::kern::crc32(pdu_bytes.first(pdu_bytes.size() - 4));
   return computed == t.crc;
 }
 
@@ -74,10 +75,10 @@ bool residue_ok(util::ByteView pdu_bytes) {
   // least-significant byte first; the trailer stores it big-endian
   // (as AAL5 transmits it), so feed the 4 stored bytes reversed.
   const std::size_t n = pdu_bytes.size();
-  std::uint32_t c = alg::crc32(pdu_bytes.first(n - 4));
+  std::uint32_t c = alg::kern::crc32(pdu_bytes.first(n - 4));
   const std::uint8_t le[4] = {pdu_bytes[n - 1], pdu_bytes[n - 2],
                               pdu_bytes[n - 3], pdu_bytes[n - 4]};
-  c = alg::crc32(c, util::ByteView(le, 4));
+  c = alg::kern::crc32(c, util::ByteView(le, 4));
   // crc32(M || LE(crc32(M))) == 0x2144DF1C — the reflected-domain
   // image of the classical 0xC704DD7B residue.
   return c == 0x2144DF1Cu;

@@ -1,0 +1,54 @@
+// Internal declarations for the kernel formulations themselves.
+//
+// Each tier's raw entry points live here so the registry (kernel.cpp)
+// can assemble Kernel records from them and the conformance harness
+// can reach individual formulations if it ever needs to; everything
+// else should go through the dispatched entry points in kernel.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "checksum/fletcher.hpp"
+#include "checksum/fletcher32.hpp"
+#include "util/bytes.hpp"
+
+namespace cksum::alg::kern::impl {
+
+// --- scalar: the reference tier -------------------------------------
+// Byte/word-at-a-time with immediate modular reduction at every step.
+// Deliberately the dumbest correct formulation of each algorithm; the
+// other tiers are differentially tested against these.
+std::uint16_t scalar_internet_sum(util::ByteView data) noexcept;
+FletcherPair scalar_fletcher(util::ByteView data, FletcherMod mod) noexcept;
+Fletcher32Pair scalar_fletcher32(util::ByteView data) noexcept;
+std::uint32_t scalar_adler32(std::uint32_t adler, util::ByteView data) noexcept;
+std::uint32_t scalar_crc32(std::uint32_t crc, util::ByteView data) noexcept;
+
+// --- slicing: table-slicing CRC + blocked modular sums --------------
+// Slicing-by-8 CRC-32 over tables derived from GenericCrc; Fletcher /
+// Fletcher-32 / Adler-32 unrolled with modular reduction deferred to
+// overflow-safe block boundaries; word-at-a-time Internet sum with one
+// fold at the end.
+std::uint16_t slicing_internet_sum(util::ByteView data) noexcept;
+FletcherPair slicing_fletcher(util::ByteView data, FletcherMod mod) noexcept;
+Fletcher32Pair slicing_fletcher32(util::ByteView data) noexcept;
+std::uint32_t slicing_adler32(std::uint32_t adler,
+                              util::ByteView data) noexcept;
+std::uint32_t slicing_crc32(std::uint32_t crc, util::ByteView data) noexcept;
+
+// --- swar: 64-bit SWAR Internet sum ---------------------------------
+// Eight message bytes per 64-bit load, end-around carries deferred
+// into the top half of the accumulator and folded once at the end.
+std::uint16_t swar_internet_sum(util::ByteView data) noexcept;
+
+/// Slice-by-8 CRC-32 lookup tables. t[0] is the byte table taken from
+/// GenericCrc(32, standard_poly(32)); t[1..7] are the shifted tables
+/// the slicing loop combines eight-at-a-time.
+struct CrcSliceTables {
+  std::uint32_t t[8][256];
+};
+
+/// The process-wide slice tables, built on first use from GenericCrc.
+const CrcSliceTables& crc32_slice_tables() noexcept;
+
+}  // namespace cksum::alg::kern::impl

@@ -1,0 +1,155 @@
+#include "checksum/kernels/kernel.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "checksum/kernels/impl.hpp"
+#include "obs/registry.hpp"
+
+namespace cksum::alg::kern {
+
+namespace {
+
+constexpr Kernel kKernels[] = {
+    {"scalar",
+     "reference: byte/word-at-a-time with immediate modular reduction",
+     0,
+     impl::scalar_internet_sum,
+     impl::scalar_fletcher,
+     impl::scalar_fletcher32,
+     impl::scalar_adler32,
+     impl::scalar_crc32},
+    {"slicing",
+     "slicing-by-8 CRC-32; blocked Fletcher/Adler with deferred reduction",
+     1,
+     impl::slicing_internet_sum,
+     impl::slicing_fletcher,
+     impl::slicing_fletcher32,
+     impl::slicing_adler32,
+     impl::slicing_crc32},
+    {"swar",
+     "slicing integer kernels plus 64-bit SWAR Internet sum",
+     2,
+     impl::swar_internet_sum,
+     impl::slicing_fletcher,
+     impl::slicing_fletcher32,
+     impl::slicing_adler32,
+     impl::slicing_crc32},
+};
+
+constexpr int kNumKernels = static_cast<int>(std::size(kKernels));
+
+int best_index() noexcept {
+  int best = 0;
+  for (int i = 1; i < kNumKernels; ++i)
+    if (kKernels[i].tier > kKernels[best].tier) best = i;
+  return best;
+}
+
+int index_of(std::string_view name) noexcept {
+  if (name == "best") return best_index();
+  for (int i = 0; i < kNumKernels; ++i)
+    if (kKernels[i].name == name) return i;
+  return -1;
+}
+
+/// Selected kernel index; -1 until the first dispatch (or explicit
+/// select_kernel) resolves the CKSUM_KERNEL environment variable.
+std::atomic<int> g_active{-1};
+
+int active_index() noexcept {
+  int idx = g_active.load(std::memory_order_relaxed);
+  if (idx >= 0) return idx;
+  const char* env = std::getenv(kKernelEnv);
+  idx = env != nullptr ? index_of(env) : -1;
+  if (idx < 0) idx = best_index();
+  // Lost race: another thread resolved first; both wrote a valid index
+  // derived from the same environment, so either winner is fine.
+  int expected = -1;
+  g_active.compare_exchange_strong(expected, idx, std::memory_order_relaxed);
+  return g_active.load(std::memory_order_relaxed);
+}
+
+/// Per-kernel dispatch counters. The split of work across kernels is a
+/// property of this run's configuration (like thread count), not of
+/// the corpus, so the counters are tagged kScheduling and stay out of
+/// cross-kernel determinism diffs.
+struct KernelCounters {
+  obs::Counter calls;
+  obs::Counter bytes;
+};
+
+std::array<KernelCounters, kNumKernels>& counters() {
+  static std::array<KernelCounters, kNumKernels> handles = [] {
+    std::array<KernelCounters, kNumKernels> out;
+    auto& reg = obs::Registry::global();
+    for (int i = 0; i < kNumKernels; ++i) {
+      const std::string prefix = "kernel." + std::string(kKernels[i].name);
+      out[static_cast<std::size_t>(i)].calls =
+          reg.counter(prefix + ".calls", obs::Tag::kScheduling);
+      out[static_cast<std::size_t>(i)].bytes =
+          reg.counter(prefix + ".bytes", obs::Tag::kScheduling);
+    }
+    return out;
+  }();
+  return handles;
+}
+
+/// The active kernel and its counters, with the byte count recorded.
+const Kernel& dispatch(std::size_t bytes) noexcept {
+  const int idx = active_index();
+  const KernelCounters& c = counters()[static_cast<std::size_t>(idx)];
+  c.calls.add(1);
+  c.bytes.add(bytes);
+  return kKernels[idx];
+}
+
+}  // namespace
+
+std::span<const Kernel> kernels() noexcept { return kKernels; }
+
+const Kernel* find_kernel(std::string_view name) noexcept {
+  const int idx = index_of(name);
+  return idx >= 0 ? &kKernels[idx] : nullptr;
+}
+
+const Kernel& scalar_kernel() noexcept { return kKernels[0]; }
+
+const Kernel& active_kernel() noexcept { return kKernels[active_index()]; }
+
+bool select_kernel(std::string_view name) noexcept {
+  const int idx = index_of(name);
+  if (idx < 0) return false;
+  g_active.store(idx, std::memory_order_relaxed);
+  return true;
+}
+
+void register_kernel_metrics() { counters(); }
+
+std::uint16_t internet_sum(util::ByteView data) noexcept {
+  return dispatch(data.size()).internet_sum(data);
+}
+
+std::uint16_t internet_checksum(util::ByteView data) noexcept {
+  return static_cast<std::uint16_t>(~internet_sum(data));
+}
+
+FletcherPair fletcher_block(util::ByteView data, FletcherMod mod) noexcept {
+  return dispatch(data.size()).fletcher(data, mod);
+}
+
+Fletcher32Pair fletcher32_block(util::ByteView data) noexcept {
+  return dispatch(data.size()).fletcher32(data);
+}
+
+std::uint32_t adler32(std::uint32_t adler, util::ByteView data) noexcept {
+  return dispatch(data.size()).adler32(adler, data);
+}
+
+std::uint32_t crc32(std::uint32_t crc, util::ByteView data) noexcept {
+  return dispatch(data.size()).crc32(crc, data);
+}
+
+}  // namespace cksum::alg::kern

@@ -1,0 +1,113 @@
+// Hardware-speed checksum kernels behind a runtime-selectable registry.
+//
+// Every algorithm the paper studies has one obviously-correct scalar
+// formulation (byte-at-a-time, reduce every step) and one or more
+// machine-width formulations that are several-fold faster but easy to
+// get subtly wrong: table-slicing CRCs, SWAR ones-complement sums with
+// deferred end-around carries, Fletcher/Adler loops with deferred
+// modular reduction. This registry packages each formulation tier as a
+// named *kernel* — a complete suite of entry points for all five
+// algorithms — and routes the pipeline's hot callers through one
+// process-wide selection:
+//
+//   scalar   the reference: byte/word-at-a-time, immediate reduction
+//   slicing  slicing-by-8 CRC-32 (tables derived from GenericCrc),
+//            blocked Fletcher/Fletcher-32/Adler-32 with deferred
+//            modular reduction, word-at-a-time Internet sum
+//   swar     slicing's integer kernels plus a 64-bit SWAR Internet
+//            sum with deferred end-around-carry folding
+//   best     alias for the highest-tier registered kernel
+//
+// Selection is a single process-wide switch: `select_kernel()` (or the
+// CKSUM_KERNEL environment variable, or --kernel on cksumlab/faultlab)
+// picks the kernel every dispatched call uses, so a whole splice run
+// can be re-executed under a different kernel with one flag. All
+// kernels are bit-identical — the conformance harness in
+// tests/test_kernels.cpp differentially proves it — so results are
+// bitwise-deterministic regardless of selection.
+//
+// The dispatched entry points record per-kernel obs counters
+// (`kernel.<name>.calls` / `kernel.<name>.bytes`) so an exported run
+// manifest shows which kernel did the work and how much of it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "checksum/fletcher.hpp"
+#include "checksum/fletcher32.hpp"
+#include "util/bytes.hpp"
+
+namespace cksum::alg::kern {
+
+/// One formulation tier: a complete, bit-identical suite of entry
+/// points for the five algorithms. All function pointers are non-null.
+struct Kernel {
+  std::string_view name;         ///< registry key ("scalar", "slicing", ...)
+  std::string_view description;  ///< one-line technique summary
+  int tier = 0;                  ///< "best" picks the highest tier
+
+  /// RFC 1071 ones-complement sum (not inverted), big-endian words.
+  std::uint16_t (*internet_sum)(util::ByteView data) noexcept = nullptr;
+  /// 8-bit Fletcher pair, end-weighted within the block.
+  FletcherPair (*fletcher)(util::ByteView data, FletcherMod mod) noexcept =
+      nullptr;
+  /// 32-bit Fletcher pair (16-bit big-endian words mod 65535).
+  Fletcher32Pair (*fletcher32)(util::ByteView data) noexcept = nullptr;
+  /// Adler-32 streaming continuation (pass 1 to start).
+  std::uint32_t (*adler32)(std::uint32_t adler, util::ByteView data) noexcept =
+      nullptr;
+  /// CRC-32 streaming continuation over finalised values (pass 0 to
+  /// start; zlib semantics, identical to alg::crc32).
+  std::uint32_t (*crc32)(std::uint32_t crc, util::ByteView data) noexcept =
+      nullptr;
+};
+
+/// Every registered kernel, in tier order (scalar first).
+std::span<const Kernel> kernels() noexcept;
+
+/// Look up a kernel by name; "best" resolves to the highest tier.
+/// Returns nullptr for unknown names.
+const Kernel* find_kernel(std::string_view name) noexcept;
+
+/// The scalar reference kernel — what the conformance harness and the
+/// differential tests compare every other kernel against.
+const Kernel& scalar_kernel() noexcept;
+
+/// The kernel dispatched calls currently use. On first use the
+/// selection is initialised from the CKSUM_KERNEL environment variable
+/// when it names a registered kernel (or "best"), else to "best".
+const Kernel& active_kernel() noexcept;
+
+/// Select the dispatch kernel by name ("best", "scalar", "slicing",
+/// "swar"). Returns false (selection unchanged) for unknown names.
+/// Intended for process startup; switching while other threads are
+/// dispatching is safe but the cutover point is unspecified.
+bool select_kernel(std::string_view name) noexcept;
+
+/// Environment variable consulted on first dispatch (and by the CLI
+/// drivers, which reject unknown values loudly).
+inline constexpr const char* kKernelEnv = "CKSUM_KERNEL";
+
+/// Idempotently register the kernel.* metric families for every
+/// registered kernel with obs::Registry::global(), so exported
+/// manifests carry the full (zero-valued) family even before the first
+/// dispatched call. Tagged kScheduling: the split across kernels is a
+/// property of this run's configuration, not of the corpus, and must
+/// not participate in cross-configuration determinism diffs.
+void register_kernel_metrics();
+
+// --- Dispatched entry points (the hot callers' interface) -----------
+
+std::uint16_t internet_sum(util::ByteView data) noexcept;
+std::uint16_t internet_checksum(util::ByteView data) noexcept;
+FletcherPair fletcher_block(util::ByteView data, FletcherMod mod) noexcept;
+Fletcher32Pair fletcher32_block(util::ByteView data) noexcept;
+std::uint32_t adler32(std::uint32_t adler, util::ByteView data) noexcept;
+std::uint32_t crc32(std::uint32_t crc, util::ByteView data) noexcept;
+inline std::uint32_t crc32(util::ByteView data) noexcept {
+  return crc32(0, data);
+}
+
+}  // namespace cksum::alg::kern

@@ -4,6 +4,7 @@
 
 #include "checksum/fletcher.hpp"
 #include "checksum/internet.hpp"
+#include "checksum/kernels/kernel.hpp"
 #include "util/hash.hpp"
 
 namespace cksum::core {
@@ -64,7 +65,8 @@ void CellStatsCollector::add_file(util::ByteView file) {
     for (std::size_t off = 0; off < seg_len; off += kCell) {
       const std::size_t cell_len = std::min(kCell, seg_len - off);
       const util::ByteView cell = file.subspan(seg + off, cell_len);
-      const std::uint16_t sum = alg::ones_canonical(alg::internet_sum(cell));
+      const std::uint16_t sum =
+          alg::ones_canonical(alg::kern::internet_sum(cell));
       if (cell_len == kCell) {
         sums.push_back(sum);
         hashes.push_back(util::hash64(cell));
@@ -73,9 +75,9 @@ void CellStatsCollector::add_file(util::ByteView file) {
         ++cells_seen_;
         tcp_cells_.add(sum % 65535u);
         f255_cells_.add(alg::fletcher_value(
-            alg::fletcher_block(cell, alg::FletcherMod::kOnes255)));
+            alg::kern::fletcher_block(cell, alg::FletcherMod::kOnes255)));
         f256_cells_.add(alg::fletcher_value(
-            alg::fletcher_block(cell, alg::FletcherMod::kTwos256)));
+            alg::kern::fletcher_block(cell, alg::FletcherMod::kTwos256)));
       }
     }
   }

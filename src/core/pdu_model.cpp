@@ -1,5 +1,6 @@
 #include "core/pdu_model.hpp"
 
+#include "checksum/kernels/kernel.hpp"
 #include "net/validate.hpp"
 #include "util/hash.hpp"
 
@@ -9,7 +10,7 @@ namespace {
 
 /// Internet sum of a byte range (even-offset start assumed by callers).
 std::uint16_t sum_of(util::ByteView bytes) {
-  return alg::internet_sum(bytes);
+  return alg::kern::internet_sum(bytes);
 }
 
 }  // namespace
@@ -26,9 +27,9 @@ SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
     const util::ByteView cell = sp.pdu.cell(i);
     CellPartial cp;
     cp.inet = sum_of(cell);
-    cp.f255 = alg::fletcher_block(cell, alg::FletcherMod::kOnes255);
-    cp.f256 = alg::fletcher_block(cell, alg::FletcherMod::kTwos256);
-    cp.crc = alg::crc32(cell);
+    cp.f255 = alg::kern::fletcher_block(cell, alg::FletcherMod::kOnes255);
+    cp.f256 = alg::kern::fletcher_block(cell, alg::FletcherMod::kTwos256);
+    cp.crc = alg::kern::crc32(cell);
     cp.hash = util::hash64(cell);
     sp.cells.push_back(cp);
   }
@@ -45,7 +46,7 @@ SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
   }
 
   sp.stored_crc = sp.pdu.trailer().crc;
-  sp.crc_head44 = alg::crc32(sp.pdu.cell(n - 1).first(44));
+  sp.crc_head44 = alg::kern::crc32(sp.pdu.cell(n - 1).first(44));
   std::size_t eom_cov = sp.total_len > (n - 1) * atm::kCellPayload
                             ? sp.total_len - (n - 1) * atm::kCellPayload
                             : 0;
@@ -87,10 +88,10 @@ SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
                 ip.begin() + head_end);
 
     // Fletcher sums over the prefix as transmitted.
-    tp.head_f255 = alg::fletcher_block(util::ByteView(head),
-                                       alg::FletcherMod::kOnes255);
-    tp.head_f256 = alg::fletcher_block(util::ByteView(head),
-                                       alg::FletcherMod::kTwos256);
+    tp.head_f255 = alg::kern::fletcher_block(util::ByteView(head),
+                                             alg::FletcherMod::kOnes255);
+    tp.head_f256 = alg::kern::fletcher_block(util::ByteView(head),
+                                             alg::FletcherMod::kTwos256);
 
     // Internet content sum: zero the check field if it lives here.
     if (!trailer) {
@@ -105,10 +106,10 @@ SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
   // EOM coverage.
   if (tp.eom_len > 0) {
     util::Bytes eom(ip.begin() + eom_start, ip.begin() + len);
-    tp.eom_f255 =
-        alg::fletcher_block(util::ByteView(eom), alg::FletcherMod::kOnes255);
-    tp.eom_f256 =
-        alg::fletcher_block(util::ByteView(eom), alg::FletcherMod::kTwos256);
+    tp.eom_f255 = alg::kern::fletcher_block(util::ByteView(eom),
+                                            alg::FletcherMod::kOnes255);
+    tp.eom_f256 = alg::kern::fletcher_block(util::ByteView(eom),
+                                            alg::FletcherMod::kTwos256);
     if (trailer && sp.fast_path_ok) {
       // The 2 check bytes are the last 2 coverage bytes; exclude them
       // from the Internet content sum and remember the stored value.

@@ -1,6 +1,7 @@
 #include "net/ipv4.hpp"
 
 #include "checksum/internet.hpp"
+#include "checksum/kernels/kernel.hpp"
 
 namespace cksum::net {
 
@@ -39,7 +40,7 @@ std::uint16_t Ipv4Header::compute_checksum() const noexcept {
   Ipv4Header copy = *this;
   copy.header_checksum = 0;
   copy.write(raw);
-  return alg::internet_checksum(util::ByteView(raw, kIpv4HeaderLen));
+  return alg::kern::internet_checksum(util::ByteView(raw, kIpv4HeaderLen));
 }
 
 bool ipv4_checksum_ok(util::ByteView raw_header) noexcept {
@@ -47,7 +48,7 @@ bool ipv4_checksum_ok(util::ByteView raw_header) noexcept {
   // A correct header sums to exactly 0xFFFF (a fold of 0x0000 would
   // require every byte to be zero, which version/protocol rule out,
   // but we don't accept it anyway).
-  return alg::internet_sum(raw_header.first(kIpv4HeaderLen)) == 0xffff;
+  return alg::kern::internet_sum(raw_header.first(kIpv4HeaderLen)) == 0xffff;
 }
 
 }  // namespace cksum::net

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "checksum/kernels/kernel.hpp"
+
 namespace cksum::net {
 
 namespace {
@@ -19,7 +21,7 @@ std::size_t check_offset_in_coverage(ChecksumPlacement placement,
 
 std::uint16_t compute_internet_field(const PacketConfig& cfg,
                                      util::ByteView coverage) {
-  const std::uint16_t sum = alg::internet_sum(coverage);
+  const std::uint16_t sum = alg::kern::internet_sum(coverage);
   return cfg.invert_checksum ? alg::ones_neg(sum) : sum;
 }
 
@@ -99,7 +101,7 @@ Packet build_packet(const PacketConfig& cfg, std::uint32_t seq,
   } else {
     const alg::FletcherMod mod = fletcher_mod_of(cfg.transport);
     const alg::FletcherPair rest =
-        alg::fletcher_block(util::ByteView(coverage), mod);
+        alg::kern::fletcher_block(util::ByteView(coverage), mod);
     const std::size_t u = coverage.size() - field_at;
     const auto [x, y] = alg::fletcher_check_bytes(rest, u, mod);
     pkt.bytes[field_ip_offset] = x;
@@ -152,8 +154,8 @@ bool verify_transport_checksum(const PacketConfig& cfg,
 
   // Fletcher: a valid message (check bytes in place) sums to zero in
   // both terms.
-  return alg::fletcher_verify(util::ByteView(coverage),
-                              fletcher_mod_of(cfg.transport));
+  return alg::fletcher_is_zero(alg::kern::fletcher_block(
+      util::ByteView(coverage), fletcher_mod_of(cfg.transport)));
 }
 
 }  // namespace cksum::net

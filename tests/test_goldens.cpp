@@ -8,6 +8,11 @@
 // regression.
 #include <gtest/gtest.h>
 
+#include <string_view>
+
+#include "checksum/fletcher.hpp"
+#include "checksum/fletcher32.hpp"
+#include "checksum/kernels/kernel.hpp"
 #include "fsgen/generator.hpp"
 #include "fsgen/profile.hpp"
 #include "util/hash.hpp"
@@ -82,3 +87,123 @@ TEST(Goldens, ProfileCompositionPinned) {
 
 }  // namespace
 }  // namespace cksum::fsgen
+
+namespace cksum::alg::kern {
+namespace {
+
+inline util::ByteView view_of(std::string_view s) {
+  return util::ByteView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size());
+}
+
+// Published check values. Every registered kernel must reproduce them
+// exactly; together with the differential harness in test_kernels.cpp
+// this anchors the whole kernel family to the external definitions,
+// not merely to each other.
+//
+// Sources: CRC-32 is the universal "123456789" check value (e.g.
+// Williams' CRC guide, the zlib test suite); Adler-32 values come from
+// zlib; the Fletcher-16 mod-255 values match the published (A, B)
+// pairs, re-packed into this repo's A<<8|B layout; the Internet
+// checksum vectors are the RFC 1071 §3 worked example. The mod-256
+// Fletcher and big-endian word Fletcher-32 values pin this repo's
+// conventions (there is no single published convention for either) and
+// were derived by hand from the definition.
+struct CrcGolden {
+  std::string_view text;
+  std::uint32_t crc;
+};
+constexpr CrcGolden kCrc32Goldens[] = {
+    {"", 0x00000000u},
+    {"123456789", 0xCBF43926u},
+    {"The quick brown fox jumps over the lazy dog", 0x414FA339u},
+};
+
+struct AdlerGolden {
+  std::string_view text;
+  std::uint32_t adler;
+};
+constexpr AdlerGolden kAdler32Goldens[] = {
+    {"", 0x00000001u},
+    {"abc", 0x024D0127u},
+    {"Wikipedia", 0x11E60398u},
+};
+
+struct InternetGolden {
+  std::initializer_list<std::uint8_t> bytes;
+  std::uint16_t sum;  // plain (uncomplemented) ones-complement sum
+};
+const InternetGolden kInternetGoldens[] = {
+    // RFC 1071 §3: words 0001 f203 f4f5 f6f7 sum to 2ddf0 -> fold ddf2.
+    {{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}, 0xddf2u},
+    // Odd tail: the trailing byte is padded on the right (RFC 1071).
+    {{0x00, 0x01, 0xf2}, 0xf201u},
+    {{}, 0x0000u},
+};
+
+struct FletcherGolden {
+  std::string_view text;
+  std::uint32_t a, b;
+};
+constexpr FletcherGolden kFletcher255Goldens[] = {
+    {"abcde", 0xF0, 0xC8},
+    {"abcdef", 0x57, 0x20},
+    {"abcdefgh", 0x27, 0x06},
+};
+constexpr FletcherGolden kFletcher256Goldens[] = {
+    {"abcde", 0xEF, 0xC3},
+    {"abcdef", 0x55, 0x18},
+    {"abcdefgh", 0x24, 0xF8},
+};
+// Big-endian 16-bit words, odd tail padded with 0x00 on the right,
+// both sums mod 65535 (this repo's convention; see fletcher32.hpp).
+constexpr FletcherGolden kFletcher32Goldens[] = {
+    {"ab", 0x6162, 0x6162},
+    {"abcd", 0xC4C6, 0x2629},
+    {"abc", 0xC462, 0x25C5},
+};
+
+TEST(KernelGoldens, EveryKernelReproducesPublishedVectors) {
+  for (const Kernel& k : kernels()) {
+    SCOPED_TRACE(std::string("kernel=") + std::string(k.name));
+    for (const CrcGolden& g : kCrc32Goldens)
+      EXPECT_EQ(k.crc32(0, view_of(g.text)), g.crc) << "crc32(\"" << g.text
+                                                    << "\")";
+    for (const AdlerGolden& g : kAdler32Goldens)
+      EXPECT_EQ(k.adler32(1, view_of(g.text)), g.adler)
+          << "adler32(\"" << g.text << "\")";
+    for (const InternetGolden& g : kInternetGoldens) {
+      const util::Bytes data(g.bytes);
+      EXPECT_EQ(k.internet_sum(util::ByteView(data)), g.sum);
+    }
+    for (const FletcherGolden& g : kFletcher255Goldens) {
+      const FletcherPair p = k.fletcher(view_of(g.text), FletcherMod::kOnes255);
+      EXPECT_EQ(p.a, g.a) << "f255 A(\"" << g.text << "\")";
+      EXPECT_EQ(p.b, g.b) << "f255 B(\"" << g.text << "\")";
+    }
+    for (const FletcherGolden& g : kFletcher256Goldens) {
+      const FletcherPair p = k.fletcher(view_of(g.text), FletcherMod::kTwos256);
+      EXPECT_EQ(p.a, g.a) << "f256 A(\"" << g.text << "\")";
+      EXPECT_EQ(p.b, g.b) << "f256 B(\"" << g.text << "\")";
+    }
+    for (const FletcherGolden& g : kFletcher32Goldens) {
+      const Fletcher32Pair p = k.fletcher32(view_of(g.text));
+      EXPECT_EQ(p.a, g.a) << "f32 A(\"" << g.text << "\")";
+      EXPECT_EQ(p.b, g.b) << "f32 B(\"" << g.text << "\")";
+    }
+  }
+}
+
+TEST(KernelGoldens, PackedValuesMatchRepoLayout) {
+  // The histogram/packing layer on top of the pairs: A in the high
+  // half. Checked once against the dispatched kernels so manifest
+  // values stay pinned too.
+  EXPECT_EQ(fletcher_value(kern::fletcher_block(view_of("abcde"),
+                                                FletcherMod::kOnes255)),
+            0xF0C8u);
+  EXPECT_EQ(fletcher32_value(kern::fletcher32_block(view_of("abcd"))),
+            0xC4C62629u);
+}
+
+}  // namespace
+}  // namespace cksum::alg::kern

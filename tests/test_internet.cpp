@@ -212,6 +212,49 @@ TEST(InternetSum, SwapRuleMatchesOddOffsetPlacement) {
 }
 
 
+TEST(InternetSum, OddTailAtEveryAlignmentPhase) {
+  // Odd-length pieces starting at every byte offset: the trailing byte
+  // is always padded on the right regardless of source alignment, and
+  // the result matches a per-definition ones_add chain. This is the
+  // exact behaviour the SWAR kernel's head/tail composition must
+  // reproduce (see test_kernels.cpp for the differential check).
+  const Bytes data = random_bytes(17, 64);
+  for (std::size_t off = 0; off < 8; ++off) {
+    for (std::size_t len = 0; off + len <= data.size(); ++len) {
+      const ByteView piece = ByteView(data).subspan(off, len);
+      std::uint16_t want = 0;
+      for (std::size_t i = 0; i < len; i += 2) {
+        const std::uint16_t word = static_cast<std::uint16_t>(
+            (piece[i] << 8) | (i + 1 < len ? piece[i + 1] : 0));
+        want = ones_add(want, word);
+      }
+      EXPECT_EQ(internet_sum(piece), want) << "off=" << off << " len=" << len;
+    }
+  }
+}
+
+TEST(InternetSum, OddOffsetOddLengthBlockChain) {
+  // Blocks of odd length flip the accumulation parity: each following
+  // block contributes byte-swapped. Compose blocks of every small odd
+  // and even length and check against the one-shot sum.
+  const Bytes data = random_bytes(23, 97);
+  for (const std::size_t first : {1u, 3u, 5u, 48u}) {
+    std::uint16_t sum = internet_sum(ByteView(data).first(first));
+    bool odd = first % 2 == 1;
+    std::size_t off = first;
+    std::size_t next_len = 1;
+    while (off < data.size()) {
+      const std::size_t len = std::min(data.size() - off, next_len);
+      sum = internet_combine(sum, internet_sum(ByteView(data).subspan(off, len)),
+                             odd);
+      odd ^= (len % 2 == 1);
+      off += len;
+      next_len = next_len % 7 + 1;  // cycle through lengths 1..7
+    }
+    EXPECT_EQ(sum, internet_sum(ByteView(data))) << "first=" << first;
+  }
+}
+
 class InternetWide : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(InternetWide, MatchesScalarAtEveryLength) {

@@ -1,0 +1,317 @@
+// Kernel-conformance harness: every registered checksum kernel must be
+// bitwise identical to the scalar reference on every input.
+//
+// Three sweeps, all deterministic (seeds in kernel_testgen.hpp):
+//   * exhaustive small lengths 0..256, random and adversarial bytes;
+//   * randomized large buffers (up to 64 KiB; 1 MiB in long mode) at
+//     all 8 alignment phases of the same underlying data;
+//   * every incremental resume split and every combine split of one
+//     message, per algorithm.
+// Set CKSUM_KERNEL_LONG=1 for the widened soak sweep.
+//
+// The registry itself is also pinned down: name lookup, "best"
+// resolution, the CKSUM_KERNEL environment override (so a CI matrix
+// typo fails the suite instead of silently testing the default
+// kernel), and the per-kernel dispatch counters.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "checksum/adler32.hpp"
+#include "checksum/crc32.hpp"
+#include "checksum/fletcher.hpp"
+#include "checksum/fletcher32.hpp"
+#include "checksum/internet.hpp"
+#include "checksum/kernels/kernel.hpp"
+#include "kernel_testgen.hpp"
+#include "obs/registry.hpp"
+
+namespace cksum::alg::kern {
+namespace {
+
+using util::Bytes;
+using util::ByteView;
+
+/// Compare one kernel against the scalar reference on one buffer, all
+/// five algorithms. The streaming entry points are started from their
+/// conventional initial values (0 for CRC-32, 1 for Adler-32) and, to
+/// cover resumed calls, from a nonzero prior state.
+void expect_matches_scalar(const Kernel& k, ByteView data,
+                           const std::string& context) {
+  const Kernel& ref = scalar_kernel();
+  EXPECT_EQ(k.internet_sum(data), ref.internet_sum(data)) << context;
+  EXPECT_EQ(k.fletcher(data, FletcherMod::kOnes255),
+            ref.fletcher(data, FletcherMod::kOnes255))
+      << context;
+  EXPECT_EQ(k.fletcher(data, FletcherMod::kTwos256),
+            ref.fletcher(data, FletcherMod::kTwos256))
+      << context;
+  EXPECT_EQ(k.fletcher32(data), ref.fletcher32(data)) << context;
+  EXPECT_EQ(k.adler32(1u, data), ref.adler32(1u, data)) << context;
+  EXPECT_EQ(k.crc32(0u, data), ref.crc32(0u, data)) << context;
+  // Resumed from a prior state: continuation must agree too.
+  EXPECT_EQ(k.adler32(0x00070003u, data), ref.adler32(0x00070003u, data))
+      << context;
+  EXPECT_EQ(k.crc32(0xDEADBEEFu, data), ref.crc32(0xDEADBEEFu, data))
+      << context;
+}
+
+class PerKernel : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const Kernel& kernel() const { return kernels()[GetParam()]; }
+  std::string kernel_name() const { return std::string(kernel().name); }
+};
+
+std::string kernel_param_name(
+    const ::testing::TestParamInfo<std::size_t>& info) {
+  return std::string(kernels()[info.param].name);
+}
+
+TEST_P(PerKernel, ExhaustiveSmallLengths) {
+  for (std::size_t len = 0; len <= 256; ++len) {
+    const Bytes data =
+        testgen::random_bytes(testgen::kConformanceSeed + len, len);
+    expect_matches_scalar(kernel(), ByteView(data),
+                          kernel_name() + " len=" + std::to_string(len));
+  }
+}
+
+TEST_P(PerKernel, EdgePatterns) {
+  for (const std::size_t len : {1u, 8u, 48u, 255u, 256u, 510u, 4096u}) {
+    for (const Bytes& data : testgen::edge_patterns(len)) {
+      expect_matches_scalar(
+          kernel(), ByteView(data),
+          kernel_name() + " pattern len=" + std::to_string(len) +
+              " first=" + std::to_string(data.empty() ? 0 : data[0]));
+    }
+  }
+}
+
+TEST_P(PerKernel, LargeBuffersAtAllAlignments) {
+  const std::size_t cap = testgen::long_mode() ? (1u << 20) : (1u << 16);
+  const testgen::AlignedPool pool(testgen::kConformanceSeed ^ 0xA11C, cap);
+  for (const std::size_t len : testgen::sweep_lengths()) {
+    if (len > pool.capacity()) continue;
+    for (std::size_t align = 0; align < 8; ++align) {
+      const ByteView data = pool.view(align, len);
+      expect_matches_scalar(kernel(), data,
+                            kernel_name() + " len=" + std::to_string(len) +
+                                " align=" + std::to_string(align));
+    }
+  }
+}
+
+TEST_P(PerKernel, EveryResumeSplit) {
+  const Kernel& k = kernel();
+  const Kernel& ref = scalar_kernel();
+  const std::size_t n = testgen::split_message_len();
+  const Bytes data = testgen::random_bytes(testgen::kConformanceSeed ^ n, n);
+  const ByteView whole(data);
+
+  const std::uint32_t crc_whole = ref.crc32(0u, whole);
+  const std::uint32_t adler_whole = ref.adler32(1u, whole);
+  const std::uint16_t inet_whole = ref.internet_sum(whole);
+
+  for (std::size_t split = 0; split <= n; ++split) {
+    const ByteView x = whole.first(split);
+    const ByteView y = whole.subspan(split);
+    EXPECT_EQ(k.crc32(k.crc32(0u, x), y), crc_whole) << "split=" << split;
+    EXPECT_EQ(k.adler32(k.adler32(1u, x), y), adler_whole)
+        << "split=" << split;
+    // The sum algorithms have no streaming state object in the kernel
+    // interface; resuming is the combine rule, checked below.
+    EXPECT_EQ(internet_combine(k.internet_sum(x), k.internet_sum(y),
+                               split % 2 == 1),
+              inet_whole)
+        << "split=" << split;
+  }
+}
+
+TEST_P(PerKernel, EveryCombineSplit) {
+  const Kernel& k = kernel();
+  const Kernel& ref = scalar_kernel();
+  const std::size_t n = testgen::split_message_len();
+  const Bytes data =
+      testgen::random_bytes(testgen::kConformanceSeed ^ (n + 1), n);
+  const ByteView whole(data);
+
+  const std::uint32_t crc_whole = ref.crc32(0u, whole);
+  const std::uint32_t adler_whole = ref.adler32(1u, whole);
+  const FletcherPair f255_whole = ref.fletcher(whole, FletcherMod::kOnes255);
+  const FletcherPair f256_whole = ref.fletcher(whole, FletcherMod::kTwos256);
+  const Fletcher32Pair f32_whole = ref.fletcher32(whole);
+
+  for (std::size_t split = 0; split <= n; ++split) {
+    const ByteView x = whole.first(split);
+    const ByteView y = whole.subspan(split);
+    EXPECT_EQ(crc32_combine(k.crc32(0u, x), k.crc32(0u, y), y.size()),
+              crc_whole)
+        << "split=" << split;
+    EXPECT_EQ(adler32_combine(k.adler32(1u, x), k.adler32(1u, y), y.size()),
+              adler_whole)
+        << "split=" << split;
+    for (const FletcherMod mod :
+         {FletcherMod::kOnes255, FletcherMod::kTwos256}) {
+      EXPECT_EQ(fletcher_combine(k.fletcher(x, mod), k.fletcher(y, mod),
+                                 y.size(), mod),
+                mod == FletcherMod::kOnes255 ? f255_whole : f256_whole)
+          << "split=" << split;
+    }
+    // Fletcher-32 combines in 16-bit words, so the law only applies
+    // when the suffix starts on a word boundary.
+    if (split % 2 == 0) {
+      EXPECT_EQ(fletcher32_combine(k.fletcher32(x), k.fletcher32(y),
+                                   (y.size() + 1) / 2),
+                f32_whole)
+          << "split=" << split;
+    }
+  }
+}
+
+TEST_P(PerKernel, InternetOddOffsetsAndTails) {
+  // The SWAR kernel's composition rule must reproduce the byte-swapped
+  // accumulation of blocks at odd source offsets, including the 0x0000
+  // vs 0xFFFF representative at every offset/length phase.
+  const Kernel& k = kernel();
+  const Kernel& ref = scalar_kernel();
+  const Bytes data =
+      testgen::random_bytes(testgen::kConformanceSeed ^ 0x0DD, 1024);
+  for (std::size_t off = 0; off < 16; ++off) {
+    for (const std::size_t len : {0u, 1u, 2u, 7u, 8u, 9u, 63u, 64u, 65u,
+                                  255u, 256u, 1000u}) {
+      const ByteView piece = ByteView(data).subspan(off, len);
+      EXPECT_EQ(k.internet_sum(piece), ref.internet_sum(piece))
+          << "off=" << off << " len=" << len;
+    }
+  }
+  // Zero-class representatives at every alignment phase: all-zero
+  // bytes must fold to 0x0000, all-ones to 0xFFFF, never swapped into
+  // each other by the SWAR lane repair.
+  const Bytes zeros(512, 0x00);
+  const Bytes ones(512, 0xff);
+  for (std::size_t off = 0; off < 8; ++off) {
+    for (const std::size_t len : {8u, 16u, 64u, 504u}) {
+      EXPECT_EQ(k.internet_sum(ByteView(zeros).subspan(off, len)), 0x0000)
+          << "off=" << off << " len=" << len;
+      EXPECT_EQ(k.internet_sum(ByteView(ones).subspan(off, len)), 0xffff)
+          << "off=" << off << " len=" << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, PerKernel,
+                         ::testing::Range<std::size_t>(0, kernels().size()),
+                         kernel_param_name);
+
+TEST(KernelCombineProperty, FletcherMod255EdgeCases) {
+  // When |Y| is a multiple of 255 the y_len·A(X) term of the combine
+  // law vanishes mod 255 — exactly the regime where a combine
+  // implementation that reduced y_len incorrectly (or dropped the
+  // term) would still *look* right on random splits. Pin it down for
+  // every kernel, including zero-length halves on either side.
+  for (const std::size_t x_len : {0u, 1u, 254u, 255u, 256u, 300u}) {
+    for (const std::size_t y_len : {0u, 1u, 255u, 510u, 1020u}) {
+      Bytes data = testgen::random_bytes(
+          testgen::kConformanceSeed ^ (x_len * 4099 + y_len), x_len + y_len);
+      const ByteView whole(data);
+      const ByteView x = whole.first(x_len);
+      const ByteView y = whole.subspan(x_len);
+      for (const Kernel& k : kernels()) {
+        for (const FletcherMod mod :
+             {FletcherMod::kOnes255, FletcherMod::kTwos256}) {
+          EXPECT_EQ(fletcher_combine(k.fletcher(x, mod), k.fletcher(y, mod),
+                                     y_len, mod),
+                    scalar_kernel().fletcher(whole, mod))
+              << k.name << " |x|=" << x_len << " |y|=" << y_len << " mod "
+              << modulus(mod);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelRegistry, LookupAndBestResolution) {
+  ASSERT_GE(kernels().size(), 3u);
+  EXPECT_NE(find_kernel("scalar"), nullptr);
+  EXPECT_NE(find_kernel("slicing"), nullptr);
+  EXPECT_NE(find_kernel("swar"), nullptr);
+  EXPECT_EQ(find_kernel("no-such-kernel"), nullptr);
+  EXPECT_EQ(find_kernel(""), nullptr);
+
+  const Kernel* best = find_kernel("best");
+  ASSERT_NE(best, nullptr);
+  for (const Kernel& k : kernels()) EXPECT_LE(k.tier, best->tier);
+  EXPECT_EQ(best->name, "swar");
+
+  EXPECT_EQ(scalar_kernel().name, "scalar");
+  EXPECT_EQ(scalar_kernel().tier, 0);
+  for (const Kernel& k : kernels()) {
+    EXPECT_NE(k.internet_sum, nullptr);
+    EXPECT_NE(k.fletcher, nullptr);
+    EXPECT_NE(k.fletcher32, nullptr);
+    EXPECT_NE(k.adler32, nullptr);
+    EXPECT_NE(k.crc32, nullptr);
+  }
+}
+
+TEST(KernelRegistry, EnvSelectionHonored) {
+  // When the CI matrix exports CKSUM_KERNEL, the active kernel must be
+  // exactly that one — a typo in the matrix must fail here rather than
+  // silently testing the default.
+  const char* env = std::getenv(kKernelEnv);
+  if (env == nullptr) {
+    EXPECT_EQ(active_kernel().tier, find_kernel("best")->tier);
+    return;
+  }
+  const Kernel* want = find_kernel(env);
+  ASSERT_NE(want, nullptr) << "CKSUM_KERNEL names unknown kernel '" << env
+                           << "'";
+  EXPECT_EQ(active_kernel().name, want->name);
+}
+
+TEST(KernelRegistry, SelectKernelSwitchesDispatch) {
+  const std::string before(active_kernel().name);
+  const Bytes data = testgen::random_bytes(testgen::kConformanceSeed, 777);
+  const std::uint32_t want = scalar_kernel().crc32(0u, ByteView(data));
+  for (const Kernel& k : kernels()) {
+    ASSERT_TRUE(select_kernel(k.name));
+    EXPECT_EQ(active_kernel().name, k.name);
+    EXPECT_EQ(crc32(ByteView(data)), want) << k.name;
+    EXPECT_EQ(internet_sum(ByteView(data)),
+              scalar_kernel().internet_sum(ByteView(data)))
+        << k.name;
+  }
+  EXPECT_FALSE(select_kernel("no-such-kernel"));
+  // An unknown name leaves the selection unchanged (still the last
+  // kernel of the loop), and the original selection is restorable.
+  EXPECT_EQ(active_kernel().name, kernels().back().name);
+  ASSERT_TRUE(select_kernel(before));
+  EXPECT_EQ(active_kernel().name, before);
+}
+
+#ifndef OBS_DISABLE
+TEST(KernelRegistry, DispatchCountsIntoActiveKernelCounters) {
+  register_kernel_metrics();
+  const std::string name(active_kernel().name);
+  const std::string calls_metric = "kernel." + name + ".calls";
+  const std::string bytes_metric = "kernel." + name + ".bytes";
+
+  const auto value = [&](const std::string& metric) -> std::uint64_t {
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const obs::MetricValue* m = snap.find(metric);
+    return m != nullptr ? m->value : 0;
+  };
+
+  const std::uint64_t calls_before = value(calls_metric);
+  const std::uint64_t bytes_before = value(bytes_metric);
+  const Bytes data(1000, 0xAB);
+  (void)crc32(ByteView(data));
+  (void)internet_sum(ByteView(data));
+  EXPECT_EQ(value(calls_metric), calls_before + 2);
+  EXPECT_EQ(value(bytes_metric), bytes_before + 2000);
+}
+#endif
+
+}  // namespace
+}  // namespace cksum::alg::kern

@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -37,6 +38,7 @@
 #include <fstream>
 
 #include "atm/demux.hpp"
+#include "checksum/kernels/kernel.hpp"
 #include "core/dircorpus.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
@@ -60,8 +62,44 @@ int usage() {
                "[--transport tcp|f255|f256] [--trailer] [--scale x] "
                "[--segment n] [--threads n] [--verbose] [--json] "
                "[--metrics-out <path>] [--progress]\n"
-               "       cksumlab dist (--profile <name> | --dir <path>)\n");
+               "       cksumlab dist (--profile <name> | --dir <path>)\n"
+               "options accepted by every subcommand:\n"
+               "       --kernel best|scalar|slicing|swar   checksum kernel\n"
+               "       (or the CKSUM_KERNEL environment variable)\n");
   return 2;
+}
+
+/// Strip `--kernel <name>` from the argument list and apply it (the
+/// CKSUM_KERNEL environment variable is the fallback). Unknown names
+/// are a loud error rather than a silent fall-through to "best".
+bool apply_kernel_selection(std::vector<std::string>& args) {
+  std::string choice;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--kernel") {
+      if (it + 1 == args.end()) {
+        std::fprintf(stderr, "--kernel requires a name\n");
+        return false;
+      }
+      choice = *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (choice.empty()) {
+    const char* env = std::getenv(alg::kern::kKernelEnv);
+    if (env != nullptr) choice = env;
+  }
+  if (choice.empty()) return true;  // first dispatch resolves to "best"
+  if (!alg::kern::select_kernel(choice)) {
+    std::fprintf(stderr, "unknown kernel '%s'; available: best",
+                 choice.c_str());
+    for (const auto& k : alg::kern::kernels())
+      std::fprintf(stderr, " %s", std::string(k.name).c_str());
+    std::fprintf(stderr, "\n");
+    return false;
+  }
+  return true;
 }
 
 int cmd_sum(const std::vector<std::string>& args) {
@@ -73,15 +111,18 @@ int cmd_sum(const std::vector<std::string>& args) {
         core::read_file_prefix(path, 1ull << 31);
     const util::ByteView view(data.data(), data.size());
     char inet[8], f255[8], f256[8], f32[16], crc[16], adler[16];
-    std::snprintf(inet, sizeof inet, "0x%04x", alg::internet_sum(view));
-    const auto p255 = alg::fletcher_block(view, alg::FletcherMod::kOnes255);
-    const auto p256 = alg::fletcher_block(view, alg::FletcherMod::kTwos256);
+    std::snprintf(inet, sizeof inet, "0x%04x", alg::kern::internet_sum(view));
+    const auto p255 =
+        alg::kern::fletcher_block(view, alg::FletcherMod::kOnes255);
+    const auto p256 =
+        alg::kern::fletcher_block(view, alg::FletcherMod::kTwos256);
     std::snprintf(f255, sizeof f255, "0x%04x", alg::fletcher_value(p255));
     std::snprintf(f256, sizeof f256, "0x%04x", alg::fletcher_value(p256));
     std::snprintf(f32, sizeof f32, "0x%08x",
-                  alg::fletcher32_value(alg::fletcher32_block(view)));
-    std::snprintf(crc, sizeof crc, "0x%08x", alg::crc32(view));
-    std::snprintf(adler, sizeof adler, "0x%08x", alg::adler32(view));
+                  alg::fletcher32_value(alg::kern::fletcher32_block(view)));
+    std::snprintf(crc, sizeof crc, "0x%08x", alg::kern::crc32(view));
+    std::snprintf(adler, sizeof adler, "0x%08x",
+                  alg::kern::adler32(1u, view));
     t.add_row({path, core::fmt_count(data.size()), inet, f255, f256, f32,
                crc, adler});
   }
@@ -229,6 +270,8 @@ void print_splice_stats(const core::SpliceStats& st,
               std::string(alg::name(pkt.transport)).c_str(),
               core::fmt_pct(alg::uniform_miss_rate(pkt.transport)).c_str());
   if (verbose) {
+    std::printf("checksum kernel:    %s\n",
+                std::string(alg::kern::active_kernel().name).c_str());
     std::printf("pairs evaluated:    %s\n", core::fmt_count(st.pairs).c_str());
     std::printf("evaluator path mix: %s\n",
                 core::fmt_path_mix(st.fast_path, st.slow_path).c_str());
@@ -305,6 +348,7 @@ int cmd_splice(const std::vector<std::string>& args) {
   core::register_splice_metrics();
   faults::register_fault_metrics();
   atm::register_atm_metrics();
+  alg::kern::register_kernel_metrics();
 
   core::SpliceRunConfig cfg;
   cfg.flow = core::paper_flow_config();
@@ -352,7 +396,9 @@ int cmd_splice(const std::vector<std::string>& args) {
     info.corpus = corpus;
     info.seed = 0;  // splice corpora are pinned by profile/scale, not seed
     info.threads = resolved_threads;
-    info.extra_json = "\"report\": " + report;
+    info.extra_json = "\"kernel\": \"" +
+                      std::string(alg::kern::active_kernel().name) +
+                      "\", \"report\": " + report;
     if (!exporter->finish(std::move(info))) {
       std::fprintf(stderr, "cksumlab: cannot write manifest to %s\n",
                    o.metrics_out.c_str());
@@ -403,7 +449,8 @@ int cmd_dist(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (!apply_kernel_selection(args)) return 2;
   try {
     if (cmd == "sum") return cmd_sum(args);
     if (cmd == "profiles") return cmd_profiles();

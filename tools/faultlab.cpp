@@ -25,6 +25,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -34,6 +35,7 @@
 #include <fstream>
 
 #include "atm/demux.hpp"
+#include "checksum/kernels/kernel.hpp"
 #include "core/report.hpp"
 #include "faults/channel.hpp"
 #include "faults/soak.hpp"
@@ -50,7 +52,9 @@ int usage() {
       "                     [--channels n] [--budget n] [--repro-file p]\n"
       "                     [--metrics-out p] [--progress] [--quiet]\n"
       "       faultlab replay --seed n --scenario n [--channels n] "
-      "[--budget n]\n");
+      "[--budget n]\n"
+      "both accept --kernel best|scalar|slicing|swar (or the\n"
+      "CKSUM_KERNEL environment variable) to pick the checksum kernel\n");
   return 2;
 }
 
@@ -60,6 +64,7 @@ struct Opts {
   bool have_scenario = false;
   std::string repro_file;
   std::string metrics_out;
+  std::string kernel;  // "" = CKSUM_KERNEL env, else lazy "best"
   bool progress = false;
   bool quiet = false;
   bool ok = true;
@@ -97,6 +102,8 @@ Opts parse(const std::vector<std::string>& args) {
       o.progress = true;
     } else if (a == "--quiet") {
       o.quiet = true;
+    } else if (a == "--kernel") {
+      o.kernel = next();
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       o.ok = false;
@@ -195,6 +202,7 @@ template <typename Run>
 int with_metrics(const Opts& o, const char* tool, Run run) {
   faults::register_fault_metrics();
   atm::register_atm_metrics();
+  alg::kern::register_kernel_metrics();
   std::unique_ptr<obs::MetricsExporter> exporter;
   if (!o.metrics_out.empty() || o.progress) {
     obs::MetricsExporter::Options eo;
@@ -211,6 +219,9 @@ int with_metrics(const Opts& o, const char* tool, Run run) {
     info.corpus = "fsgen-random";  // scenario corpora are seed-derived
     info.seed = o.cfg.seed;
     info.threads = 1;
+    info.extra_json =
+        "\"kernel\": \"" + std::string(alg::kern::active_kernel().name) +
+        "\"";
     if (!exporter->finish(std::move(info))) {
       std::fprintf(stderr, "faultlab: cannot write manifest to %s\n",
                    o.metrics_out.c_str());
@@ -253,6 +264,21 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (!o.ok) return usage();
+  {
+    std::string choice = o.kernel;
+    if (choice.empty()) {
+      const char* env = std::getenv(alg::kern::kKernelEnv);
+      if (env != nullptr) choice = env;
+    }
+    if (!choice.empty() && !alg::kern::select_kernel(choice)) {
+      std::fprintf(stderr, "faultlab: unknown kernel '%s'; available: best",
+                   choice.c_str());
+      for (const auto& k : alg::kern::kernels())
+        std::fprintf(stderr, " %s", std::string(k.name).c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
   try {
     if (cmd == "soak") return cmd_soak(o);
     if (cmd == "replay") return cmd_replay(o);
