@@ -3,6 +3,7 @@
 
 Usage: check_manifest.py MANIFEST [--require-family FAM]...
                          [--require-kernel [NAME]]
+                         [--require-dist]
                          [--diff-deterministic OTHER]
 
 The schema is documented in src/obs/snapshot.hpp and
@@ -18,6 +19,14 @@ family (the segment before the first '.') is present, e.g.
 kernel served the run (the top-level "kernel" member written by
 cksumlab/faultlab); with a NAME, the recorded kernel must match it.
 
+--require-dist fails unless the manifest was produced by a distributed
+run (`cksumlab splice --serve`, docs/DIST.md): the "dist" member must
+be present and complete, every per-worker sub-manifest it lists must
+exist and validate, and — the accounting check — every deterministic
+counter in the top-level metrics must equal the sum of the per-worker
+contributions recorded in "dist.per_worker[].metrics". A shard merged
+twice (or dropped) breaks that equality.
+
 --diff-deterministic OTHER fails if any deterministic-tagged metric
 (or the report, if both manifests carry one) differs from OTHER's.
 Scheduling- and timing-tagged metrics are exempt: CI uses this to
@@ -27,6 +36,7 @@ produce bitwise-identical results.
 
 import argparse
 import json
+import os
 import sys
 
 SCHEMA = "cksum-metrics/1"
@@ -122,6 +132,91 @@ def check_kernel(doc, want):
     return []
 
 
+def check_dist(doc, manifest_path):
+    """Problems with the manifest's distributed-run record, [] when
+    clean. See docs/DIST.md for the "dist" member's shape."""
+    dist = doc.get("dist") if isinstance(doc, dict) else None
+    if not isinstance(dist, dict):
+        return ["no 'dist' member — manifest was not produced by a "
+                "distributed run (cksumlab splice --serve)"]
+    problems = []
+    for key in ("workers", "shards", "reassigned", "stale_results"):
+        v = dist.get(key)
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"dist.{key}: missing or not a non-negative "
+                            f"integer: {v!r}")
+    if dist.get("complete") is not True:
+        problems.append("dist.complete is not true — run was aborted")
+    per = dist.get("per_worker")
+    if not isinstance(per, list) or not per:
+        problems.append("dist.per_worker missing or empty")
+        per = []
+
+    sums = {}
+    for i, w in enumerate(per):
+        if not isinstance(w, dict):
+            problems.append(f"dist.per_worker[{i}]: not an object")
+            continue
+        who = f"dist.per_worker[{i}] (worker {w.get('worker')!r})"
+        for key in ("worker", "pid", "shards"):
+            v = w.get(key)
+            if not isinstance(v, int) or v < 0:
+                problems.append(f"{who}: bad {key} {v!r}")
+        metrics = w.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append(f"{who}: 'metrics' missing or not an object")
+            metrics = {}
+        for name, v in metrics.items():
+            if not isinstance(v, int) or v < 0:
+                problems.append(f"{who}: metric {name!r} value {v!r}")
+                continue
+            sums[name] = sums.get(name, 0) + v
+        sub = w.get("manifest")
+        if sub is None:
+            continue  # worker ran without --metrics-out
+        if not isinstance(sub, str) or not sub:
+            problems.append(f"{who}: 'manifest' not a non-empty string")
+            continue
+        # The path is recorded as the worker wrote it; also try it
+        # relative to the aggregate manifest's directory.
+        candidates = [sub, os.path.join(os.path.dirname(manifest_path) or ".",
+                                        os.path.basename(sub))]
+        subdoc = None
+        for cand in candidates:
+            try:
+                with open(cand) as f:
+                    subdoc = json.load(f)
+                break
+            except (OSError, json.JSONDecodeError):
+                continue
+        if subdoc is None:
+            problems.append(f"{who}: sub-manifest {sub!r} missing or "
+                            "unreadable")
+            continue
+        for p in check_manifest(subdoc, []):
+            problems.append(f"{who}: sub-manifest {sub!r}: {p}")
+
+    # The accounting identity: the aggregate's deterministic counters
+    # are exactly the sum of the accepted per-worker contributions.
+    metrics = doc.get("metrics") if isinstance(doc.get("metrics"), dict) else {}
+    for name, m in metrics.items():
+        if not isinstance(m, dict) or m.get("tag") != "deterministic":
+            continue
+        if m.get("kind") != "counter":
+            continue
+        total = m.get("value")
+        worker_sum = sums.get(name, 0)
+        if isinstance(total, int) and total != worker_sum:
+            problems.append(
+                f"deterministic counter {name!r}: aggregate {total} != "
+                f"sum of per-worker contributions {worker_sum}")
+    for name in sums:
+        if name not in metrics:
+            problems.append(f"per-worker metric {name!r} absent from the "
+                            "aggregate metrics")
+    return problems
+
+
 def deterministic_view(doc):
     """The portions of a manifest that must be invariant across kernel
     selections and thread counts: deterministic-tagged metrics plus the
@@ -159,6 +254,9 @@ def main():
                     metavar="NAME",
                     help="require the manifest to record its checksum "
                          "kernel (optionally a specific one)")
+    ap.add_argument("--require-dist", action="store_true",
+                    help="require a complete distributed-run record "
+                         "whose per-worker sums match the aggregate")
     ap.add_argument("--diff-deterministic", metavar="OTHER",
                     help="fail if deterministic-tagged metrics or the "
                          "report differ from manifest OTHER")
@@ -173,6 +271,8 @@ def main():
 
     problems = check_manifest(doc, args.require_family)
     problems += check_kernel(doc, args.require_kernel)
+    if args.require_dist:
+        problems += check_dist(doc, args.manifest)
     if args.diff_deterministic:
         try:
             with open(args.diff_deterministic) as f:

@@ -766,13 +766,21 @@ SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file) {
 
 SpliceStats run_filesystem(const SpliceRunConfig& cfg,
                            const fsgen::Filesystem& fs) {
+  return run_filesystem_range(cfg, fs, 0, fs.file_count());
+}
+
+SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
+                                 const fsgen::Filesystem& fs,
+                                 std::size_t begin, std::size_t end) {
   unsigned threads = cfg.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t nfiles = fs.file_count();
+  end = std::min(end, fs.file_count());
+  begin = std::min(begin, end);
+  const std::size_t nfiles = end - begin;
 
   if (threads <= 1 || nfiles == 0) {
     SpliceStats st;
-    for (std::size_t i = 0; i < nfiles; ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
       const util::Bytes file = fs.file(i);
       st.merge(run_file(cfg, util::ByteView(file)));
     }
@@ -795,7 +803,7 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
   const SpliceMetrics& mx = smx();
 
   std::vector<SpliceStats> partial(threads);
-  std::atomic<std::size_t> next_file{0};
+  std::atomic<std::size_t> next_file{begin};
   std::atomic<unsigned> packetizing{0};
   std::mutex mu;  // guards `open`
   std::vector<std::shared_ptr<FileWork>> open;
@@ -838,7 +846,7 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
       //    counter already back at zero.)
       packetizing.fetch_add(1);
       const std::size_t i = next_file.fetch_add(1);
-      if (i < nfiles) {
+      if (i < end) {
         const util::Bytes file = fs.file(i);
         auto work = std::make_shared<FileWork>();
         work->pkts = prepare_file(cfg, util::ByteView(file));

@@ -137,4 +137,13 @@ SpliceStats run_file(const SpliceRunConfig& cfg, util::ByteView file);
 SpliceStats run_filesystem(const SpliceRunConfig& cfg,
                            const fsgen::Filesystem& fs);
 
+/// Evaluate only files [begin, end) of the filesystem — the lease unit
+/// of the distributed service (src/dist/). `end` is clamped to the
+/// file count. Every counter is additive, so summing the results of a
+/// disjoint cover of [0, file_count) over any shard boundaries, in any
+/// order, is bitwise identical to one run_filesystem call.
+SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
+                                 const fsgen::Filesystem& fs,
+                                 std::size_t begin, std::size_t end);
+
 }  // namespace cksum::core

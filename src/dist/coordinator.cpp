@@ -1,0 +1,328 @@
+#include "dist/coordinator.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "dist/frame.hpp"
+#include "dist/lease.hpp"
+#include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
+
+namespace cksum::dist {
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One worker connection and its coordinator-side state.
+struct Conn {
+  std::unique_ptr<FrameChannel> ch;
+  bool configured = false;   ///< Hello/Config handshake done
+  bool shutting_down = false;///< Shutdown sent, waiting for Goodbye
+  std::uint64_t worker_id = 0;
+  std::uint64_t pid = 0;
+  bool has_shard = false;
+  std::size_t shard = 0;     ///< lease currently granted on this conn
+};
+
+struct CoordMetrics {
+  obs::Counter connected, lost, granted, reassigned, accepted, stale,
+      heartbeats;
+};
+
+CoordMetrics coord_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  CoordMetrics m;
+  m.connected = reg.counter("dist.workers_connected", obs::Tag::kScheduling);
+  m.lost = reg.counter("dist.workers_lost", obs::Tag::kScheduling);
+  m.granted = reg.counter("dist.leases_granted", obs::Tag::kScheduling);
+  m.reassigned = reg.counter("dist.leases_reassigned", obs::Tag::kScheduling);
+  m.accepted = reg.counter("dist.results_accepted", obs::Tag::kScheduling);
+  m.stale = reg.counter("dist.results_stale", obs::Tag::kScheduling);
+  m.heartbeats = reg.counter("dist.heartbeats", obs::Tag::kScheduling);
+  return m;
+}
+
+std::string json_u64_map(const std::map<std::string, std::uint64_t>& m) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + obs::json_escape(k) + "\": " + std::to_string(v);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string DistReport::dist_json() const {
+  std::string out = "{";
+  out += "\"workers\": " + std::to_string(workers.size());
+  out += ", \"shards\": " + std::to_string(shards);
+  out += ", \"reassigned\": " + std::to_string(reassigned);
+  out += ", \"stale_results\": " + std::to_string(stale_results);
+  out += ", \"complete\": " + std::string(complete ? "true" : "false");
+  out += ", \"per_worker\": [";
+  bool first = true;
+  for (const WorkerInfo& w : workers) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"worker\": " + std::to_string(w.worker_id);
+    out += ", \"pid\": " + std::to_string(w.pid);
+    out += ", \"shards\": " + std::to_string(w.shards_accepted);
+    out += ", \"clean_exit\": " + std::string(w.clean_exit ? "true" : "false");
+    if (!w.manifest.empty())
+      out += ", \"manifest\": \"" + obs::json_escape(w.manifest) + "\"";
+    out += ", \"metrics\": " + json_u64_map(w.metrics);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Coordinator::Coordinator(DistConfig cfg) : cfg_(std::move(cfg)) {
+  register_dist_metrics();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("dist: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("dist: cannot bind/listen on coordinator port");
+  }
+  socklen_t alen = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) ==
+      0)
+    port_ = ntohs(addr.sin_port);
+}
+
+Coordinator::~Coordinator() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+DistReport Coordinator::run(std::function<void(const DistEvent&)> hook) {
+  const CoordMetrics met = coord_metrics();
+  obs::Registry& reg = obs::Registry::global();
+  DistReport report;
+
+  std::size_t shard_files = cfg_.shard_files;
+  if (shard_files == 0) {
+    // Aim for a few shards per worker so reassignment after a loss has
+    // somewhere to go, without shattering small corpora.
+    const std::size_t target_shards =
+        std::max<std::size_t>(8, 4 * std::max(1u, cfg_.expected_workers));
+    shard_files = std::max<std::size_t>(1, cfg_.nfiles / target_shards);
+  }
+  LeaseTable table(cfg_.nfiles, shard_files);
+  report.shards = table.shard_count();
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  auto worker_info = [&](const Conn& c) -> DistReport::WorkerInfo& {
+    for (auto& w : report.workers)
+      if (w.worker_id == c.worker_id) return w;
+    report.workers.push_back({c.worker_id, c.pid, 0, false, "", {}});
+    return report.workers.back();
+  };
+  auto emit = [&](DistEvent::Kind kind, const Conn& c, std::size_t shard) {
+    if (hook) hook(DistEvent{kind, c.worker_id, c.pid, shard});
+  };
+
+  std::size_t configured = 0;
+  const bool barrier = cfg_.expected_workers > 0;
+  std::uint64_t last_activity = now_ms();
+  std::uint64_t shutdown_deadline = 0;  // nonzero once table completed
+
+  // Grant the next pending shard to an idle configured connection, or
+  // park it with kIdle while the start barrier holds it back.
+  auto try_grant = [&](Conn& c) {
+    if (!c.configured || c.has_shard || c.shutting_down) return;
+    if (table.complete()) return;  // shutdown phase handles this conn
+    if (barrier && configured < cfg_.expected_workers) return;
+    const std::uint64_t deadline = now_ms() + cfg_.lease_timeout_ms;
+    const auto idx = table.acquire(c.worker_id, deadline);
+    if (!idx) return;  // all shards leased; results will free one
+    const Shard& s = table.shard(*idx);
+    if (s.grants > 1) {
+      met.reassigned.add(1);
+      emit(DistEvent::Kind::kLeaseReassigned, c, *idx);
+    }
+    met.granted.add(1);
+    LeaseGrantMsg g{*idx, s.epoch, s.begin, s.end};
+    if (c.ch->send(MsgType::kLeaseGrant, encode(g))) {
+      c.has_shard = true;
+      c.shard = *idx;
+    }
+  };
+
+  auto drop_conn = [&](std::size_t i, bool lost) {
+    Conn& c = *conns[i];
+    if (lost && c.configured && !c.shutting_down) {
+      table.revoke_worker(c.worker_id);
+      met.lost.add(1);
+      emit(DistEvent::Kind::kWorkerLost, c, c.has_shard ? c.shard : 0);
+    }
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+  };
+
+  while (true) {
+    const bool done = table.complete();
+    if (done && shutdown_deadline == 0) {
+      shutdown_deadline = now_ms() + 5000;
+      for (auto& c : conns) {
+        if (c->configured && !c->shutting_down) {
+          c->ch->send(MsgType::kShutdown, {});
+          c->shutting_down = true;
+        }
+      }
+    }
+    if (done && (conns.empty() || now_ms() > shutdown_deadline)) break;
+    if (!done && conns.empty() &&
+        now_ms() - last_activity > cfg_.idle_abort_ms)
+      break;  // fleet is gone and nobody is coming: abort incomplete
+
+    std::vector<pollfd> pfds;
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& c : conns) pfds.push_back({c->ch->fd(), POLLIN, 0});
+    const int pr = ::poll(pfds.data(), pfds.size(), 200);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto c = std::make_unique<Conn>();
+        c->ch = std::make_unique<FrameChannel>(fd);
+        conns.push_back(std::move(c));
+        last_activity = now_ms();
+      }
+    }
+
+    // Walk backwards so drop_conn()'s erase stays index-stable. pfds
+    // entry i+1 belongs to conns[i] of the snapshot taken above; a
+    // conn accepted this round simply has no pfd yet.
+    for (std::size_t i = std::min(conns.size(), pfds.size() - 1); i-- > 0;) {
+      if (!(pfds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Conn& c = *conns[i];
+      Frame f;
+      if (!c.ch->recv(&f, 2000)) {
+        drop_conn(i, true);
+        continue;
+      }
+      last_activity = now_ms();
+      switch (f.type) {
+        case MsgType::kHello: {
+          const auto m = decode_hello(util::ByteView(f.payload));
+          if (!m || m->proto != kProtocolVersion) {
+            drop_conn(i, false);
+            break;
+          }
+          c.worker_id = m->worker_id;
+          c.pid = m->pid;
+          c.ch->send(MsgType::kConfig, encode(cfg_.run));
+          c.configured = true;
+          configured++;
+          met.connected.add(1);
+          worker_info(c);
+          emit(DistEvent::Kind::kWorkerConnected, c, 0);
+          if (table.complete()) {
+            // Latecomer after the run finished: straight to shutdown.
+            c.ch->send(MsgType::kShutdown, {});
+            c.shutting_down = true;
+          }
+          break;
+        }
+        case MsgType::kHeartbeat: {
+          const auto m = decode_heartbeat(util::ByteView(f.payload));
+          if (m) {
+            met.heartbeats.add(1);
+            table.extend(m->shard, m->epoch, c.worker_id,
+                         now_ms() + cfg_.lease_timeout_ms);
+          }
+          break;
+        }
+        case MsgType::kLeaseResult: {
+          const auto m = decode_lease_result(util::ByteView(f.payload));
+          if (!m) {
+            drop_conn(i, true);
+            break;
+          }
+          c.has_shard = false;
+          const DeliverOutcome out =
+              table.deliver(m->shard, m->epoch, c.worker_id);
+          if (out == DeliverOutcome::kAccepted) {
+            report.stats.merge(m->stats);
+            DistReport::WorkerInfo& w = worker_info(c);
+            w.shards_accepted++;
+            for (const obs::CounterDelta& d : m->deltas) {
+              // Re-play the worker's deterministic growth into our own
+              // registry: the aggregate equals the single-process run.
+              reg.counter(d.name, obs::Tag::kDeterministic).add(d.delta);
+              w.metrics[d.name] += d.delta;
+            }
+            met.accepted.add(1);
+            emit(DistEvent::Kind::kResultAccepted, c, m->shard);
+          } else {
+            met.stale.add(1);
+            report.stale_results++;
+          }
+          break;
+        }
+        case MsgType::kGoodbye: {
+          const auto m = decode_goodbye(util::ByteView(f.payload));
+          if (m && c.configured) {
+            DistReport::WorkerInfo& w = worker_info(c);
+            w.clean_exit = true;
+            w.manifest = m->manifest_path;
+          }
+          drop_conn(i, false);
+          break;
+        }
+        default:
+          // Config/grant/idle/shutdown only flow coordinator->worker.
+          drop_conn(i, true);
+          break;
+      }
+    }
+
+    if (table.expire(now_ms()) > 0) {
+      // An expired holder may still be connected (hung, not dead); its
+      // conn keeps has_shard so it won't be granted more work until it
+      // delivers (which will then be stale) or dies.
+    }
+    for (auto& c : conns) try_grant(*c);
+  }
+
+  report.complete = table.complete();
+  report.reassigned = table.reassigned_count();
+  return report;
+}
+
+}  // namespace cksum::dist

@@ -1,0 +1,106 @@
+// The coordinator side of the distributed splice service.
+//
+// One poll()-driven thread owns the listening socket, every worker
+// connection, and the LeaseTable. Workers connect, announce themselves
+// (Hello), receive the run configuration (Config), and are then fed
+// shard leases until the table is complete. Heartbeats extend lease
+// deadlines; a connection that dies or goes silent has its leases
+// revoked and re-granted to the next idle worker, with lease epochs
+// guaranteeing each shard is merged at most once.
+//
+// Because SpliceStats and every deterministic counter are purely
+// additive, the merged report and the aggregate manifest's
+// deterministic view are bitwise identical to a single-process run —
+// including runs where workers were lost and shards re-evaluated
+// (docs/DIST.md walks the failure matrix).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+
+namespace cksum::dist {
+
+struct DistConfig {
+  ConfigMsg run;              ///< shipped verbatim to every worker
+  std::size_t nfiles = 0;     ///< corpus file count (shard space)
+  /// Workers the run was provisioned with. Grants are held back until
+  /// this many are connected and configured, so every worker
+  /// participates from shard zero — which is what lets the fault
+  /// drills deterministically kill a worker that holds a lease. 0
+  /// disables the barrier.
+  unsigned expected_workers = 0;
+  std::size_t shard_files = 0;  ///< files per shard; 0 = auto
+  std::uint16_t port = 0;       ///< listen port; 0 = ephemeral
+  std::uint64_t lease_timeout_ms = 15000;
+  /// Abort an incomplete run when no worker is connected and none has
+  /// arrived for this long — a dead fleet must not hang the driver.
+  std::uint64_t idle_abort_ms = 30000;
+};
+
+/// Observer callbacks from inside the coordinator loop.
+struct DistEvent {
+  enum class Kind : std::uint8_t {
+    kWorkerConnected,
+    kResultAccepted,
+    kLeaseReassigned,
+    kWorkerLost,
+  };
+  Kind kind;
+  std::uint64_t worker_id = 0;
+  std::uint64_t pid = 0;
+  std::size_t shard = 0;
+};
+
+struct DistReport {
+  core::SpliceStats stats;  ///< merged over all accepted shard results
+  bool complete = false;    ///< every shard delivered (else aborted)
+  std::size_t shards = 0;
+  std::size_t reassigned = 0;    ///< re-grants after loss/expiry
+  std::size_t stale_results = 0; ///< superseded-epoch deliveries dropped
+
+  struct WorkerInfo {
+    std::uint64_t worker_id = 0;
+    std::uint64_t pid = 0;
+    std::size_t shards_accepted = 0;
+    bool clean_exit = false;   ///< sent Goodbye
+    std::string manifest;      ///< worker's sub-manifest path ("" = none)
+    /// Sum of accepted deterministic-counter deltas, keyed by metric
+    /// name — the per-worker decomposition the aggregate manifest
+    /// embeds (checked by scripts/check_manifest.py --require-dist).
+    std::map<std::string, std::uint64_t> metrics;
+  };
+  std::vector<WorkerInfo> workers;
+
+  /// The manifest's "dist" member (without the surrounding key), e.g.
+  /// {"workers": 3, "shards": 6, ..., "per_worker": [...]}.
+  std::string dist_json() const;
+};
+
+class Coordinator {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on
+  /// failure) so port() is valid before workers are spawned.
+  explicit Coordinator(DistConfig cfg);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Drive the run to completion (or abort). Blocking; the hook (may
+  /// be null) fires from inside the loop.
+  DistReport run(std::function<void(const DistEvent&)> hook = nullptr);
+
+ private:
+  struct Impl;
+  DistConfig cfg_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+};
+
+}  // namespace cksum::dist

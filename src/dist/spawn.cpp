@@ -1,0 +1,66 @@
+#include "dist/spawn.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace cksum::dist {
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return buf;
+}
+
+pid_t spawn_process(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv)
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+bool try_wait_process(pid_t pid, int* code) {
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r != pid) return false;
+  if (WIFEXITED(status))
+    *code = WEXITSTATUS(status);
+  else if (WIFSIGNALED(status))
+    *code = 128 + WTERMSIG(status);
+  else
+    *code = -1;
+  return true;
+}
+
+int wait_process(pid_t pid) {
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    break;
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+void kill_process(pid_t pid) {
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+}  // namespace cksum::dist

@@ -1,0 +1,253 @@
+#include "dist/worker.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "atm/demux.hpp"
+#include "checksum/kernels/kernel.hpp"
+#include "core/dircorpus.hpp"
+#include "core/experiments.hpp"
+#include "core/splice_sim.hpp"
+#include "dist/frame.hpp"
+#include "dist/protocol.hpp"
+#include "faults/channel.hpp"
+#include "fsgen/profile.hpp"
+#include "obs/snapshot.hpp"
+
+namespace cksum::dist {
+namespace {
+
+int connect_coordinator(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+  return -1;
+}
+
+/// The corpus as the worker sees it: either a synthetic filesystem or
+/// a sorted real-file list. Shard indices address the same sequence a
+/// single-process run walks, so shard evaluation reproduces exactly
+/// the per-file stats that run would have merged.
+struct WorkerCorpus {
+  std::unique_ptr<fsgen::Filesystem> fs;
+  std::vector<std::filesystem::path> files;  // directory mode
+
+  std::size_t size() const {
+    return fs ? fs->file_count() : files.size();
+  }
+};
+
+WorkerCorpus load_corpus(const ConfigMsg& cfg) {
+  WorkerCorpus c;
+  switch (cfg.corpus_kind) {
+    case CorpusKind::kProfile:
+      c.fs = std::make_unique<fsgen::Filesystem>(fsgen::profile(cfg.corpus),
+                                                 cfg.scale);
+      break;
+    case CorpusKind::kManifest:
+      c.fs = std::make_unique<fsgen::Filesystem>(fsgen::Filesystem::from_manifest(
+          fsgen::profile("nsc05"), cfg.corpus));
+      break;
+    case CorpusKind::kDirectory:
+      c.files = core::list_corpus_files(cfg.corpus);
+      break;
+  }
+  return c;
+}
+
+core::SpliceStats evaluate_range(const core::SpliceRunConfig& run,
+                                 const WorkerCorpus& corpus,
+                                 std::size_t begin, std::size_t end) {
+  if (corpus.fs) return core::run_filesystem_range(run, *corpus.fs, begin, end);
+  // Directory mode: same skip-empty walk as core::run_directory, over
+  // the lease's slice of the sorted file list.
+  core::SpliceStats st;
+  const core::DirLimits limits;
+  end = std::min(end, corpus.files.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const util::Bytes file =
+        core::read_file_prefix(corpus.files[i], limits.max_file_bytes);
+    if (file.empty()) continue;
+    st.merge(core::run_file(run, util::ByteView(file)));
+  }
+  return st;
+}
+
+/// Heartbeats for the lease under evaluation, sent from a side thread
+/// while the main thread is busy inside the evaluator.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(FrameChannel& ch, std::uint32_t interval_ms)
+      : ch_(ch), interval_ms_(std::max(50u, interval_ms)) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~HeartbeatPump() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void begin_lease(std::uint64_t shard, std::uint64_t epoch) {
+    std::lock_guard<std::mutex> lk(mu_);
+    shard_ = shard;
+    epoch_ = epoch;
+    active_ = true;
+  }
+  void end_lease() {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_ = false;
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_));
+      if (stop_ || !active_) continue;
+      const HeartbeatMsg hb{shard_, epoch_};
+      lk.unlock();
+      ch_.send(MsgType::kHeartbeat, encode(hb));
+      lk.lock();
+    }
+  }
+
+  FrameChannel& ch_;
+  const std::uint32_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_ = false;
+  bool active_ = false;
+  std::uint64_t shard_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  // Same up-front family registration as a single-process run, so the
+  // delta snapshots and the sub-manifest carry complete families.
+  core::register_splice_metrics();
+  faults::register_fault_metrics();
+  atm::register_atm_metrics();
+  alg::kern::register_kernel_metrics();
+  register_dist_metrics();
+
+  const int fd = connect_coordinator(opts.host, opts.port);
+  if (fd < 0) {
+    std::fprintf(stderr, "dist worker %llu: cannot connect to %s:%u\n",
+                 static_cast<unsigned long long>(opts.worker_id),
+                 opts.host.c_str(), opts.port);
+    return 1;
+  }
+  FrameChannel ch(fd);
+
+  HelloMsg hello;
+  hello.worker_id = opts.worker_id;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  if (!ch.send(MsgType::kHello, encode(hello))) return 1;
+
+  Frame f;
+  if (!ch.recv(&f, 15000) || f.type != MsgType::kConfig) return 1;
+  const auto cfg = decode_config(util::ByteView(f.payload));
+  if (!cfg) return 1;
+
+  core::SpliceRunConfig run;
+  run.flow = core::paper_flow_config();
+  run.flow.segment_size = cfg->segment;
+  run.flow.packet.transport = static_cast<alg::Algorithm>(cfg->transport);
+  run.flow.packet.placement = cfg->trailer ? net::ChecksumPlacement::kTrailer
+                                           : net::ChecksumPlacement::kHeader;
+  run.compress_files = cfg->compress;
+  run.threads = std::max(1u, cfg->threads);
+
+  WorkerCorpus corpus;
+  try {
+    corpus = load_corpus(*cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist worker %llu: bad corpus config: %s\n",
+                 static_cast<unsigned long long>(opts.worker_id), e.what());
+    return 1;
+  }
+
+  obs::Registry& reg = obs::Registry::global();
+  const auto start = std::chrono::steady_clock::now();
+  HeartbeatPump pump(ch, cfg->heartbeat_ms);
+
+  while (true) {
+    // Generous wait: the coordinator may hold grants back until the
+    // whole fleet has connected (the start barrier).
+    if (!ch.recv(&f, 60000)) return 1;
+    switch (f.type) {
+      case MsgType::kLeaseGrant: {
+        const auto g = decode_lease_grant(util::ByteView(f.payload));
+        if (!g) return 1;
+        pump.begin_lease(g->shard, g->epoch);
+        const obs::Snapshot before = reg.snapshot();
+        LeaseResultMsg res;
+        res.shard = g->shard;
+        res.epoch = g->epoch;
+        res.stats = evaluate_range(run, corpus, g->begin, g->end);
+        res.deltas = obs::counter_deltas(before, reg.snapshot());
+        pump.end_lease();
+        if (!ch.send(MsgType::kLeaseResult, encode(res))) return 1;
+        break;
+      }
+      case MsgType::kIdle:
+        break;
+      case MsgType::kShutdown: {
+        GoodbyeMsg bye;
+        if (!opts.metrics_out.empty()) {
+          obs::RunInfo info;
+          info.tool = opts.tool;
+          info.corpus = cfg->corpus_kind == CorpusKind::kManifest
+                            ? "<manifest>"
+                            : cfg->corpus;
+          info.seed = 0;
+          info.threads = run.threads;
+          info.wall_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          info.extra_json = "\"kernel\": \"" +
+                            std::string(alg::kern::active_kernel().name) +
+                            "\", \"worker\": " + std::to_string(opts.worker_id);
+          if (obs::write_manifest(opts.metrics_out, info, reg.snapshot()))
+            bye.manifest_path = opts.metrics_out;
+        }
+        ch.send(MsgType::kGoodbye, encode(bye));
+        return 0;
+      }
+      default:
+        return 1;
+    }
+  }
+}
+
+}  // namespace cksum::dist

@@ -66,6 +66,19 @@ std::string metrics_json(const Snapshot& snap) {
   return out;
 }
 
+std::vector<CounterDelta> counter_deltas(const Snapshot& before,
+                                         const Snapshot& after) {
+  std::vector<CounterDelta> out;
+  for (const MetricValue& m : after.metrics) {
+    if (m.kind != Kind::kCounter || m.tag != Tag::kDeterministic) continue;
+    std::uint64_t prev = 0;
+    if (const MetricValue* b = before.find(m.name); b != nullptr)
+      prev = b->value;
+    if (m.value > prev) out.push_back({m.name, m.value - prev});
+  }
+  return out;
+}
+
 std::string git_describe() { return CKSUM_GIT_DESCRIBE; }
 
 std::string manifest_json(const RunInfo& info, const Snapshot& snap) {

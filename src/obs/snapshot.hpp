@@ -55,6 +55,24 @@ struct RunInfo {
   std::string extra_json;
 };
 
+/// One deterministic counter's growth between two snapshots.
+struct CounterDelta {
+  std::string name;
+  std::uint64_t delta = 0;
+
+  friend bool operator==(const CounterDelta&, const CounterDelta&) = default;
+};
+
+/// (name, after - before) for every deterministic-tagged counter that
+/// grew between the two snapshots, in `after`'s registration order.
+/// Counters absent from `before` contribute their full `after` value.
+/// This is the delta-export primitive the distributed worker uses to
+/// attribute one lease's contribution: the coordinator adds accepted
+/// deltas into its own registry, so the aggregate manifest's
+/// deterministic metrics match a single-process run exactly.
+std::vector<CounterDelta> counter_deltas(const Snapshot& before,
+                                         const Snapshot& after);
+
 /// `git describe` captured at build time ("unknown" outside a git
 /// checkout).
 std::string git_describe();

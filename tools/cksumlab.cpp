@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -42,6 +43,9 @@
 #include "core/dircorpus.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/spawn.hpp"
+#include "dist/worker.hpp"
 #include "faults/channel.hpp"
 #include "obs/exporter.hpp"
 #include "stats/uniformity.hpp"
@@ -62,6 +66,10 @@ int usage() {
                "[--transport tcp|f255|f256] [--trailer] [--scale x] "
                "[--segment n] [--threads n] [--verbose] [--json] "
                "[--metrics-out <path>] [--progress]\n"
+               "               [--serve] [--workers n] [--port n] "
+               "[--lease-timeout ms] [--shard-files n]   distributed run\n"
+               "       cksumlab splice --connect <host:port> "
+               "[--worker-id n] [--metrics-out <path>]    worker mode\n"
                "       cksumlab dist (--profile <name> | --dir <path>)\n"
                "options accepted by every subcommand:\n"
                "       --kernel best|scalar|slicing|swar   checksum kernel\n"
@@ -182,6 +190,13 @@ struct CommonOpts {
   bool verbose = false;  // evaluator internals (path mix, pair count)
   bool json = false;     // machine-readable report on stdout
   bool progress = false; // force the stderr ticker even without a tty
+  // Distributed coordinator mode (docs/DIST.md). --workers implies
+  // --serve; --serve alone waits for externally started workers.
+  bool serve = false;
+  unsigned workers = 0;        // workers to self-spawn (and barrier on)
+  std::uint16_t port = 0;      // 0 = ephemeral
+  std::uint64_t lease_timeout_ms = 15000;
+  std::size_t shard_files = 0; // files per lease; 0 = auto
   bool ok = true;
 };
 
@@ -221,6 +236,17 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
       o.progress = true;
     } else if (a == "--metrics-out") {
       o.metrics_out = next();
+    } else if (a == "--serve") {
+      o.serve = true;
+    } else if (a == "--workers") {
+      o.workers = static_cast<unsigned>(std::stoul(next()));
+      o.serve = true;
+    } else if (a == "--port") {
+      o.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (a == "--lease-timeout") {
+      o.lease_timeout_ms = std::stoull(next());
+    } else if (a == "--shard-files") {
+      o.shard_files = std::stoull(next());
     } else if (a == "--quick") {
       quick = true;
     } else if (a == "--transport") {
@@ -339,7 +365,150 @@ std::string splice_ticker_line(const obs::Snapshot& snap, double elapsed) {
   return buf;
 }
 
+/// `cksumlab splice --connect host:port` — one worker of a distributed
+/// run. The coordinator ships the corpus and run configuration, so
+/// only connection identity is parsed here.
+int cmd_splice_worker(const std::vector<std::string>& args) {
+  dist::WorkerOptions w;
+  w.tool = "cksumlab splice-worker";
+  std::string hostport;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (a == "--connect") {
+      hostport = next();
+    } else if (a == "--worker-id") {
+      w.worker_id = std::stoull(next());
+    } else if (a == "--metrics-out") {
+      w.metrics_out = next();
+    } else {
+      std::fprintf(stderr, "unknown worker option '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants host:port\n");
+    return usage();
+  }
+  w.host = hostport.substr(0, colon);
+  w.port = static_cast<std::uint16_t>(std::stoul(hostport.substr(colon + 1)));
+  return dist::run_worker(w);
+}
+
+/// Coordinator side of `cksumlab splice --serve`: shard the corpus,
+/// self-spawn `--workers` worker processes (0 = externally started),
+/// and merge their lease results. On success `st` and `dist_json` hold
+/// the merged stats and the manifest's "dist" member.
+int run_distributed(const CommonOpts& o, std::string& corpus,
+                    core::SpliceStats& st, std::string& dist_json) {
+  dist::DistConfig dc;
+  dist::ConfigMsg& run = dc.run;
+  run.scale = o.scale;
+  run.segment = o.segment;
+  run.transport = static_cast<std::uint8_t>(o.pkt.transport);
+  run.trailer = o.pkt.placement == net::ChecksumPlacement::kTrailer;
+  if (!o.profile.empty()) {
+    corpus = o.profile;
+    run.corpus_kind = dist::CorpusKind::kProfile;
+    run.corpus = o.profile;
+    dc.nfiles =
+        fsgen::Filesystem(fsgen::profile(o.profile), o.scale).file_count();
+  } else if (!o.manifest.empty()) {
+    // Ship the manifest text itself so workers need no shared fs.
+    corpus = o.manifest;
+    const util::Bytes text = core::read_file_prefix(o.manifest, 1u << 24);
+    run.corpus_kind = dist::CorpusKind::kManifest;
+    run.corpus.assign(text.begin(), text.end());
+    dc.nfiles = fsgen::Filesystem::from_manifest(fsgen::profile("nsc05"),
+                                                 run.corpus)
+                    .file_count();
+  } else {
+    corpus = o.dir;
+    run.corpus_kind = dist::CorpusKind::kDirectory;
+    run.corpus = o.dir;
+    dc.nfiles = core::list_corpus_files(o.dir).size();
+  }
+  // Split the machine across the fleet unless --threads pinned it.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  run.threads =
+      o.threads != 0 ? o.threads
+                     : std::max(1u, o.workers != 0 ? hw / o.workers : hw);
+  dc.expected_workers = o.workers;
+  dc.shard_files = o.shard_files;
+  dc.port = o.port;
+  dc.lease_timeout_ms = o.lease_timeout_ms;
+
+  dist::Coordinator coord(dc);
+  std::vector<pid_t> pids;
+  if (o.workers > 0) {
+    const std::string exe = dist::self_exe_path();
+    if (exe.empty()) {
+      std::fprintf(stderr, "cksumlab: cannot locate own executable\n");
+      return 1;
+    }
+    for (unsigned i = 0; i < o.workers; ++i) {
+      std::vector<std::string> argv = {
+          exe,
+          "splice",
+          "--connect",
+          "127.0.0.1:" + std::to_string(coord.port()),
+          "--worker-id",
+          std::to_string(i + 1),
+          "--kernel",
+          std::string(alg::kern::active_kernel().name)};
+      if (!o.metrics_out.empty()) {
+        argv.push_back("--metrics-out");
+        argv.push_back(o.metrics_out + ".worker" + std::to_string(i + 1) +
+                       ".json");
+      }
+      const pid_t pid = dist::spawn_process(argv);
+      if (pid < 0) {
+        std::fprintf(stderr, "cksumlab: cannot spawn worker %u\n", i + 1);
+        return 1;
+      }
+      pids.push_back(pid);
+    }
+  } else {
+    std::fprintf(stderr, "cksumlab: serving on 127.0.0.1:%u, waiting for "
+                         "workers (--connect)\n",
+                 coord.port());
+  }
+
+  std::function<void(const dist::DistEvent&)> hook;
+  if (o.verbose) {
+    hook = [](const dist::DistEvent& ev) {
+      const char* what = "";
+      switch (ev.kind) {
+        case dist::DistEvent::Kind::kWorkerConnected: what = "connected"; break;
+        case dist::DistEvent::Kind::kResultAccepted: what = "result"; break;
+        case dist::DistEvent::Kind::kLeaseReassigned: what = "reassigned"; break;
+        case dist::DistEvent::Kind::kWorkerLost: what = "lost"; break;
+      }
+      std::fprintf(stderr, "dist: worker %llu (pid %llu) %s shard %zu\n",
+                   static_cast<unsigned long long>(ev.worker_id),
+                   static_cast<unsigned long long>(ev.pid), what, ev.shard);
+    };
+  }
+  const dist::DistReport rep = coord.run(hook);
+  for (const pid_t pid : pids) dist::wait_process(pid);
+  if (!rep.complete) {
+    std::fprintf(stderr,
+                 "cksumlab: distributed run aborted incomplete "
+                 "(%zu shards, %zu reassigned)\n",
+                 rep.shards, rep.reassigned);
+    return 1;
+  }
+  st = rep.stats;
+  dist_json = rep.dist_json();
+  return 0;
+}
+
 int cmd_splice(const std::vector<std::string>& args) {
+  for (const std::string& a : args)
+    if (a == "--connect") return cmd_splice_worker(args);
   const CommonOpts o = parse_common(args);
   if (!o.ok) return usage();
 
@@ -349,6 +518,7 @@ int cmd_splice(const std::vector<std::string>& args) {
   faults::register_fault_metrics();
   atm::register_atm_metrics();
   alg::kern::register_kernel_metrics();
+  dist::register_dist_metrics();
 
   core::SpliceRunConfig cfg;
   cfg.flow = core::paper_flow_config();
@@ -371,7 +541,11 @@ int cmd_splice(const std::vector<std::string>& args) {
 
   core::SpliceStats st;
   std::string corpus;
-  if (!o.profile.empty()) {
+  std::string dist_json;  // "dist" manifest member for --serve runs
+  if (o.serve) {
+    const int rc = run_distributed(o, corpus, st, dist_json);
+    if (rc != 0) return rc;
+  } else if (!o.profile.empty()) {
     corpus = o.profile;
     const fsgen::Filesystem fs(fsgen::profile(o.profile), o.scale);
     st = core::run_filesystem(cfg, fs);
@@ -399,6 +573,7 @@ int cmd_splice(const std::vector<std::string>& args) {
     info.extra_json = "\"kernel\": \"" +
                       std::string(alg::kern::active_kernel().name) +
                       "\", \"report\": " + report;
+    if (!dist_json.empty()) info.extra_json += ",\n  \"dist\": " + dist_json;
     if (!exporter->finish(std::move(info))) {
       std::fprintf(stderr, "cksumlab: cannot write manifest to %s\n",
                    o.metrics_out.c_str());

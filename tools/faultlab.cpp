@@ -6,6 +6,11 @@
 //                                  invariant violation
 //   faultlab replay --seed S --scenario N [options]
 //                                  re-run exactly one scenario
+//   faultlab distkill [options]    distributed-run fault drill: spawn a
+//                                  coordinator + N workers, SIGKILL one
+//                                  worker mid-lease, and assert the
+//                                  merged report still equals the
+//                                  single-process run bit for bit
 //
 // options:
 //   --seed <n>        master seed                    (default 0xC0FFEE)
@@ -36,9 +41,14 @@
 
 #include "atm/demux.hpp"
 #include "checksum/kernels/kernel.hpp"
+#include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/spawn.hpp"
+#include "dist/worker.hpp"
 #include "faults/channel.hpp"
 #include "faults/soak.hpp"
+#include "fsgen/profile.hpp"
 #include "obs/exporter.hpp"
 
 using namespace cksum;
@@ -53,7 +63,9 @@ int usage() {
       "                     [--metrics-out p] [--progress] [--quiet]\n"
       "       faultlab replay --seed n --scenario n [--channels n] "
       "[--budget n]\n"
-      "both accept --kernel best|scalar|slicing|swar (or the\n"
+      "       faultlab distkill [--workers n] [--profile p] [--scale x]\n"
+      "                         [--shard-files n] [--quick] [--verbose]\n"
+      "all accept --kernel best|scalar|slicing|swar (or the\n"
       "CKSUM_KERNEL environment variable) to pick the checksum kernel\n");
   return 2;
 }
@@ -251,11 +263,185 @@ int cmd_replay(const Opts& o) {
   });
 }
 
+/// Hidden subcommand: one worker process of a distkill drill (also
+/// usable against a `cksumlab splice --serve` coordinator — both
+/// drivers speak the same protocol).
+int cmd_distworker(const std::vector<std::string>& args) {
+  dist::WorkerOptions w;
+  w.tool = "faultlab distworker";
+  std::string hostport;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (a == "--connect") {
+      hostport = next();
+    } else if (a == "--worker-id") {
+      w.worker_id = std::stoull(next());
+    } else if (a == "--metrics-out") {
+      w.metrics_out = next();
+    } else {
+      return usage();
+    }
+  }
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) return usage();
+  w.host = hostport.substr(0, colon);
+  w.port = static_cast<std::uint16_t>(std::stoul(hostport.substr(colon + 1)));
+  return dist::run_worker(w);
+}
+
+/// The worker-loss drill (satellite of docs/DIST.md's failure matrix):
+/// run the reference corpus single-process, re-run it distributed with
+/// one worker SIGKILLed the moment the first lease result lands, and
+/// require the merged report to be bitwise identical anyway.
+int cmd_distkill(const std::vector<std::string>& args) {
+  unsigned workers = 3;
+  std::string profile = "nsc05";
+  double scale = 0.1;
+  std::size_t shard_files = 1;  // one file per lease: everyone leases
+  bool verbose = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string("0");
+    };
+    if (a == "--workers") {
+      workers = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--profile") {
+      profile = next();
+    } else if (a == "--scale") {
+      scale = std::stod(next());
+    } else if (a == "--shard-files") {
+      shard_files = std::stoull(next());
+    } else if (a == "--quick") {
+      // defaults already are the quick corpus; accepted for symmetry
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+  if (workers < 2) {
+    std::fprintf(stderr, "faultlab distkill: needs --workers >= 2\n");
+    return 2;
+  }
+  faults::register_fault_metrics();
+  atm::register_atm_metrics();
+  alg::kern::register_kernel_metrics();
+
+  // The oracle: the same corpus evaluated in-process.
+  core::SpliceRunConfig run;
+  run.flow = core::paper_flow_config();
+  run.threads = 1;
+  const fsgen::Filesystem fs(fsgen::profile(profile), scale);
+  const core::SpliceStats expected = core::run_filesystem(run, fs);
+
+  dist::DistConfig dc;
+  dc.run.corpus_kind = dist::CorpusKind::kProfile;
+  dc.run.corpus = profile;
+  dc.run.scale = scale;
+  dc.run.threads = 1;
+  dc.nfiles = fs.file_count();
+  dc.expected_workers = workers;
+  dc.shard_files = shard_files;
+  dist::Coordinator coord(dc);
+
+  const std::string exe = dist::self_exe_path();
+  if (exe.empty()) {
+    std::fprintf(stderr, "faultlab: cannot locate own executable\n");
+    return 1;
+  }
+  std::vector<pid_t> pids;
+  for (unsigned i = 0; i < workers; ++i) {
+    const pid_t pid = dist::spawn_process(
+        {exe, "distworker", "--connect",
+         "127.0.0.1:" + std::to_string(coord.port()), "--worker-id",
+         std::to_string(i + 1), "--kernel",
+         std::string(alg::kern::active_kernel().name)});
+    if (pid < 0) {
+      std::fprintf(stderr, "faultlab: cannot spawn worker %u\n", i + 1);
+      return 1;
+    }
+    pids.push_back(pid);
+  }
+
+  // The barrier guarantees every worker holds a lease before the first
+  // result is accepted, so killing any *other* worker kills a worker
+  // mid-lease (modulo the benign race where its own result is already
+  // in flight — the epoch check makes that harmless either way).
+  pid_t killed_pid = -1;
+  auto hook = [&](const dist::DistEvent& ev) {
+    if (verbose)
+      std::fprintf(stderr, "distkill: event %d worker %llu shard %zu\n",
+                   static_cast<int>(ev.kind),
+                   static_cast<unsigned long long>(ev.worker_id), ev.shard);
+    if (ev.kind != dist::DistEvent::Kind::kResultAccepted || killed_pid != -1)
+      return;
+    for (const pid_t p : pids) {
+      if (static_cast<std::uint64_t>(p) == ev.pid) continue;
+      dist::kill_process(p);
+      killed_pid = p;
+      std::fprintf(stderr, "distkill: SIGKILLed worker pid %d after first "
+                           "accepted result\n",
+                   static_cast<int>(p));
+      break;
+    }
+  };
+  const dist::DistReport rep = coord.run(hook);
+  bool killed_confirmed = false;
+  for (const pid_t p : pids) {
+    const int code = dist::wait_process(p);
+    if (p == killed_pid && code == 128 + 9) killed_confirmed = true;
+  }
+
+  const bool identical = rep.stats == expected;
+  std::printf("distkill: %u workers, %zu shards, %zu reassigned, "
+              "%zu stale results\n",
+              workers, rep.shards, rep.reassigned, rep.stale_results);
+  std::printf("worker killed mid-run: %s\n",
+              killed_confirmed ? "yes (SIGKILL confirmed)" : "NO");
+  std::printf("run complete: %s\n", rep.complete ? "yes" : "NO");
+  std::printf("merged report identical to single-process run: %s\n",
+              identical ? "yes" : "NO");
+  return (rep.complete && identical && killed_confirmed) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "distworker" || cmd == "distkill") {
+    // These parse their own options (including --kernel, stripped here
+    // the same way every subcommand accepts it).
+    std::vector<std::string> args(argv + 2, argv + argc);
+    std::string choice;
+    for (auto it = args.begin(); it != args.end();) {
+      if (*it == "--kernel" && it + 1 != args.end()) {
+        choice = *(it + 1);
+        it = args.erase(it, it + 2);
+      } else {
+        ++it;
+      }
+    }
+    if (choice.empty()) {
+      const char* env = std::getenv(alg::kern::kKernelEnv);
+      if (env != nullptr) choice = env;
+    }
+    if (!choice.empty() && !alg::kern::select_kernel(choice)) {
+      std::fprintf(stderr, "faultlab: unknown kernel '%s'\n", choice.c_str());
+      return 2;
+    }
+    try {
+      return cmd == "distworker" ? cmd_distworker(args) : cmd_distkill(args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "faultlab: %s\n", e.what());
+      return 1;
+    }
+  }
   Opts o;
   try {
     o = parse(std::vector<std::string>(argv + 2, argv + argc));
