@@ -1,0 +1,311 @@
+#include "arq/endpoint.hpp"
+
+#include <algorithm>
+
+namespace cksum::arq {
+
+std::string_view name(Policy p) noexcept {
+  switch (p) {
+    case Policy::kStopAndWait: return "stop-and-wait";
+    case Policy::kGoBackN: return "go-back-N";
+    case Policy::kSelectiveRepeat: return "selective-repeat";
+  }
+  return "unknown";
+}
+
+std::string_view manifest_key(Policy p) noexcept {
+  switch (p) {
+    case Policy::kStopAndWait: return "stop_and_wait";
+    case Policy::kGoBackN: return "go_back_n";
+    case Policy::kSelectiveRepeat: return "selective_repeat";
+  }
+  return "unknown";
+}
+
+// --- Sender ---------------------------------------------------------
+
+Sender::Sender(const ArqConfig& cfg, std::vector<util::Bytes> payloads)
+    : cfg_(cfg),
+      payloads_(std::move(payloads)),
+      slots_(payloads_.size()),
+      first_sent_(payloads_.size(), ~std::uint64_t{0}),
+      jitter_(cfg.jitter_seed) {
+  if (cfg_.rto == 0) cfg_.rto = 1;
+  if (cfg_.rto_max < cfg_.rto) cfg_.rto_max = cfg_.rto;
+}
+
+std::uint64_t Sender::backoff(unsigned retries) noexcept {
+  // Exponential base doubling per retry, capped, plus seeded jitter of
+  // up to a quarter RTO so retransmission waves decorrelate.
+  const unsigned shift = std::min(retries, 20u);
+  std::uint64_t t = cfg_.rto << shift;
+  if (t > cfg_.rto_max || (t >> shift) != cfg_.rto) t = cfg_.rto_max;
+  return t + jitter_.below(cfg_.rto / 4 + 1);
+}
+
+util::Bytes Sender::encode_data(std::size_t index) const {
+  ArqFrame f;
+  f.type = FrameType::kData;
+  f.check = cfg_.checksum;
+  f.seq = static_cast<std::uint16_t>(index);
+  f.aux = static_cast<std::uint16_t>(base_);  // current base: lets the
+                                              // receiver skip abandoned holes
+  f.payload = payloads_[index];
+  return encode_arq_frame(f);
+}
+
+void Sender::advance_base() {
+  while (base_ < payloads_.size() &&
+         (slots_[base_].state == SlotState::kAcked ||
+          slots_[base_].state == SlotState::kAbandoned))
+    ++base_;
+}
+
+void Sender::abandon(std::size_t index) {
+  slots_[index].state = SlotState::kAbandoned;
+  abandoned_.push_back(index);
+  ++stats_.gave_up;
+}
+
+void Sender::retransmit(std::size_t from, bool whole_window,
+                        std::uint64_t now, std::vector<util::Bytes>* out) {
+  const std::size_t end = whole_window ? next_send_ : from + 1;
+  for (std::size_t i = from; i < end && i < next_send_; ++i) {
+    Slot& s = slots_[i];
+    if (s.state != SlotState::kInFlight) continue;
+    if (s.retries >= cfg_.retry_budget) {
+      abandon(i);
+      continue;
+    }
+    ++s.retries;
+    ++stats_.retransmits;
+    s.deadline = now + backoff(s.retries);
+    out->push_back(encode_data(i));
+  }
+  advance_base();
+}
+
+std::vector<util::Bytes> Sender::poll(std::uint64_t now) {
+  std::vector<util::Bytes> out;
+
+  // Timer expiries. Stop-and-wait and go-back-N retransmit the whole
+  // in-flight window when the base frame's timer fires (one timeout
+  // event per wave); selective repeat retries each expired frame
+  // individually.
+  if (cfg_.policy == Policy::kSelectiveRepeat) {
+    for (std::size_t i = base_; i < next_send_; ++i) {
+      if (slots_[i].state != SlotState::kInFlight ||
+          slots_[i].deadline > now)
+        continue;
+      ++stats_.timeouts;
+      retransmit(i, false, now, &out);
+    }
+  } else if (base_ < next_send_ &&
+             slots_[base_].state == SlotState::kInFlight &&
+             slots_[base_].deadline <= now) {
+    ++stats_.timeouts;
+    retransmit(base_, true, now, &out);
+  }
+
+  // Fast retransmit: three consecutive no-progress ACKs resend the
+  // base frame without waiting for its timer (go-back-N and selective
+  // repeat; stop-and-wait has no dup-ACK machinery).
+  if (fast_retransmit_pending_) {
+    fast_retransmit_pending_ = false;
+    if (base_ < next_send_ && slots_[base_].state == SlotState::kInFlight) {
+      ++stats_.fast_retransmits;
+      retransmit(base_, false, now, &out);
+    }
+  }
+
+  // New transmissions while the window has room.
+  while (next_send_ < payloads_.size() &&
+         next_send_ - base_ < cfg_.effective_window()) {
+    const std::size_t i = next_send_++;
+    Slot& s = slots_[i];
+    s.state = SlotState::kInFlight;
+    s.retries = 0;
+    s.deadline = now + backoff(0);
+    if (first_sent_[i] == ~std::uint64_t{0}) first_sent_[i] = now;
+    ++stats_.data_sent;
+    out.push_back(encode_data(i));
+  }
+  return out;
+}
+
+std::uint64_t Sender::next_deadline() const noexcept {
+  if (cfg_.policy == Policy::kSelectiveRepeat) {
+    std::uint64_t earliest = ~std::uint64_t{0};
+    for (std::size_t i = base_; i < next_send_; ++i)
+      if (slots_[i].state == SlotState::kInFlight)
+        earliest = std::min(earliest, slots_[i].deadline);
+    return earliest;
+  }
+  // Single-timer policies: the base frame owns the timer (poll() only
+  // acts on it, and the wave retransmit resets every deadline behind
+  // it). Jitter can give a later slot an earlier deadline, so taking
+  // the minimum here would report a time at which poll() does nothing.
+  if (base_ < next_send_ && slots_[base_].state == SlotState::kInFlight)
+    return slots_[base_].deadline;
+  return ~std::uint64_t{0};
+}
+
+void Sender::on_frame(util::ByteView wire) {
+  DecodeStatus st = DecodeStatus::kOk;
+  const auto f = decode_arq_frame(wire, &st);
+  if (!f || f->type != FrameType::kAck) {
+    if (st == DecodeStatus::kCheckFailed)
+      ++stats_.ack_rejects;
+    else
+      ++stats_.ack_malformed;
+    return;
+  }
+  ++stats_.acks_received;
+
+  bool progress = false;
+
+  // Cumulative: the ACK's seq is the receiver's next expected — every
+  // outstanding frame before it is acknowledged. A step beyond the
+  // in-flight span can only come from a corrupted ACK that slipped
+  // past the checksum (or an ancient duplicate); it is ignored.
+  const std::uint16_t step =
+      static_cast<std::uint16_t>(f->seq - static_cast<std::uint16_t>(base_));
+  if (step != 0) {
+    if (step <= next_send_ - base_) {
+      for (std::size_t i = base_; i < base_ + step; ++i)
+        if (slots_[i].state == SlotState::kInFlight)
+          slots_[i].state = SlotState::kAcked;
+      advance_base();
+      progress = true;
+    } else {
+      ++stats_.stale_acks;
+    }
+  }
+
+  // Selective: acknowledges one frame inside the window (selective
+  // repeat's per-frame ACK channel).
+  if (f->aux != kNoSelectiveAck) {
+    const std::uint16_t off = static_cast<std::uint16_t>(
+        f->aux - static_cast<std::uint16_t>(base_));
+    if (off < next_send_ - base_) {
+      const std::size_t i = base_ + off;
+      if (slots_[i].state == SlotState::kInFlight) {
+        slots_[i].state = SlotState::kAcked;
+        advance_base();
+        progress = true;
+      }
+    }
+  }
+
+  if (progress) {
+    dup_ack_run_ = 0;
+    fast_retransmit_pending_ = false;
+  } else if (base_ < next_send_ && cfg_.policy != Policy::kStopAndWait) {
+    ++stats_.dup_acks;
+    if (++dup_ack_run_ >= 3) {
+      fast_retransmit_pending_ = true;
+      dup_ack_run_ = 0;
+    }
+  }
+}
+
+// --- Receiver -------------------------------------------------------
+
+util::Bytes Receiver::make_ack(std::uint16_t sel) {
+  ArqFrame f;
+  f.type = FrameType::kAck;
+  f.check = cfg_.checksum;
+  f.seq = next_expected_;
+  f.aux = sel;
+  ++stats_.acks_sent;
+  return encode_arq_frame(f);
+}
+
+void Receiver::skip_to(std::uint16_t base) {
+  // The sender's base is ahead of us only when it abandoned frames we
+  // never received; walk forward, surfacing anything we had buffered
+  // along the way and counting the true holes as skipped. The step is
+  // bounded to a quarter of the sequence space so a corrupted base
+  // field that slipped the checksum cannot spin the receiver all the
+  // way around — a shorter bogus skip is survivable (the affected
+  // frames surface as residual loss in the simulator's oracle).
+  const std::uint16_t step = static_cast<std::uint16_t>(base - next_expected_);
+  if (step == 0 || step > 0x4000) return;
+  while (next_expected_ != base) {
+    const auto it = buffer_.find(next_expected_);
+    if (it != buffer_.end()) {
+      deliveries_.push_back({next_expected_, std::move(it->second)});
+      ++stats_.delivered;
+      buffer_.erase(it);
+    } else {
+      ++stats_.skipped;
+    }
+    ++next_expected_;
+  }
+}
+
+std::vector<util::Bytes> Receiver::on_frame(util::ByteView wire) {
+  ++stats_.deliveries_seen;
+  DecodeStatus st = DecodeStatus::kOk;
+  auto f = decode_arq_frame(wire, &st);
+  if (!f || f->type != FrameType::kData) {
+    if (st == DecodeStatus::kCheckFailed)
+      ++stats_.check_rejects;
+    else
+      ++stats_.malformed;
+    return {};
+  }
+
+  skip_to(f->aux);
+
+  const bool sr = cfg_.policy == Policy::kSelectiveRepeat;
+  const std::uint16_t sel = sr ? f->seq : kNoSelectiveAck;
+  const std::uint16_t off =
+      static_cast<std::uint16_t>(f->seq - next_expected_);
+
+  if (off >= 0x8000) {
+    // Before the window: already delivered (its ACK was lost) or
+    // skipped. Re-ACK so the sender stops retrying it.
+    ++stats_.duplicates;
+    return {make_ack(sel)};
+  }
+  if (off >= cfg_.effective_window()) {
+    // Beyond any sequence the sender can legitimately have in flight:
+    // a corrupted seq that slipped the checksum. Drop silently.
+    ++stats_.out_of_window;
+    return {};
+  }
+
+  if (off == 0) {
+    ++stats_.accepted;
+    deliveries_.push_back({f->seq, std::move(f->payload)});
+    ++stats_.delivered;
+    ++next_expected_;
+    // Selective repeat: the hole just filled may release a buffered run.
+    for (auto it = buffer_.find(next_expected_); it != buffer_.end();
+         it = buffer_.find(next_expected_)) {
+      deliveries_.push_back({next_expected_, std::move(it->second)});
+      ++stats_.delivered;
+      buffer_.erase(it);
+      ++next_expected_;
+    }
+    return {make_ack(sel)};
+  }
+
+  // In-window but out of order.
+  if (!sr) {
+    // Stop-and-wait / go-back-N discard and re-ACK the last in-order
+    // point — the sender sees it as a duplicate ACK.
+    ++stats_.discarded;
+    return {make_ack(kNoSelectiveAck)};
+  }
+  if (buffer_.count(f->seq) != 0) {
+    ++stats_.duplicates;
+    return {make_ack(sel)};
+  }
+  buffer_.emplace(f->seq, std::move(f->payload));
+  ++stats_.buffered;
+  return {make_ack(sel)};
+}
+
+}  // namespace cksum::arq

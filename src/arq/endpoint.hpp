@@ -1,0 +1,206 @@
+// ARQ endpoint state machines: stop-and-wait, go-back-N, and
+// selective-repeat sender/receiver pairs.
+//
+// Endpoints are pure state machines over a virtual clock: they never
+// sleep, never touch a socket, and draw all randomness (backoff
+// jitter) from a seeded Rng — so a (config, payloads, link seed)
+// triple replays bit-for-bit, which is what lets the arq soak publish
+// reproducer lines. The simulator (sim.hpp) owns the clock and the
+// faulty links and shuttles wire frames between the two ends.
+//
+// Reliability model (docs/ARQ.md):
+//  * The sender keeps a window of in-flight frames, each with its own
+//    retransmission deadline, retry count, and exponential backoff
+//    with seeded jitter.
+//  * A frame whose retry budget is exhausted is ABANDONED, never
+//    retried again: the sender counts arq.gave_up, advances its base
+//    past it, and stamps the new base into every subsequent DATA
+//    frame so the receiver can skip the hole instead of waiting
+//    forever. Termination is therefore unconditional — every offered
+//    payload ends delivered or abandoned.
+//  * Sequence numbers live in a u16 serial space (frame.hpp's
+//    seq_before); the window is capped well under 2^15 so comparisons
+//    stay sound across wraparound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "arq/frame.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::arq {
+
+enum class Policy : std::uint8_t {
+  kStopAndWait = 0,   ///< window 1, cumulative ACK
+  kGoBackN = 1,       ///< window W, cumulative ACK, wave retransmit
+  kSelectiveRepeat = 2,  ///< window W, per-frame ACK + receiver buffer
+};
+
+std::string_view name(Policy p) noexcept;         ///< "go-back-N"
+std::string_view manifest_key(Policy p) noexcept; ///< "go_back_n"
+
+/// Hard cap on the window so u16 serial arithmetic stays sound with
+/// ample margin (sender span + receiver skip < 2^15).
+inline constexpr std::size_t kMaxWindow = 1024;
+
+struct ArqConfig {
+  Policy policy = Policy::kGoBackN;
+  alg::Algorithm checksum = alg::Algorithm::kCrc32;
+  std::size_t window = 8;        ///< forced to 1 for stop-and-wait
+  std::uint64_t rto = 64;        ///< base retransmit timeout, ticks
+  std::uint64_t rto_max = 2048;  ///< backoff ceiling, ticks
+  unsigned retry_budget = 8;     ///< retransmissions before abandoning
+  std::uint64_t jitter_seed = 1; ///< seeds the backoff jitter stream
+
+  /// The effective window after policy clamping.
+  std::size_t effective_window() const noexcept {
+    const std::size_t w = window == 0 ? 1 : window;
+    if (policy == Policy::kStopAndWait) return 1;
+    return w > kMaxWindow ? kMaxWindow : w;
+  }
+};
+
+struct SenderStats {
+  std::uint64_t data_sent = 0;      ///< first transmissions
+  std::uint64_t retransmits = 0;    ///< timer- or dup-ACK-driven resends
+  std::uint64_t timeouts = 0;       ///< timer expiry events
+  std::uint64_t fast_retransmits = 0;  ///< 3-dup-ACK triggered (GBN/SR)
+  std::uint64_t acks_received = 0;  ///< ACK frames accepted by the check
+  std::uint64_t dup_acks = 0;       ///< ACKs carrying no new progress
+  std::uint64_t stale_acks = 0;     ///< ACKs outside the window (ignored)
+  std::uint64_t ack_rejects = 0;    ///< ACK frames the checksum rejected
+  std::uint64_t ack_malformed = 0;  ///< undecodable ACK deliveries
+  std::uint64_t gave_up = 0;        ///< frames abandoned (budget spent)
+};
+
+/// The sending half. Drive with poll() (frames to put on the wire
+/// now), on_frame() (arriving ACK deliveries), next_deadline().
+class Sender {
+ public:
+  Sender(const ArqConfig& cfg, std::vector<util::Bytes> payloads);
+
+  /// True once every payload is acknowledged or abandoned.
+  bool done() const noexcept { return base_ == payloads_.size(); }
+
+  /// Wire frames to transmit at `now`: expired-timer retransmissions
+  /// first (oldest sequence first), then new transmissions while the
+  /// window has room. Never returns the same first-transmission twice.
+  std::vector<util::Bytes> poll(std::uint64_t now);
+
+  /// Earliest retransmission deadline among in-flight frames, or
+  /// UINT64_MAX when nothing is in flight.
+  std::uint64_t next_deadline() const noexcept;
+
+  /// Process one delivered (possibly corrupt) ACK frame.
+  void on_frame(util::ByteView wire);
+
+  const SenderStats& stats() const noexcept { return stats_; }
+
+  /// Absolute indices of abandoned payloads, in abandonment order.
+  const std::vector<std::size_t>& abandoned() const noexcept {
+    return abandoned_;
+  }
+  /// Virtual time of each payload's first transmission (UINT64_MAX if
+  /// never sent). Indexed by absolute payload index.
+  const std::vector<std::uint64_t>& first_sent() const noexcept {
+    return first_sent_;
+  }
+
+ private:
+  enum class SlotState : std::uint8_t { kUnsent, kInFlight, kAcked,
+                                        kAbandoned };
+  struct Slot {
+    SlotState state = SlotState::kUnsent;
+    std::uint64_t deadline = 0;
+    unsigned retries = 0;  ///< retransmissions so far
+  };
+
+  std::uint64_t backoff(unsigned retries) noexcept;
+  util::Bytes encode_data(std::size_t index) const;
+  void advance_base();
+  void abandon(std::size_t index);
+  /// Retransmit the in-flight window from `from` (GBN wave) or just
+  /// `from` (SR/stop-and-wait single), appending wire frames to `out`.
+  void retransmit(std::size_t from, bool whole_window, std::uint64_t now,
+                  std::vector<util::Bytes>* out);
+
+  ArqConfig cfg_;
+  std::vector<util::Bytes> payloads_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> first_sent_;
+  std::vector<std::size_t> abandoned_;
+  std::size_t base_ = 0;       ///< lowest index not acked/abandoned
+  std::size_t next_send_ = 0;  ///< lowest index never transmitted
+  unsigned dup_ack_run_ = 0;   ///< consecutive no-progress ACKs
+  bool fast_retransmit_pending_ = false;
+  util::Rng jitter_;
+  SenderStats stats_;
+};
+
+/// Per-delivery outcomes. Every delivery the link hands over lands in
+/// exactly one of {malformed, check_rejects, duplicates, out_of_window,
+/// discarded, accepted, buffered} — the soak asserts that accounting
+/// identity — while delivered/skipped/acks_sent count consequences.
+struct ReceiverStats {
+  std::uint64_t deliveries_seen = 0;  ///< link deliveries examined
+  std::uint64_t malformed = 0;        ///< undecodable deliveries
+  std::uint64_t check_rejects = 0;    ///< checksum caught the corruption
+  std::uint64_t duplicates = 0;       ///< already delivered/buffered seq
+  std::uint64_t out_of_window = 0;    ///< impossible seq (corrupt, dropped)
+  std::uint64_t discarded = 0;        ///< SAW/GBN in-window out-of-order
+  std::uint64_t accepted = 0;         ///< in-order DATA taken directly
+  std::uint64_t buffered = 0;         ///< SR out-of-order holds
+  std::uint64_t delivered = 0;        ///< payloads surfaced in order
+  std::uint64_t skipped = 0;          ///< holes skipped via the base field
+  std::uint64_t acks_sent = 0;
+};
+
+/// The receiving half. Every accepted or duplicate DATA frame
+/// produces exactly one ACK; rejected deliveries produce none (the
+/// sender's timer recovers).
+class Receiver {
+ public:
+  explicit Receiver(const ArqConfig& cfg) : cfg_(cfg) {}
+
+  struct Delivery {
+    std::uint16_t seq = 0;
+    util::Bytes payload;
+  };
+
+  /// Process one delivered (possibly corrupt) DATA frame; returns the
+  /// ACK wire frames to send back (0 or 1).
+  std::vector<util::Bytes> on_frame(util::ByteView wire);
+
+  /// Connection teardown: the sender's final base, handed over
+  /// reliably by the simulator once every payload is acked or
+  /// abandoned. Surfaces frames still buffered behind an abandoned
+  /// hole — a selectively-ACKed frame whose base predecessor was
+  /// abandoned on the sender's *last* transmission would otherwise
+  /// stay buffered forever (no later DATA frame carries the base
+  /// stamp that triggers the skip) and read as residual loss.
+  void finish(std::uint16_t final_base) { skip_to(final_base); }
+
+  /// In-order delivered stream, appended to as frames arrive. The
+  /// simulator drains this after each delivery event.
+  const std::vector<Delivery>& deliveries() const noexcept {
+    return deliveries_;
+  }
+
+  std::uint16_t next_expected() const noexcept { return next_expected_; }
+  const ReceiverStats& stats() const noexcept { return stats_; }
+
+ private:
+  util::Bytes make_ack(std::uint16_t sel);
+  void skip_to(std::uint16_t base);
+
+  ArqConfig cfg_;
+  std::uint16_t next_expected_ = 0;
+  std::map<std::uint16_t, util::Bytes> buffer_;  ///< SR out-of-order
+  std::vector<Delivery> deliveries_;
+  ReceiverStats stats_;
+};
+
+}  // namespace cksum::arq

@@ -1,0 +1,115 @@
+#include "arq/frame.hpp"
+
+#include "checksum/kernels/kernel.hpp"
+
+namespace cksum::arq {
+namespace {
+
+void put_le16(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_le32(util::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint16_t get_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool valid_alg(std::uint8_t a) {
+  switch (static_cast<alg::Algorithm>(a)) {
+    case alg::Algorithm::kInternet:
+    case alg::Algorithm::kFletcher255:
+    case alg::Algorithm::kFletcher256:
+    case alg::Algorithm::kCrc32:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t frame_check(alg::Algorithm a, util::ByteView data) noexcept {
+  switch (a) {
+    case alg::Algorithm::kInternet:
+      return alg::kern::internet_checksum(data);
+    case alg::Algorithm::kFletcher255: {
+      const alg::FletcherPair p =
+          alg::kern::fletcher_block(data, alg::FletcherMod::kOnes255);
+      return static_cast<std::uint32_t>(p.a) << 8 | p.b;
+    }
+    case alg::Algorithm::kFletcher256: {
+      const alg::FletcherPair p =
+          alg::kern::fletcher_block(data, alg::FletcherMod::kTwos256);
+      return static_cast<std::uint32_t>(p.a) << 8 | p.b;
+    }
+    case alg::Algorithm::kCrc32:
+      return alg::kern::crc32(data);
+  }
+  return 0;
+}
+
+util::Bytes encode_arq_frame(const ArqFrame& f) {
+  util::Bytes out;
+  out.reserve(kFrameHeaderLen + f.payload.size() + kFrameTrailerLen);
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  out.push_back(static_cast<std::uint8_t>(f.check));
+  put_le16(out, f.seq);
+  put_le16(out, f.aux);
+  put_le16(out, static_cast<std::uint16_t>(f.payload.size()));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  const std::uint32_t check =
+      frame_check(f.check, util::ByteView(out.data(), out.size()));
+  put_le32(out, check);
+  return out;
+}
+
+std::optional<ArqFrame> decode_arq_frame(util::ByteView wire,
+                                         DecodeStatus* status) {
+  const auto fail = [&](DecodeStatus s) -> std::optional<ArqFrame> {
+    if (status != nullptr) *status = s;
+    return std::nullopt;
+  };
+  if (wire.size() < kFrameHeaderLen + kFrameTrailerLen)
+    return fail(DecodeStatus::kMalformed);
+  const std::uint8_t type = wire[0];
+  if (type != static_cast<std::uint8_t>(FrameType::kData) &&
+      type != static_cast<std::uint8_t>(FrameType::kAck))
+    return fail(DecodeStatus::kMalformed);
+  if (!valid_alg(wire[1])) return fail(DecodeStatus::kMalformed);
+  const std::uint16_t payload_len = get_le16(wire.data() + 6);
+  // The length field is covered by the checksum, but a corrupted
+  // length changes where the trailer is read from, so framing has to
+  // be validated first: the wire buffer must be exactly one frame.
+  if (payload_len > kMaxPayload ||
+      wire.size() != kFrameHeaderLen + payload_len + kFrameTrailerLen)
+    return fail(DecodeStatus::kMalformed);
+  const std::uint32_t stored = get_le32(wire.data() + kFrameHeaderLen +
+                                        payload_len);
+  const alg::Algorithm a = static_cast<alg::Algorithm>(wire[1]);
+  if (frame_check(a, wire.subspan(0, kFrameHeaderLen + payload_len)) != stored)
+    return fail(DecodeStatus::kCheckFailed);
+  ArqFrame f;
+  f.type = static_cast<FrameType>(type);
+  f.check = a;
+  f.seq = get_le16(wire.data() + 2);
+  f.aux = get_le16(wire.data() + 4);
+  f.payload.assign(wire.begin() + kFrameHeaderLen,
+                   wire.begin() + kFrameHeaderLen + payload_len);
+  if (status != nullptr) *status = DecodeStatus::kOk;
+  return f;
+}
+
+}  // namespace cksum::arq

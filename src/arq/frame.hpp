@@ -1,0 +1,88 @@
+// ARQ link-frame codec with a per-frame checksum choice.
+//
+// The paper measures how often each checksum misses a corrupted
+// *packet*; the ARQ tier asks what that miss rate becomes once a link
+// retransmits. Every retry re-exposes a frame to the error process,
+// so the frame integrity check is the only thing standing between a
+// corrupted retransmission and an undetected delivery — and it is
+// chosen per frame from the same algorithm set the paper studies
+// (CRC-32, the Internet checksum, Fletcher), computed through the
+// kernel registry like every other hot path.
+//
+// Wire layout (all integers little-endian, like the dist frames —
+// this is a new protocol with no network-order legacy):
+//
+//   u8 type | u8 alg | u16 seq | u16 aux | u16 payload_len |
+//   payload bytes | u32 check
+//
+// For DATA frames `aux` carries the sender's current window base: the
+// receiver may skip ahead to it when the sender has abandoned frames
+// (docs/ARQ.md, "graceful degradation"). For ACK frames `seq` is the
+// receiver's cumulative next-expected sequence and `aux` is the
+// selectively-acknowledged sequence (kNoSelectiveAck when none —
+// stop-and-wait and go-back-N never set it).
+//
+// 16-bit checksums are stored zero-extended in the 32-bit trailer, so
+// frames are the same shape under every algorithm and the residual
+// miss-rate differences come from the check itself, not the framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "checksum/checksum.hpp"
+#include "util/bytes.hpp"
+
+namespace cksum::arq {
+
+enum class FrameType : std::uint8_t {
+  kData = 1,
+  kAck = 2,
+};
+
+inline constexpr std::size_t kFrameHeaderLen = 8;
+inline constexpr std::size_t kFrameTrailerLen = 4;
+/// Largest payload a DATA frame carries (fits the u16 length field
+/// with room for the header and trailer).
+inline constexpr std::size_t kMaxPayload = 0xf000;
+/// `aux` value on an ACK carrying no selective acknowledgement.
+inline constexpr std::uint16_t kNoSelectiveAck = 0xffff;
+
+struct ArqFrame {
+  FrameType type = FrameType::kData;
+  alg::Algorithm check = alg::Algorithm::kCrc32;
+  std::uint16_t seq = 0;
+  std::uint16_t aux = 0;  ///< DATA: sender base; ACK: selective ack
+  util::Bytes payload;    ///< empty for ACK frames
+};
+
+/// Why a decode produced no frame (or kOk when it did).
+enum class DecodeStatus {
+  kOk,
+  kMalformed,    ///< too short, bad type/alg, or length mismatch
+  kCheckFailed,  ///< well-formed but the checksum rejected it
+};
+
+/// The frame's integrity check over header + payload, per `alg`.
+/// Dispatched through the kernel registry (alg::kern).
+std::uint32_t frame_check(alg::Algorithm alg, util::ByteView data) noexcept;
+
+/// Encode one complete wire frame (header | payload | check).
+util::Bytes encode_arq_frame(const ArqFrame& f);
+
+/// Decode and verify one delivered frame. Returns the frame only when
+/// it is well-formed AND its checksum passes; `status` (optional)
+/// reports which stage rejected it otherwise. A corrupted frame that
+/// still decodes with kOk is exactly an undetected link error — the
+/// event the ARQ simulator's oracle counts.
+std::optional<ArqFrame> decode_arq_frame(util::ByteView wire,
+                                         DecodeStatus* status = nullptr);
+
+/// Serial-number comparison in the u16 sequence space (RFC 1982
+/// style): true when `a` precedes `b`, correct across wraparound as
+/// long as the outstanding span stays under 2^15.
+constexpr bool seq_before(std::uint16_t a, std::uint16_t b) noexcept {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b)) < 0;
+}
+
+}  // namespace cksum::arq

@@ -1,0 +1,246 @@
+#include "arq/sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "obs/registry.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::arq {
+
+namespace {
+
+struct ArqMetrics {
+  obs::Counter runs, data_sent, retransmits, timeouts, fast_retransmits,
+      dup_acks, acks_sent, data_check_rejects, ack_check_rejects, gave_up,
+      delivered_ok, residual_undetected, residual_lost, skipped,
+      payload_bytes_ok;
+};
+
+const ArqMetrics& amx() {
+  static const ArqMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    ArqMetrics v;
+    v.runs = r.counter("arq.runs");
+    v.data_sent = r.counter("arq.data_sent");
+    v.retransmits = r.counter("arq.retransmits");
+    v.timeouts = r.counter("arq.timeouts");
+    v.fast_retransmits = r.counter("arq.fast_retransmits");
+    v.dup_acks = r.counter("arq.dup_acks");
+    v.acks_sent = r.counter("arq.acks_sent");
+    v.data_check_rejects = r.counter("arq.data_check_rejects");
+    v.ack_check_rejects = r.counter("arq.ack_check_rejects");
+    v.gave_up = r.counter("arq.gave_up");
+    v.delivered_ok = r.counter("arq.delivered_ok");
+    v.residual_undetected = r.counter("arq.residual_undetected");
+    v.residual_lost = r.counter("arq.residual_lost");
+    v.skipped = r.counter("arq.skipped");
+    v.payload_bytes_ok = r.counter("arq.payload_bytes_ok");
+    return v;
+  }();
+  return m;
+}
+
+void flush_metrics(const SimResult& r) {
+  const ArqMetrics& m = amx();
+  m.runs.add(1);
+  m.data_sent.add(r.sender.data_sent);
+  m.retransmits.add(r.sender.retransmits);
+  m.timeouts.add(r.sender.timeouts);
+  m.fast_retransmits.add(r.sender.fast_retransmits);
+  m.dup_acks.add(r.sender.dup_acks);
+  m.acks_sent.add(r.receiver.acks_sent);
+  m.data_check_rejects.add(r.receiver.check_rejects);
+  m.ack_check_rejects.add(r.sender.ack_rejects);
+  m.gave_up.add(r.gave_up);
+  m.delivered_ok.add(r.delivered_ok);
+  m.residual_undetected.add(r.residual_undetected);
+  m.residual_lost.add(r.residual_lost);
+  m.skipped.add(r.receiver.skipped);
+  m.payload_bytes_ok.add(r.payload_bytes_ok);
+}
+
+constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+/// One in-flight link delivery. Ordered by (time, id): insertion order
+/// breaks ties, so the run is deterministic.
+struct Event {
+  std::uint64_t time;
+  std::uint64_t id;
+  bool to_receiver;
+  util::Bytes bytes;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return a.time != b.time ? a.time > b.time : a.id > b.id;
+  }
+};
+
+}  // namespace
+
+void register_arq_metrics() { (void)amx(); }
+
+SimResult run_sim(const SimConfig& cfg,
+                  const std::vector<util::Bytes>& payloads) {
+  SimResult res;
+  res.payloads_offered = payloads.size();
+  for (const util::Bytes& p : payloads) res.payload_bytes_offered += p.size();
+
+  // Independent deterministic streams for jitter and each direction.
+  const util::Rng root(cfg.seed);
+  ArqConfig acfg = cfg.arq;
+  acfg.jitter_seed = root.child(0).next();
+  faults::LinkChannel data_link(cfg.data_link, root.child(1).next());
+  faults::LinkChannel ack_link(cfg.ack_link, root.child(2).next());
+
+  Sender sender(acfg, payloads);
+  Receiver receiver(acfg);
+
+  // Every payload is transmitted at most 2 + retry_budget times
+  // (first send, budgeted retransmissions, one fast retransmit whose
+  // retry also counts against the budget); each transmission yields at
+  // most two deliveries and each delivery at most one two-delivery
+  // ACK. The cap is an order of magnitude above that.
+  const std::uint64_t cap =
+      cfg.event_cap != 0
+          ? cfg.event_cap
+          : 4096 + res.payloads_offered *
+                       (static_cast<std::uint64_t>(acfg.retry_budget) + 2) * 64;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
+  std::uint64_t next_id = 0;
+  std::uint64_t now = 0;
+
+  const auto schedule = [&](std::uint64_t t, bool to_receiver,
+                            util::Bytes bytes) {
+    queue.push(Event{t, next_id++, to_receiver, std::move(bytes)});
+  };
+  const auto pump_sender = [&] {
+    for (util::Bytes& wire : sender.poll(now))
+      for (faults::LinkDelivery& d : data_link.transmit(wire))
+        schedule(now + cfg.link_delay + d.extra_delay, true,
+                 std::move(d.bytes));
+  };
+
+  // Oracle bookkeeping: reconstruct each delivery's absolute payload
+  // index from its u16 sequence (deliveries are seq-monotonic, so the
+  // minimal forward step decodes it) and compare bytes.
+  std::vector<std::uint8_t> delivered_flag(payloads.size(), 0);
+  std::uint64_t abs_next = 0;
+  std::size_t scored = 0;
+  const auto score_deliveries = [&] {
+    const auto& ds = receiver.deliveries();
+    for (; scored < ds.size(); ++scored) {
+      const Receiver::Delivery& d = ds[scored];
+      const std::uint64_t step = static_cast<std::uint16_t>(
+          d.seq - static_cast<std::uint16_t>(abs_next));
+      const std::uint64_t abs = abs_next + step;
+      abs_next = abs + 1;
+      if (abs >= payloads.size() || delivered_flag[abs] != 0) {
+        // A sequence the sender never offered (or offered once and we
+        // somehow delivered twice): only a corrupted field that beat
+        // the checksum can get here.
+        ++res.residual_undetected;
+        continue;
+      }
+      delivered_flag[abs] = 1;
+      if (d.payload == payloads[abs]) {
+        ++res.delivered_ok;
+        res.payload_bytes_ok += d.payload.size();
+        const std::uint64_t t0 = sender.first_sent()[abs];
+        const std::uint64_t lat = t0 == kNever ? 0 : now - t0;
+        res.latency_sum += lat;
+        res.latency_max = std::max(res.latency_max, lat);
+      } else {
+        ++res.residual_undetected;
+      }
+    }
+  };
+
+  bool capped = false;
+  // The iteration guard exists so an endpoint bug that stops making
+  // progress (a timer poll() never clears, say) surfaces as a reported
+  // termination failure rather than a hang.
+  const std::uint64_t iter_cap = 4 * cap + 4096;
+  for (std::uint64_t iter = 0;; ++iter) {
+    if (iter > iter_cap) {
+      capped = true;
+      break;
+    }
+    pump_sender();
+    if (sender.done() && queue.empty()) break;
+    const std::uint64_t t_event = queue.empty() ? kNever : queue.top().time;
+    const std::uint64_t t_timer = sender.next_deadline();
+    const std::uint64_t next = std::min(t_event, t_timer);
+    if (next == kNever) {
+      res.violation = "stalled: not done, but no event or timer pending";
+      break;
+    }
+    now = std::max(now, next);
+    while (!queue.empty() && queue.top().time <= now) {
+      Event ev = queue.top();
+      queue.pop();
+      if (++res.events > cap) {
+        capped = true;
+        break;
+      }
+      if (ev.to_receiver) {
+        for (util::Bytes& a : receiver.on_frame(ev.bytes))
+          for (faults::LinkDelivery& d : ack_link.transmit(a))
+            schedule(now + cfg.link_delay + d.extra_delay, false,
+                     std::move(d.bytes));
+        score_deliveries();
+      } else {
+        sender.on_frame(ev.bytes);
+      }
+    }
+    if (capped) break;
+  }
+
+  // Teardown: the transfer is over, so hand the receiver the sender's
+  // final base out of band (the virtual equivalent of a reliable
+  // close). This releases SR frames still buffered behind a hole whose
+  // base frame was abandoned on the sender's final transmission.
+  if (!capped && sender.done()) {
+    receiver.finish(static_cast<std::uint16_t>(payloads.size()));
+    score_deliveries();
+  }
+
+  res.ticks = now;
+  res.terminated = !capped;
+  res.sender = sender.stats();
+  res.receiver = receiver.stats();
+  res.data_link = data_link.stats();
+  res.ack_link = ack_link.stats();
+  res.gave_up = res.sender.gave_up;
+
+  // Residual loss: offered but neither delivered nor abandoned — the
+  // trace of an undetected ACK/base corruption (the sender believes a
+  // frame arrived that never did).
+  std::vector<std::uint8_t> abandoned_flag(payloads.size(), 0);
+  for (const std::size_t i : sender.abandoned()) abandoned_flag[i] = 1;
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    if (delivered_flag[i] == 0 && abandoned_flag[i] == 0) ++res.residual_lost;
+
+  // Internal accounting identities (docs/ARQ.md, failure matrix). Any
+  // mismatch is a simulator/endpoint bug, not a link behaviour.
+  if (res.violation.empty() && res.terminated) {
+    const ReceiverStats& r = res.receiver;
+    if (r.deliveries_seen != r.malformed + r.check_rejects + r.duplicates +
+                                 r.out_of_window + r.discarded + r.accepted +
+                                 r.buffered)
+      res.violation = "receiver outcome counters do not sum to deliveries";
+    else if (r.deliveries_seen != res.data_link.deliveries)
+      res.violation = "data-link deliveries not all examined by the receiver";
+    else if (res.sender.acks_received + res.sender.ack_rejects +
+                 res.sender.ack_malformed !=
+             res.ack_link.deliveries)
+      res.violation = "ack-link deliveries not all examined by the sender";
+  }
+
+  flush_metrics(res);
+  return res;
+}
+
+}  // namespace cksum::arq

@@ -207,9 +207,12 @@ bool FrameChannel::handle_nack(std::uint32_t resume_seq) {
   if (fd_ < 0 || broken_) return false;
   // The peer wants every frame from resume_seq replayed in order. A
   // resume point older than the window means the gap is unrecoverable.
-  if (!sent_.empty() && resume_seq < sent_.front().first) return false;
+  // Serial-number comparisons: raw < would invert at the u32 wrap
+  // (e.g. resume_seq 0xffffffff against a buffered seq of 0x00000001).
+  if (!sent_.empty() && seq_before(resume_seq, sent_.front().first))
+    return false;
   for (const auto& [seq, wire] : sent_) {
-    if (seq < resume_seq) continue;
+    if (seq_before(seq, resume_seq)) continue;
     if (!write_all(wire.data(), wire.size())) {
       broken_ = true;
       return false;
@@ -283,7 +286,9 @@ bool FrameChannel::recv(Frame* out, int timeout_ms) {
       // pending NACK would also land here and be re-NACKed by the
       // peer's next real frame... but frames on a stream socket can't
       // reorder, so in practice only replay overlap hits this.
-      if (seq > recv_next_) {
+      // Serial order, not raw order: a replayed seq 0xffffffff while
+      // we expect 0x00000002 is behind us, not four billion ahead.
+      if (seq_before(recv_next_, seq)) {
         if (!send_nack()) {
           broken_ = true;
           return false;

@@ -55,6 +55,14 @@ struct Frame {
   util::Bytes payload;
 };
 
+/// Serial-number order (RFC 1982 style) for the u32 frame sequence
+/// space: true when `a` precedes `b`, correct across 2^32 wraparound
+/// as long as the two are within 2^31 of each other — the resend
+/// window is 16 frames, so that always holds on a live connection.
+constexpr bool seq_before(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
 /// Encode one complete wire frame.
 util::Bytes encode_frame(MsgType type, std::uint32_t seq,
                          util::ByteView payload);
@@ -105,6 +113,17 @@ class FrameChannel {
   /// CRC is computed, so the receiver sees a checksum failure exactly
   /// as link corruption would produce one.
   void corrupt_next_send() noexcept { corrupt_next_ = true; }
+
+  /// Test hook: start both ends' sequence counters at an arbitrary
+  /// point (both sides of a connection must agree). Lets the
+  /// wraparound regression test drive seq across 2^32 without sending
+  /// four billion frames. Call before any traffic.
+  void preset_sequences_for_test(std::uint32_t send_seq,
+                                 std::uint32_t recv_next) noexcept {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    send_seq_ = send_seq;
+    recv_next_ = recv_next;
+  }
 
   struct Stats {
     std::uint64_t frames_sent = 0;

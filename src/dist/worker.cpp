@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -24,16 +25,25 @@
 #include "faults/channel.hpp"
 #include "fsgen/profile.hpp"
 #include "obs/snapshot.hpp"
+#include "util/rng.hpp"
 
 namespace cksum::dist {
 namespace {
 
-int connect_coordinator(const std::string& host, std::uint16_t port) {
+/// Connect with exponential backoff and seeded jitter: 50ms doubling
+/// to a 2s ceiling, each wait stretched by up to a quarter so a fleet
+/// of workers spawned together does not hammer the coordinator in
+/// lockstep. Gives up after ~12s of cumulative waiting (same overall
+/// patience as the old fixed 40x250ms schedule).
+int connect_coordinator(const std::string& host, std::uint16_t port,
+                        std::uint64_t seed) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
-  for (int attempt = 0; attempt < 40; ++attempt) {
+  util::Rng jitter = util::Rng(seed).child(0x5EED);
+  std::uint64_t delay_ms = 50;
+  for (std::uint64_t waited_ms = 0; waited_ms < 12000;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return -1;
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
@@ -42,7 +52,10 @@ int connect_coordinator(const std::string& host, std::uint16_t port) {
       return fd;
     }
     ::close(fd);
-    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const std::uint64_t wait = delay_ms + jitter.below(delay_ms / 4 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    waited_ms += wait;
+    delay_ms = std::min<std::uint64_t>(delay_ms * 2, 2000);
   }
   return -1;
 }
@@ -100,8 +113,11 @@ core::SpliceStats evaluate_range(const core::SpliceRunConfig& run,
 /// while the main thread is busy inside the evaluator.
 class HeartbeatPump {
  public:
-  HeartbeatPump(FrameChannel& ch, std::uint32_t interval_ms)
-      : ch_(ch), interval_ms_(std::max(50u, interval_ms)) {
+  HeartbeatPump(FrameChannel& ch, std::uint32_t interval_ms,
+                std::uint64_t seed)
+      : ch_(ch),
+        interval_ms_(std::max(50u, interval_ms)),
+        jitter_(util::Rng(seed).child(0xBEA7)) {
     thread_ = std::thread([this] { loop(); });
   }
   ~HeartbeatPump() {
@@ -128,7 +144,12 @@ class HeartbeatPump {
   void loop() {
     std::unique_lock<std::mutex> lk(mu_);
     while (!stop_) {
-      cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_));
+      // Uniform in [0.75, 1.25] of the nominal interval (mean exactly
+      // the interval, so lease-expiry math is unchanged) to keep a
+      // worker fleet's heartbeats from arriving in synchronized waves.
+      const std::uint64_t wait =
+          interval_ms_ - interval_ms_ / 4 + jitter_.below(interval_ms_ / 2 + 1);
+      cv_.wait_for(lk, std::chrono::milliseconds(wait));
       if (stop_ || !active_) continue;
       const HeartbeatMsg hb{shard_, epoch_};
       lk.unlock();
@@ -139,6 +160,7 @@ class HeartbeatPump {
 
   FrameChannel& ch_;
   const std::uint32_t interval_ms_;
+  util::Rng jitter_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::thread thread_;
@@ -159,7 +181,7 @@ int run_worker(const WorkerOptions& opts) {
   alg::kern::register_kernel_metrics();
   register_dist_metrics();
 
-  const int fd = connect_coordinator(opts.host, opts.port);
+  const int fd = connect_coordinator(opts.host, opts.port, opts.worker_id);
   if (fd < 0) {
     std::fprintf(stderr, "dist worker %llu: cannot connect to %s:%u\n",
                  static_cast<unsigned long long>(opts.worker_id),
@@ -198,7 +220,7 @@ int run_worker(const WorkerOptions& opts) {
 
   obs::Registry& reg = obs::Registry::global();
   const auto start = std::chrono::steady_clock::now();
-  HeartbeatPump pump(ch, cfg->heartbeat_ms);
+  HeartbeatPump pump(ch, cfg->heartbeat_ms, opts.worker_id);
 
   while (true) {
     // Generous wait: the coordinator may hold grants back until the

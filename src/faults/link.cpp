@@ -1,0 +1,69 @@
+#include "faults/link.hpp"
+
+#include <algorithm>
+
+#include "core/error_inject.hpp"
+
+namespace cksum::faults {
+
+void LinkStats::merge(const LinkStats& o) noexcept {
+  frames_in += o.frames_in;
+  deliveries += o.deliveries;
+  drops += o.drops;
+  duplicates += o.duplicates;
+  corruptions += o.corruptions;
+  truncations += o.truncations;
+  reorders += o.reorders;
+}
+
+std::vector<LinkDelivery> LinkChannel::transmit(util::ByteView frame) {
+  ++stats_.frames_in;
+
+  if (rng_.chance(plan_.drop_rate)) {
+    ++stats_.drops;
+    return {};
+  }
+
+  std::size_t copies = 1;
+  if (rng_.chance(plan_.duplicate_rate)) {
+    ++stats_.duplicates;
+    copies = 2;
+  }
+
+  const unsigned bits_lo = std::clamp(plan_.burst_bits_min, 1u, 64u);
+  const unsigned bits_hi = std::clamp(plan_.burst_bits_max, bits_lo, 64u);
+
+  std::vector<LinkDelivery> out;
+  out.reserve(copies);
+  for (std::size_t k = 0; k < copies; ++k) {
+    LinkDelivery d;
+    d.bytes.assign(frame.begin(), frame.end());
+
+    if (!d.bytes.empty() && rng_.chance(plan_.corrupt_rate)) {
+      // A burst longer than the (possibly tiny) frame is clipped to it;
+      // every frame byte is fair game, trailer included.
+      const unsigned len = std::min<unsigned>(
+          bits_lo + static_cast<unsigned>(rng_.below(bits_hi - bits_lo + 1)),
+          static_cast<unsigned>(std::min<std::size_t>(8 * d.bytes.size(), 64)));
+      core::apply_burst(d.bytes,
+                        core::random_burst(rng_, 8 * d.bytes.size(), len));
+      ++stats_.corruptions;
+    }
+
+    if (!d.bytes.empty() && rng_.chance(plan_.truncate_rate)) {
+      d.bytes.resize(rng_.below(d.bytes.size()));
+      ++stats_.truncations;
+    }
+
+    if (plan_.reorder_delay_max > 0 && rng_.chance(plan_.reorder_rate)) {
+      d.extra_delay = 1 + rng_.below(plan_.reorder_delay_max);
+      ++stats_.reorders;
+    }
+
+    ++stats_.deliveries;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace cksum::faults

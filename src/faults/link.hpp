@@ -1,0 +1,104 @@
+// Frame-grain fault injection for the ARQ link layer (src/arq/).
+//
+// FaultyChannel (channel.hpp) injects faults at ATM-cell grain for the
+// demux stack; ARQ endpoints exchange variable-length link frames, so
+// this file provides the same deterministic fault taxonomy one layer
+// up. Each transmitted frame independently suffers
+//
+//  * whole-frame loss       — the frame never arrives (drop)
+//  * duplication            — one extra copy is delivered
+//  * payload/header bursts  — core::apply_burst anywhere in the frame
+//                             (header, payload, or the checksum
+//                             trailer — the decoder sees all three)
+//  * truncation             — the frame's tail cut at a random byte
+//  * reordering             — extra propagation delay, so the frame
+//                             arrives after later transmissions
+//
+// and the classes compose: a duplicated frame's copies are corrupted,
+// truncated, and delayed independently, so corruption+duplication (or
+// truncation+reorder) hit the same source frame in one transmit() —
+// the composition tests in tests/test_faults.cpp pin this down.
+//
+// Like FaultyChannel, a LinkChannel owns a seeded Rng: a (plan, seed,
+// transmission sequence) triple always produces the same deliveries,
+// which is what makes arq soak reproducer lines replayable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace cksum::faults {
+
+/// Per-frame injection rates. Everything is a per-copy probability
+/// (a duplicated frame rolls corruption/truncation/reordering once
+/// per copy). A default-constructed plan delivers every frame intact.
+struct LinkPlan {
+  double drop_rate = 0.0;       ///< whole-frame loss
+  double duplicate_rate = 0.0;  ///< one extra copy delivered
+
+  double corrupt_rate = 0.0;    ///< bit-burst somewhere in the frame
+  unsigned burst_bits_min = 1;  ///< inclusive; clamped to [1, 64]
+  unsigned burst_bits_max = 32; ///< inclusive; clamped to [min, 64]
+
+  double truncate_rate = 0.0;   ///< tail cut at a random byte offset
+
+  double reorder_rate = 0.0;    ///< extra delay past later frames
+  std::uint64_t reorder_delay_max = 8;  ///< max extra ticks (>= 1)
+};
+
+/// One counter per fault class. Deliveries and injections are both
+/// counted so callers can close the accounting: every frame in is
+/// either dropped or delivered 1..2 times, and every injected
+/// corruption/truncation/reorder names a delivered copy.
+struct LinkStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t deliveries = 0;  ///< copies handed to the far end
+
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t reorders = 0;
+
+  std::uint64_t total_injected() const noexcept {
+    return drops + duplicates + corruptions + truncations + reorders;
+  }
+
+  void merge(const LinkStats& o) noexcept;
+};
+
+/// One delivered copy of a transmitted frame. `extra_delay` is the
+/// reordering delay in virtual-clock ticks, added by the caller on top
+/// of its base propagation delay (the channel has no clock of its own).
+struct LinkDelivery {
+  util::Bytes bytes;
+  std::uint64_t extra_delay = 0;
+};
+
+/// Applies a LinkPlan to individual frames. Stateless across frames
+/// apart from the Rng and the accumulated counters, so interactive
+/// protocols can interleave transmissions from both directions by
+/// giving each direction its own channel.
+class LinkChannel {
+ public:
+  LinkChannel(const LinkPlan& plan, std::uint64_t seed)
+      : plan_(plan), rng_(seed) {}
+
+  /// Pass one frame through the channel: zero (dropped), one, or two
+  /// (duplicated) deliveries, each independently corrupted, truncated,
+  /// and/or delayed.
+  std::vector<LinkDelivery> transmit(util::ByteView frame);
+
+  const LinkStats& stats() const noexcept { return stats_; }
+  const LinkPlan& plan() const noexcept { return plan_; }
+
+ private:
+  LinkPlan plan_;
+  util::Rng rng_;
+  LinkStats stats_;
+};
+
+}  // namespace cksum::faults

@@ -1,0 +1,376 @@
+// ARQ link layer (docs/ARQ.md): frame codec integrity, the three
+// retransmission policies' delivery guarantees under a clean link,
+// graceful degradation (abandonment + base-skip) when the link is
+// hostile, termination at the 10% fault regime, and determinism of
+// both the simulator and the soak harness.
+#include <gtest/gtest.h>
+
+#include "arq/endpoint.hpp"
+#include "arq/frame.hpp"
+#include "arq/sim.hpp"
+#include "arq/soak.hpp"
+#include "util/rng.hpp"
+
+namespace cksum {
+namespace {
+
+using arq::ArqConfig;
+using arq::ArqFrame;
+using arq::DecodeStatus;
+using arq::FrameType;
+using arq::Policy;
+using util::Bytes;
+using util::ByteView;
+
+constexpr alg::Algorithm kAllAlgs[] = {
+    alg::Algorithm::kInternet, alg::Algorithm::kFletcher255,
+    alg::Algorithm::kFletcher256, alg::Algorithm::kCrc32};
+constexpr Policy kAllPolicies[] = {Policy::kStopAndWait, Policy::kGoBackN,
+                                   Policy::kSelectiveRepeat};
+
+std::vector<Bytes> make_payloads(std::uint64_t seed, std::size_t n,
+                                 std::size_t max_len = 600) {
+  util::Rng rng(seed);
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes p(1 + rng.below(max_len));
+    rng.fill(p);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// --- Frame codec ----------------------------------------------------
+
+TEST(ArqFrame, RoundtripEveryChecksumAndType) {
+  util::Rng rng(0xF7A3E);
+  for (const alg::Algorithm a : kAllAlgs) {
+    for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{97}, std::size_t{1500}}) {
+      ArqFrame f;
+      f.type = len % 2 == 0 ? FrameType::kData : FrameType::kAck;
+      f.check = a;
+      f.seq = static_cast<std::uint16_t>(rng.next());
+      f.aux = static_cast<std::uint16_t>(rng.next());
+      f.payload.resize(len);
+      rng.fill(f.payload);
+
+      const Bytes wire = arq::encode_arq_frame(f);
+      ASSERT_EQ(wire.size(),
+                arq::kFrameHeaderLen + len + arq::kFrameTrailerLen);
+      DecodeStatus st{};
+      const auto d = arq::decode_arq_frame(ByteView(wire), &st);
+      ASSERT_TRUE(d.has_value()) << alg::name(a) << " len " << len;
+      EXPECT_EQ(st, DecodeStatus::kOk);
+      EXPECT_EQ(d->type, f.type);
+      EXPECT_EQ(d->check, a);
+      EXPECT_EQ(d->seq, f.seq);
+      EXPECT_EQ(d->aux, f.aux);
+      EXPECT_EQ(d->payload, f.payload);
+    }
+  }
+}
+
+TEST(ArqFrame, SingleBitCorruptionCaughtByEveryChecksum) {
+  // One flipped bit anywhere must be caught by all four checks (the
+  // paper's taxonomy: every algorithm detects all 1-bit errors).
+  for (const alg::Algorithm a : kAllAlgs) {
+    ArqFrame f;
+    f.type = FrameType::kData;
+    f.check = a;
+    f.seq = 0x1234;
+    f.aux = 0x0001;
+    f.payload = Bytes(48, 0x5a);
+    const Bytes wire = arq::encode_arq_frame(f);
+    for (std::size_t bit = 0; bit < 8 * wire.size(); bit += 7) {
+      Bytes hit = wire;
+      hit[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      DecodeStatus st{};
+      const auto d = arq::decode_arq_frame(ByteView(hit), &st);
+      if (d.has_value()) {
+        // Only acceptable if the flip landed in a field whose change
+        // still decodes AND the checksum covers it — impossible: every
+        // header/payload/trailer bit is covered.
+        ADD_FAILURE() << alg::name(a) << ": bit " << bit
+                      << " flipped yet frame accepted";
+      }
+    }
+  }
+}
+
+TEST(ArqFrame, TruncationIsMalformedNotAccepted) {
+  ArqFrame f;
+  f.type = FrameType::kData;
+  f.check = alg::Algorithm::kCrc32;
+  f.payload = Bytes(64, 0x17);
+  const Bytes wire = arq::encode_arq_frame(f);
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    DecodeStatus st{};
+    const auto d =
+        arq::decode_arq_frame(ByteView(wire.data(), keep), &st);
+    EXPECT_FALSE(d.has_value()) << "kept " << keep;
+  }
+}
+
+TEST(ArqFrame, SerialOrderSoundAcrossU16Wrap) {
+  EXPECT_TRUE(arq::seq_before(0xfffe, 0xffff));
+  EXPECT_TRUE(arq::seq_before(0xffff, 0x0000));
+  EXPECT_TRUE(arq::seq_before(0xffff, 0x0010));
+  EXPECT_FALSE(arq::seq_before(0x0000, 0xffff));
+  EXPECT_FALSE(arq::seq_before(5, 5));
+}
+
+// --- Fault-free fidelity --------------------------------------------
+
+TEST(ArqSim, CleanLinkDeliversBitwiseIdenticalStreamEveryPolicy) {
+  const std::vector<Bytes> payloads = make_payloads(0xC1EA4, 40);
+  for (const Policy policy : kAllPolicies) {
+    for (const alg::Algorithm a : kAllAlgs) {
+      arq::SimConfig cfg;  // default link plans are fault-free
+      cfg.arq.policy = policy;
+      cfg.arq.checksum = a;
+      cfg.seed = 7;
+      const arq::SimResult r = arq::run_sim(cfg, payloads);
+      ASSERT_TRUE(r.terminated);
+      EXPECT_TRUE(r.violation.empty()) << r.violation;
+      EXPECT_EQ(r.delivered_ok, payloads.size())
+          << arq::name(policy) << "/" << alg::name(a);
+      EXPECT_EQ(r.residual_undetected, 0u);
+      EXPECT_EQ(r.residual_lost, 0u);
+      EXPECT_EQ(r.gave_up, 0u);
+      EXPECT_EQ(r.sender.retransmits, 0u);
+      EXPECT_EQ(r.sender.timeouts, 0u);
+      EXPECT_EQ(r.receiver.skipped, 0u);
+    }
+  }
+}
+
+// --- Graceful degradation -------------------------------------------
+
+TEST(ArqSim, TotalBlackoutAbandonsEveryFrameAndTerminates) {
+  const std::vector<Bytes> payloads = make_payloads(0xB1AC0, 12);
+  for (const Policy policy : kAllPolicies) {
+    arq::SimConfig cfg;
+    cfg.arq.policy = policy;
+    cfg.arq.retry_budget = 3;
+    cfg.data_link.drop_rate = 1.0;  // nothing ever arrives
+    const arq::SimResult r = arq::run_sim(cfg, payloads);
+    ASSERT_TRUE(r.terminated) << arq::name(policy);
+    EXPECT_EQ(r.gave_up, payloads.size());
+    EXPECT_EQ(r.delivered_ok, 0u);
+    EXPECT_EQ(r.residual_lost, 0u);  // abandoned, not silently lost
+    // Budget respected: first send + at most retry_budget retries.
+    EXPECT_LE(r.sender.retransmits,
+              payloads.size() * cfg.arq.retry_budget);
+  }
+}
+
+TEST(ArqSim, AckBlackoutStillTerminates) {
+  const std::vector<Bytes> payloads = make_payloads(0xACB0, 10);
+  for (const Policy policy : kAllPolicies) {
+    arq::SimConfig cfg;
+    cfg.arq.policy = policy;
+    cfg.arq.retry_budget = 2;
+    cfg.ack_link.drop_rate = 1.0;  // data flows, every ACK lost
+    const arq::SimResult r = arq::run_sim(cfg, payloads);
+    ASSERT_TRUE(r.terminated) << arq::name(policy);
+    EXPECT_TRUE(r.violation.empty()) << r.violation;
+    // The sender must conclude (by giving up — it can't know the data
+    // arrived), and the receiver must still have seen every payload.
+    EXPECT_EQ(r.gave_up, payloads.size());
+    EXPECT_EQ(r.receiver.delivered, payloads.size());
+  }
+}
+
+/// Go-back-N receiver skips holes the sender abandoned: the DATA
+/// frames' base stamp pulls next_expected forward, and the payloads
+/// after the hole still deliver.
+TEST(ArqEndpoint, GoBackNReceiverSkipsAbandonedHole) {
+  ArqConfig cfg;
+  cfg.policy = Policy::kGoBackN;
+  cfg.window = 2;
+  cfg.rto = 8;
+  cfg.retry_budget = 0;  // abandon on first timeout
+  arq::Sender sender(cfg, make_payloads(0x5EED, 3));
+  arq::Receiver receiver(cfg);
+
+  // t=0: frames 0 and 1 go out. Lose frame 0; deliver frame 1 (GBN
+  // discards it as out-of-order).
+  std::vector<Bytes> wires = sender.poll(0);
+  ASSERT_EQ(wires.size(), 2u);
+  receiver.on_frame(ByteView(wires[1]));
+  EXPECT_EQ(receiver.stats().discarded, 1u);
+  EXPECT_TRUE(receiver.deliveries().empty());
+
+  // The base timer fires: budget 0 abandons the whole wave, the
+  // window opens, and frame 2 goes out stamped with base = 2.
+  wires = sender.poll(1000);
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_EQ(sender.stats().gave_up, 2u);
+  const auto f2 = arq::decode_arq_frame(ByteView(wires[0]), nullptr);
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->seq, 2u);
+  EXPECT_EQ(f2->aux, 2u);  // the base stamp
+
+  // The receiver skips the two-holes and accepts frame 2 in order.
+  receiver.on_frame(ByteView(wires[0]));
+  EXPECT_EQ(receiver.stats().skipped, 2u);
+  ASSERT_EQ(receiver.deliveries().size(), 1u);
+  EXPECT_EQ(receiver.deliveries()[0].seq, 2u);
+  EXPECT_EQ(receiver.next_expected(), 3u);
+}
+
+/// Selective repeat buffers out-of-order arrivals and releases the
+/// whole run once the hole fills — and a buffered frame survives an
+/// abandonment skip of an earlier hole.
+TEST(ArqEndpoint, SelectiveRepeatBuffersAndReleases) {
+  ArqConfig cfg;
+  cfg.policy = Policy::kSelectiveRepeat;
+  cfg.window = 4;
+  arq::Sender sender(cfg, make_payloads(0x0FFE, 4));
+  arq::Receiver receiver(cfg);
+
+  std::vector<Bytes> wires = sender.poll(0);
+  ASSERT_EQ(wires.size(), 4u);
+
+  // Deliver 2, 1, 3 out of order: all buffered, nothing surfaced.
+  receiver.on_frame(ByteView(wires[2]));
+  receiver.on_frame(ByteView(wires[1]));
+  receiver.on_frame(ByteView(wires[3]));
+  EXPECT_EQ(receiver.stats().buffered, 3u);
+  EXPECT_TRUE(receiver.deliveries().empty());
+
+  // Frame 0 fills the hole: the entire run releases in order.
+  receiver.on_frame(ByteView(wires[0]));
+  ASSERT_EQ(receiver.deliveries().size(), 4u);
+  for (std::uint16_t i = 0; i < 4; ++i)
+    EXPECT_EQ(receiver.deliveries()[i].seq, i);
+  EXPECT_EQ(receiver.stats().accepted, 1u);
+}
+
+TEST(ArqEndpoint, SelectiveRepeatSkipSurfacesBufferedFrames) {
+  ArqConfig cfg;
+  cfg.policy = Policy::kSelectiveRepeat;
+  cfg.window = 2;
+  cfg.rto = 8;
+  cfg.retry_budget = 0;
+  arq::Sender sender(cfg, make_payloads(0xAB5E, 3));
+  arq::Receiver receiver(cfg);
+
+  std::vector<Bytes> wires = sender.poll(0);
+  ASSERT_EQ(wires.size(), 2u);
+  receiver.on_frame(ByteView(wires[1]));  // frame 1 buffered
+  EXPECT_EQ(receiver.stats().buffered, 1u);
+
+  wires = sender.poll(1000);  // both abandoned, frame 2 out (base 2)
+  ASSERT_EQ(wires.size(), 1u);
+  receiver.on_frame(ByteView(wires[0]));
+  // The skip to base 2 surfaced buffered frame 1; only frame 0 is a
+  // true hole; frame 2 then arrives in order.
+  ASSERT_EQ(receiver.deliveries().size(), 2u);
+  EXPECT_EQ(receiver.deliveries()[0].seq, 1u);
+  EXPECT_EQ(receiver.deliveries()[1].seq, 2u);
+  EXPECT_EQ(receiver.stats().skipped, 1u);
+}
+
+// --- Termination at the paper's fault regime ------------------------
+
+TEST(ArqSim, TerminatesUnderEveryFaultClassAtTenPercent) {
+  const std::vector<Bytes> payloads = make_payloads(0x7E47, 24);
+  struct Case {
+    const char* name;
+    faults::LinkPlan plan;
+  };
+  faults::LinkPlan drop, dup, corrupt, trunc, reorder, all;
+  drop.drop_rate = 0.10;
+  dup.duplicate_rate = 0.10;
+  corrupt.corrupt_rate = 0.10;
+  trunc.truncate_rate = 0.10;
+  reorder.reorder_rate = 0.10;
+  reorder.reorder_delay_max = 40;
+  all.drop_rate = all.duplicate_rate = all.corrupt_rate =
+      all.truncate_rate = all.reorder_rate = 0.10;
+  const Case cases[] = {{"drop", drop},       {"duplicate", dup},
+                        {"corrupt", corrupt}, {"truncate", trunc},
+                        {"reorder", reorder}, {"all-composed", all}};
+  for (const Policy policy : kAllPolicies) {
+    for (const Case& c : cases) {
+      arq::SimConfig cfg;
+      cfg.arq.policy = policy;
+      cfg.data_link = c.plan;
+      cfg.ack_link = c.plan;
+      cfg.seed = 0xD00D;
+      const arq::SimResult r = arq::run_sim(cfg, payloads);
+      ASSERT_TRUE(r.terminated) << arq::name(policy) << "/" << c.name;
+      EXPECT_TRUE(r.violation.empty())
+          << arq::name(policy) << "/" << c.name << ": " << r.violation;
+      // Every payload accounted for: delivered, abandoned, or (under
+      // a 16-bit check it would be possible) residual.
+      EXPECT_GE(r.delivered_ok + r.residual_undetected + r.gave_up +
+                    r.residual_lost,
+                r.payloads_offered);
+      // CRC-32 framing: no residual errors at these volumes.
+      EXPECT_EQ(r.residual_undetected, 0u);
+      EXPECT_EQ(r.residual_lost, 0u);
+    }
+  }
+}
+
+// --- Determinism ----------------------------------------------------
+
+TEST(ArqSim, IdenticalConfigReplaysBitForBit) {
+  const std::vector<Bytes> payloads = make_payloads(0xDE7E, 32);
+  arq::SimConfig cfg;
+  cfg.arq.policy = Policy::kSelectiveRepeat;
+  cfg.arq.checksum = alg::Algorithm::kInternet;
+  cfg.data_link.corrupt_rate = 0.08;
+  cfg.data_link.drop_rate = 0.05;
+  cfg.data_link.duplicate_rate = 0.05;
+  cfg.data_link.reorder_rate = 0.08;
+  cfg.ack_link.corrupt_rate = 0.04;
+  cfg.seed = 0x9A9A;
+  const arq::SimResult a = arq::run_sim(cfg, payloads);
+  const arq::SimResult b = arq::run_sim(cfg, payloads);
+  EXPECT_EQ(a.delivered_ok, b.delivered_ok);
+  EXPECT_EQ(a.residual_undetected, b.residual_undetected);
+  EXPECT_EQ(a.residual_lost, b.residual_lost);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.latency_sum, b.latency_sum);
+  EXPECT_EQ(a.sender.data_sent, b.sender.data_sent);
+  EXPECT_EQ(a.sender.retransmits, b.sender.retransmits);
+  EXPECT_EQ(a.receiver.acks_sent, b.receiver.acks_sent);
+  EXPECT_EQ(a.data_link.total_injected(), b.data_link.total_injected());
+}
+
+TEST(ArqSoak, ScenarioIsDeterministicAndShortSoakHolds) {
+  arq::ArqSoakConfig cfg;
+  cfg.seed = 0x50AC;
+  const arq::ArqScenarioResult a = arq::run_arq_scenario(cfg, 11);
+  const arq::ArqScenarioResult b = arq::run_arq_scenario(cfg, 11);
+  EXPECT_EQ(a.sim.delivered_ok, b.sim.delivered_ok);
+  EXPECT_EQ(a.sim.ticks, b.sim.ticks);
+  EXPECT_EQ(a.sim.events, b.sim.events);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.violations, b.violations);
+
+  cfg.target_faults = 2000;
+  const arq::ArqSoakResult soak = arq::run_arq_soak(cfg);
+  EXPECT_TRUE(soak.ok()) << soak.violation_detail << " — "
+                         << soak.reproducer;
+  EXPECT_GE(soak.scenarios, 3u);  // all three policies rotated through
+}
+
+TEST(ArqSoak, ReproducerLineNamesSeedAndScenario) {
+  arq::ArqSoakConfig cfg;
+  cfg.seed = 0xBEEF;
+  const std::string line = arq::arq_reproducer_line(cfg, 42);
+  EXPECT_NE(line.find("arqsoak"), std::string::npos);
+  EXPECT_NE(line.find("0xbeef"), std::string::npos);
+  EXPECT_NE(line.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cksum

@@ -107,6 +107,56 @@ TEST(DistFrame, CorruptedFrameRecoveredByNackResend) {
   EXPECT_GE(a.stats().resends, 1u);
 }
 
+TEST(DistFrame, SerialOrderSoundAcrossWrap) {
+  EXPECT_TRUE(dist::seq_before(0xfffffffeu, 0xffffffffu));
+  EXPECT_TRUE(dist::seq_before(0xffffffffu, 0u));  // across the wrap
+  EXPECT_TRUE(dist::seq_before(0xffffffffu, 5u));
+  EXPECT_FALSE(dist::seq_before(0u, 0xffffffffu));
+  EXPECT_FALSE(dist::seq_before(7u, 7u));
+  EXPECT_TRUE(dist::seq_before(7u, 8u));
+  EXPECT_FALSE(dist::seq_before(8u, 7u));
+}
+
+/// Regression: NACK replay across the 2^32 sequence wraparound. The
+/// resend ring used raw u32 comparisons, so a replay whose buffered
+/// frames straddle the wrap (..., 0xffffffff, 0x0, ...) skipped the
+/// post-wrap frames and the receiver could never resynchronize.
+TEST(DistFrame, NackRecoveryAcrossSeqWraparound) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  FrameChannel a(fds[0]);
+  FrameChannel b(fds[1]);
+  // Start the a->b stream two frames short of the wrap (both ends must
+  // agree); the b->a direction (carrying b's NACKs) stays at zero.
+  a.preset_sequences_for_test(/*send_seq=*/0xfffffffeu, /*recv_next=*/0);
+  b.preset_sequences_for_test(/*send_seq=*/0, /*recv_next=*/0xfffffffeu);
+
+  constexpr std::uint32_t kFrames = 6;  // seqs 0xfffffffe .. 0x00000003
+  std::thread rx([&] {
+    for (std::uint32_t i = 0; i < kFrames; ++i) {
+      dist::Frame f;
+      ASSERT_TRUE(b.recv(&f, 5000)) << "frame " << i;
+      ASSERT_EQ(f.type, MsgType::kHeartbeat);
+      ASSERT_EQ(f.payload.size(), 1u);
+      EXPECT_EQ(f.payload[0], static_cast<std::uint8_t>(i));
+      EXPECT_EQ(f.seq, static_cast<std::uint32_t>(0xfffffffeu + i));
+    }
+  });
+
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    if (i == 1) a.corrupt_next_send();  // corrupt seq 0xffffffff
+    const util::Bytes payload = {static_cast<std::uint8_t>(i)};
+    ASSERT_TRUE(a.send(MsgType::kHeartbeat, util::ByteView(payload)));
+  }
+  dist::Frame f;
+  a.recv(&f, 1000);  // pump a's receive side so it services b's NACK
+  rx.join();
+
+  EXPECT_GE(b.stats().crc_rejects, 1u);
+  // The replay must include the post-wrap frames (seq 0x0 onward).
+  EXPECT_GE(a.stats().resends, kFrames - 1);
+}
+
 // --- Message serde --------------------------------------------------
 
 core::SpliceStats random_stats(util::Rng& rng) {

@@ -242,9 +242,24 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
       o.workers = static_cast<unsigned>(std::stoul(next()));
       o.serve = true;
     } else if (a == "--port") {
-      o.port = static_cast<std::uint16_t>(std::stoul(next()));
+      // Reject rather than silently truncate to 16 bits: a port of 0
+      // or >= 65536 would otherwise bind somewhere unrelated.
+      const unsigned long v = std::stoul(next());
+      if (v == 0 || v > 65535) {
+        std::fprintf(stderr,
+                     "cksumlab: --port must be in 1..65535 (got %lu)\n", v);
+        o.ok = false;
+      } else {
+        o.port = static_cast<std::uint16_t>(v);
+      }
     } else if (a == "--lease-timeout") {
       o.lease_timeout_ms = std::stoull(next());
+      if (o.lease_timeout_ms == 0) {
+        std::fprintf(stderr,
+                     "cksumlab: --lease-timeout must be a positive "
+                     "millisecond count\n");
+        o.ok = false;
+      }
     } else if (a == "--shard-files") {
       o.shard_files = std::stoull(next());
     } else if (a == "--quick") {

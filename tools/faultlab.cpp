@@ -11,6 +11,16 @@
 //                                  worker mid-lease, and assert the
 //                                  merged report still equals the
 //                                  single-process run bit for bit
+//   faultlab arq [options]         ARQ frontier: run every (policy,
+//                                  checksum) pair across a fault-rate
+//                                  grid and report the residual-error
+//                                  rate and goodput/latency cost of
+//                                  each (docs/ARQ.md)
+//   faultlab arqsoak [options]     randomized ARQ soak over all three
+//                                  retransmission policies; exit 1 and
+//                                  print a reproducer on any guarantee
+//                                  violation (add --scenario N to
+//                                  replay exactly one scenario)
 //
 // options:
 //   --seed <n>        master seed                    (default 0xC0FFEE)
@@ -39,7 +49,10 @@
 
 #include <fstream>
 
+#include "arq/sim.hpp"
+#include "arq/soak.hpp"
 #include "atm/demux.hpp"
+#include "checksum/checksum.hpp"
 #include "checksum/kernels/kernel.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
@@ -65,6 +78,11 @@ int usage() {
       "[--budget n]\n"
       "       faultlab distkill [--workers n] [--profile p] [--scale x]\n"
       "                         [--shard-files n] [--quick] [--verbose]\n"
+      "       faultlab arq [--seed n] [--payloads n] [--quick] [--json]\n"
+      "                    [--metrics-out p] [--quiet]\n"
+      "       faultlab arqsoak [--seed n] [--faults n] [--max-scenarios n]\n"
+      "                        [--scenario n] [--repro-file p]\n"
+      "                        [--metrics-out p] [--progress] [--quiet]\n"
       "all accept --kernel best|scalar|slicing|swar (or the\n"
       "CKSUM_KERNEL environment variable) to pick the checksum kernel\n");
   return 2;
@@ -263,6 +281,344 @@ int cmd_replay(const Opts& o) {
   });
 }
 
+// --- faultlab arq / arqsoak -----------------------------------------
+
+struct ArqOpts {
+  arq::ArqSoakConfig cfg;
+  std::uint64_t scenario = 0;
+  bool have_scenario = false;
+  std::size_t payloads = 48;
+  std::string repro_file;
+  std::string metrics_out;
+  bool progress = false;
+  bool quiet = false;
+  bool quick = false;
+  bool json = false;
+  bool ok = true;
+};
+
+ArqOpts parse_arq(const std::vector<std::string>& args) {
+  ArqOpts o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        o.ok = false;
+        return "0";
+      }
+      return args[++i];
+    };
+    if (a == "--seed") {
+      o.cfg.seed = std::stoull(next(), nullptr, 0);
+    } else if (a == "--faults") {
+      o.cfg.target_faults = std::stoull(next());
+    } else if (a == "--max-scenarios") {
+      o.cfg.max_scenarios = std::stoull(next());
+    } else if (a == "--scenario") {
+      o.scenario = std::stoull(next(), nullptr, 0);
+      o.have_scenario = true;
+    } else if (a == "--payloads") {
+      o.payloads = std::stoull(next());
+    } else if (a == "--repro-file") {
+      o.repro_file = next();
+    } else if (a == "--metrics-out") {
+      o.metrics_out = next();
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else if (a == "--quick") {
+      o.quick = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      o.ok = false;
+    }
+  }
+  return o;
+}
+
+std::string arq_ticker_line(const obs::Snapshot& snap, double elapsed) {
+  const auto get = [&](std::string_view name) -> std::uint64_t {
+    const obs::MetricValue* m = snap.find(name);
+    return m != nullptr ? m->value : 0;
+  };
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "arq: %llu runs  %llu delivered  %llu retransmits  "
+      "%llu residual  %llu gave up  %.1fs",
+      static_cast<unsigned long long>(get("arq.runs")),
+      static_cast<unsigned long long>(get("arq.delivered_ok")),
+      static_cast<unsigned long long>(get("arq.retransmits")),
+      static_cast<unsigned long long>(get("arq.residual_undetected") +
+                                      get("arq.residual_lost")),
+      static_cast<unsigned long long>(get("arq.gave_up")), elapsed);
+  return buf;
+}
+
+/// Exporter wrapper for the arq subcommands. `extra_rows`, when
+/// non-empty after run(), is spliced into the manifest as the "arq"
+/// top-level member (docs/OBSERVABILITY.md).
+template <typename Run>
+int with_arq_metrics(const ArqOpts& o, const char* tool,
+                     const std::string* extra_rows, Run run) {
+  arq::register_arq_metrics();
+  alg::kern::register_kernel_metrics();
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!o.metrics_out.empty() || o.progress) {
+    obs::MetricsExporter::Options eo;
+    eo.manifest_path = o.metrics_out;
+    eo.ticker = o.progress || isatty(2) != 0;
+    eo.ticker_line = arq_ticker_line;
+    exporter = std::make_unique<obs::MetricsExporter>(obs::Registry::global(),
+                                                      std::move(eo));
+  }
+  const int rc = run();
+  if (exporter) {
+    obs::RunInfo info;
+    info.tool = tool;
+    info.corpus = "arq-random";  // payloads are seed-derived
+    info.seed = o.cfg.seed;
+    info.threads = 1;
+    info.extra_json =
+        "\"kernel\": \"" + std::string(alg::kern::active_kernel().name) +
+        "\"";
+    if (extra_rows != nullptr && !extra_rows->empty())
+      info.extra_json += ", \"arq\": " + *extra_rows;
+    if (!exporter->finish(std::move(info))) {
+      std::fprintf(stderr, "faultlab: cannot write manifest to %s\n",
+                   o.metrics_out.c_str());
+      return 1;
+    }
+  }
+  return rc;
+}
+
+/// One cell of the frontier: (policy, checksum) at a link fault rate.
+struct ArqCell {
+  arq::Policy policy;
+  alg::Algorithm checksum;
+  double rate;
+  arq::SimResult sim;
+};
+
+/// All fault classes scaled off one knob so "fault rate" means one
+/// thing across the whole table: at rate r the data direction corrupts
+/// r of its frames, drops r/2, duplicates r/4, truncates r/4, and
+/// reorders r/2 of them; the ACK direction runs the same plan at half
+/// strength.
+faults::LinkPlan frontier_plan(double rate, bool ack) {
+  const double r = ack ? rate / 2 : rate;
+  faults::LinkPlan p;
+  p.corrupt_rate = r;
+  p.burst_bits_max = 32;
+  p.drop_rate = r / 2;
+  p.duplicate_rate = r / 4;
+  p.truncate_rate = r / 4;
+  p.reorder_rate = r / 2;
+  p.reorder_delay_max = 24;
+  return p;
+}
+
+std::string json_escape_free_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string arq_cell_json(const ArqCell& c) {
+  const arq::SimResult& s = c.sim;
+  std::string j = "{";
+  j += "\"policy\": \"" + std::string(arq::manifest_key(c.policy)) + "\"";
+  j += ", \"checksum\": \"" + std::string(alg::name(c.checksum)) + "\"";
+  j += ", \"fault_rate\": " + json_escape_free_number(c.rate);
+  const auto add = [&](const char* k, std::uint64_t v) {
+    j += ", \"" + std::string(k) +
+         "\": " + std::to_string(static_cast<unsigned long long>(v));
+  };
+  add("offered", s.payloads_offered);
+  add("delivered_ok", s.delivered_ok);
+  add("residual_undetected", s.residual_undetected);
+  add("residual_lost", s.residual_lost);
+  add("gave_up", s.gave_up);
+  add("retransmits", s.sender.retransmits);
+  add("timeouts", s.sender.timeouts);
+  add("check_rejects", s.receiver.check_rejects);
+  add("ticks", s.ticks);
+  j += ", \"goodput\": " + json_escape_free_number(s.goodput());
+  j += ", \"mean_latency\": " + json_escape_free_number(s.mean_latency());
+  j += std::string(", \"terminated\": ") + (s.terminated ? "true" : "false");
+  j += "}";
+  return j;
+}
+
+/// The frontier the paper's data motivates one layer up: how much
+/// retransmission each policy spends, and what residual error each
+/// checksum leaks, as the link degrades.
+int cmd_arq(const ArqOpts& o, std::string* extra_rows) {
+  const std::vector<double> rates =
+      o.quick ? std::vector<double>{0.0, 0.05}
+              : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10};
+  const std::vector<alg::Algorithm> checks =
+      o.quick ? std::vector<alg::Algorithm>{alg::Algorithm::kCrc32,
+                                            alg::Algorithm::kInternet}
+              : std::vector<alg::Algorithm>{alg::Algorithm::kCrc32,
+                                            alg::Algorithm::kInternet,
+                                            alg::Algorithm::kFletcher256};
+  constexpr arq::Policy kPolicies[] = {arq::Policy::kStopAndWait,
+                                       arq::Policy::kGoBackN,
+                                       arq::Policy::kSelectiveRepeat};
+
+  // One shared payload set so every cell moves identical data.
+  const std::size_t n = o.quick ? std::min<std::size_t>(o.payloads, 16)
+                                : o.payloads;
+  util::Rng prng = util::Rng(o.cfg.seed).child(0xFEED);
+  std::vector<util::Bytes> payloads;
+  payloads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Bytes p(1 + prng.below(1024));
+    prng.fill(p);
+    payloads.push_back(std::move(p));
+  }
+
+  std::vector<ArqCell> cells;
+  std::uint64_t combo = 0;
+  for (const arq::Policy policy : kPolicies) {
+    for (const alg::Algorithm check : checks) {
+      for (const double rate : rates) {
+        arq::SimConfig c;
+        c.arq.policy = policy;
+        c.arq.checksum = check;
+        c.data_link = frontier_plan(rate, false);
+        c.ack_link = frontier_plan(rate, true);
+        c.seed = util::Rng(o.cfg.seed).child(1000 + combo++).next();
+        cells.push_back({policy, check, rate, arq::run_sim(c, payloads)});
+      }
+    }
+  }
+
+  bool failed = false;
+  std::string detail;
+  const auto gate = [&](const ArqCell& c, bool bad, const std::string& what) {
+    if (!bad) return;
+    failed = true;
+    if (detail.empty())
+      detail = std::string(arq::name(c.policy)) + "/" +
+               std::string(alg::name(c.checksum)) + " @ " +
+               json_escape_free_number(c.rate) + ": " + what;
+  };
+  for (const ArqCell& c : cells) {
+    gate(c, !c.sim.terminated, "failed to terminate");
+    gate(c, !c.sim.violation.empty(), c.sim.violation);
+    if (c.rate == 0.0) {
+      gate(c, c.sim.delivered_ok != c.sim.payloads_offered,
+           "fault-free cell lost payloads");
+      gate(c, c.sim.sender.retransmits != 0,
+           "fault-free cell retransmitted");
+    }
+    if (c.checksum == alg::Algorithm::kCrc32)
+      gate(c, c.sim.residual_undetected + c.sim.residual_lost != 0,
+           "residual error under CRC-32");
+  }
+
+  if (!o.quiet) {
+    core::TextTable t({"policy", "check", "rate", "ok", "resid", "lost",
+                       "gaveup", "rexmit", "goodput", "latency"});
+    for (const ArqCell& c : cells) {
+      char rate[16], good[24], lat[24];
+      std::snprintf(rate, sizeof rate, "%.2f", c.rate);
+      std::snprintf(good, sizeof good, "%.4f", c.sim.goodput());
+      std::snprintf(lat, sizeof lat, "%.0f", c.sim.mean_latency());
+      t.add_row({std::string(arq::name(c.policy)),
+                 std::string(alg::name(c.checksum)), rate,
+                 core::fmt_count(c.sim.delivered_ok),
+                 core::fmt_count(c.sim.residual_undetected),
+                 core::fmt_count(c.sim.residual_lost),
+                 core::fmt_count(c.sim.gave_up),
+                 core::fmt_count(c.sim.sender.retransmits), good, lat});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::string rows = "[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) rows += ", ";
+    rows += arq_cell_json(cells[i]);
+  }
+  rows += "]";
+  if (o.json) std::printf("%s\n", rows.c_str());
+  if (extra_rows != nullptr) *extra_rows = rows;
+
+  std::printf("arq frontier: %zu cells, %zu payloads each: %s\n",
+              cells.size(), payloads.size(),
+              failed ? "GUARANTEE VIOLATED" : "all guarantees held");
+  if (failed) {
+    std::printf("  %s\n", detail.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int arq_soak_report(const arq::ArqSoakResult& res, const ArqOpts& o) {
+  if (!o.quiet) {
+    core::TextTable t({"arq soak", "count"});
+    t.add_row({"scenarios", core::fmt_count(res.scenarios)});
+    t.add_row({"link faults injected", core::fmt_count(res.faults_injected)});
+    t.add_row({"payloads offered", core::fmt_count(res.payloads_offered)});
+    t.add_row({"delivered intact", core::fmt_count(res.delivered_ok)});
+    t.add_row({"residual undetected",
+               core::fmt_count(res.residual_undetected)});
+    t.add_row({"residual lost", core::fmt_count(res.residual_lost)});
+    t.add_row({"abandoned (gave up)", core::fmt_count(res.gave_up)});
+    t.add_row({"retransmissions", core::fmt_count(res.retransmits)});
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("%llu scenarios, %s link faults: %s\n",
+              static_cast<unsigned long long>(res.scenarios),
+              core::fmt_count(res.faults_injected).c_str(),
+              res.ok() ? "all guarantees held" : "GUARANTEE VIOLATED");
+  if (!res.ok()) {
+    std::printf("  %s\n  reproduce with: %s\n", res.violation_detail.c_str(),
+                res.reproducer.c_str());
+    if (!o.repro_file.empty()) {
+      std::ofstream f(o.repro_file);
+      f << res.reproducer << "\n";
+    }
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_arqsoak(const ArqOpts& o) {
+  return with_arq_metrics(o, o.have_scenario ? "faultlab arqsoak replay"
+                                             : "faultlab arqsoak",
+                          nullptr, [&] {
+    if (o.have_scenario) {
+      const arq::ArqScenarioResult r =
+          arq::run_arq_scenario(o.cfg, o.scenario);
+      arq::ArqSoakResult res;
+      res.scenarios = 1;
+      res.faults_injected = r.faults_injected;
+      res.payloads_offered = r.sim.payloads_offered;
+      res.delivered_ok = r.sim.delivered_ok;
+      res.residual_undetected = r.sim.residual_undetected;
+      res.residual_lost = r.sim.residual_lost;
+      res.gave_up = r.sim.gave_up;
+      res.retransmits = r.sim.sender.retransmits;
+      res.violations = r.violations;
+      res.violation_detail = r.violation_detail;
+      if (r.violations > 0)
+        res.reproducer = arq::arq_reproducer_line(o.cfg, o.scenario);
+      return arq_soak_report(res, o);
+    }
+    return arq_soak_report(arq::run_arq_soak(o.cfg), o);
+  });
+}
+
 /// Hidden subcommand: one worker process of a distkill drill (also
 /// usable against a `cksumlab splice --serve` coordinator — both
 /// drivers speak the same protocol).
@@ -437,6 +793,44 @@ int main(int argc, char** argv) {
     }
     try {
       return cmd == "distworker" ? cmd_distworker(args) : cmd_distkill(args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "faultlab: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (cmd == "arq" || cmd == "arqsoak") {
+    std::vector<std::string> args(argv + 2, argv + argc);
+    std::string choice;
+    for (auto it = args.begin(); it != args.end();) {
+      if (*it == "--kernel" && it + 1 != args.end()) {
+        choice = *(it + 1);
+        it = args.erase(it, it + 2);
+      } else {
+        ++it;
+      }
+    }
+    if (choice.empty()) {
+      const char* env = std::getenv(alg::kern::kKernelEnv);
+      if (env != nullptr) choice = env;
+    }
+    if (!choice.empty() && !alg::kern::select_kernel(choice)) {
+      std::fprintf(stderr, "faultlab: unknown kernel '%s'\n", choice.c_str());
+      return 2;
+    }
+    ArqOpts ao;
+    try {
+      ao = parse_arq(args);
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "faultlab: expected a number after the last option\n");
+      return usage();
+    }
+    if (!ao.ok) return usage();
+    try {
+      if (cmd == "arqsoak") return cmd_arqsoak(ao);
+      std::string rows;
+      return with_arq_metrics(ao, "faultlab arq", &rows,
+                              [&] { return cmd_arq(ao, &rows); });
     } catch (const std::exception& e) {
       std::fprintf(stderr, "faultlab: %s\n", e.what());
       return 1;
