@@ -3,6 +3,7 @@
 // slower still. google-benchmark over the algorithm engines.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 
 #include "checksum/checksum.hpp"
@@ -156,6 +157,16 @@ void register_kernel_bench(const cksum::alg::kern::Kernel& k,
 
 void register_kernel_benchmarks() {
   for (const cksum::alg::kern::Kernel& k : cksum::alg::kern::kernels()) {
+    if (!cksum::alg::kern::kernel_available(k)) {
+      // An unavailable kernel answers through its safe fallback, so a
+      // row would time the wrong code. Skip loudly: bench_distill.py
+      // treats the missing row as skip-with-notice, not failure.
+      const char* why = cksum::alg::kern::kernel_unavailable_reason(k);
+      std::fprintf(stderr,
+                   "bench_speed: skipping BM_Kernel_*_%s (unavailable: %s)\n",
+                   std::string(k.name).c_str(), why != nullptr ? why : "?");
+      continue;
+    }
     register_kernel_bench(k, "internet",
                           [&k](ByteView d) { return k.internet_sum(d); });
     register_kernel_bench(k, "fletcher255", [&k](ByteView d) {

@@ -308,6 +308,24 @@ def main() -> int:
                 print(f"CHECK FAILED: slicing-by-8 CRC-32 only {ratio:.2f}x "
                       f"scalar (want >=3x)", file=sys.stderr)
                 ok = False
+        # Folding/tableless tier gates, against the slicing baseline.
+        # A missing row means bench_speed skipped the kernel as
+        # unavailable on this machine — notice, not failure (the CI
+        # clmul leg checks availability explicitly before relying on
+        # this gate).
+        for kern_name, floor in (("chorba", 1.5), ("clmul", 5.0)):
+            if not crc.get(kern_name):
+                print(f"CHECK NOTICE: no crc32/{kern_name} row "
+                      f"(kernel unavailable on this machine); "
+                      f"{kern_name} gate skipped", file=sys.stderr)
+                continue
+            if not crc.get("slicing"):
+                continue
+            ratio = crc[kern_name] / crc["slicing"]
+            if ratio < floor:
+                print(f"CHECK FAILED: {kern_name} CRC-32 only {ratio:.2f}x "
+                      f"slicing (want >={floor}x)", file=sys.stderr)
+                ok = False
         if entry["speedup_dfs_vs_flat"] < 1.0:
             print("CHECK FAILED: DFS evaluator slower than flat baseline",
                   file=sys.stderr)

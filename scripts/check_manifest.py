@@ -115,6 +115,12 @@ def check_manifest(doc, require_families):
     if "kernel" in doc and (not isinstance(doc["kernel"], str)
                             or not doc["kernel"]):
         problems.append("'kernel' present but not a non-empty string")
+    if "kernel" in doc and "kernel_reason" not in doc:
+        problems.append("'kernel' present without 'kernel_reason' — runs "
+                        "must record why that kernel was selected")
+    if "kernel_reason" in doc and (not isinstance(doc["kernel_reason"], str)
+                                   or not doc["kernel_reason"]):
+        problems.append("'kernel_reason' present but not a non-empty string")
     families = {name.split(".", 1)[0] for name in metrics}
     for fam in require_families:
         if fam not in families:

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Search for the sparse multiple of the CRC-32 generator used by the
+chorba kernel (src/checksum/kernels/chorba.cpp).
+
+The chorba kernel (after arXiv 2412.16398) eliminates message words by
+XOR-ing copies of a low-weight multiple M(x) of the CRC-32 generator
+G(x) = 0x104C11DB7 into the bit stream: adding a multiple of G never
+changes the CRC, and if M is sparse each eliminated 64-bit word costs
+only a handful of shift+XOR taps into a small window of carry words —
+no lookup tables, no carry-less-multiply hardware.
+
+The kernel wants M = x^emax + x^e4 + x^e3 + x^e2 + x^e1 + 1 with
+
+  * weight 6 (five taps per eliminated word — cheap enough to beat
+    slicing-by-8 while staying register-resident),
+  * every non-leading exponent <= emax - 64, so no tap lands back in
+    the word currently being eliminated, and
+  * emax <= 448, so the carry window fits in eight 64-bit registers.
+
+By the birthday bound a random degree-32 polynomial has ~5 such
+multiples; this script enumerates them (meet-in-the-middle over
+x^e mod G) and prints each with its tap distances D = emax - e.  Run
+it to regenerate or audit the constants baked into chorba.cpp; the
+divisibility itself is re-proven from scratch by a unit test
+(tests/test_kernels.cpp, ChorbaKernel.SparseMultipleDividesGenerator).
+
+Usage: find_sparse_multiple.py [--max-degree 448] [--min-gap 64]
+"""
+
+import argparse
+
+POLY = 0x104C11DB7  # CRC-32 generator, normal (MSB-first) form
+
+
+def x_pow_mod(max_exp):
+    """x^e mod POLY for e in [0, max_exp], as 32-bit values."""
+    vals = [0] * (max_exp + 1)
+    vals[0] = 1
+    v = 1
+    for e in range(1, max_exp + 1):
+        v <<= 1
+        if v & (1 << 32):
+            v ^= POLY
+        vals[e] = v
+    return vals
+
+
+def search(max_degree, min_gap):
+    vals = x_pow_mod(max_degree)
+    found = []
+    # M = x^emax + x^d + x^c + x^b + x^a + 1 == 0 (mod G), i.e.
+    # vals[emax] ^ 1 == vals[a]^vals[b] ^ vals[c]^vals[d].
+    # Meet in the middle: pairs (a<b) hashed by XOR, then for each
+    # (emax, c<d) look the residue up.
+    for emax in range(min_gap + 4, max_degree + 1):
+        limit = emax - min_gap
+        pairs = {}
+        for b in range(2, limit + 1):
+            vb = vals[b]
+            for a in range(1, b):
+                pairs.setdefault(vals[a] ^ vb, []).append((a, b))
+        target0 = vals[emax] ^ 1
+        for d in range(2, limit + 1):
+            vd = vals[d]
+            for c in range(1, d):
+                for a, b in pairs.get(target0 ^ vals[c] ^ vd, ()):
+                    exps = (0, a, b, c, d, emax)
+                    if len(set(exps)) != 6 or (a, b) >= (c, d):
+                        continue
+                    if sorted(exps) != list(exps):
+                        exps = tuple(sorted(exps))
+                    found.append(exps)
+    # The same multiple is found once per way of splitting the four
+    # middle exponents into two ordered pairs; dedup.
+    uniq = sorted(set(found), key=lambda e: (e[-1], e))
+    return uniq
+
+
+def verify(exps):
+    m = 0
+    for e in exps:
+        m ^= 1 << e
+    # Long division of M by POLY over GF(2).
+    deg = m.bit_length() - 1
+    while deg >= 32:
+        m ^= POLY << (deg - 32)
+        deg = m.bit_length() - 1
+    return m == 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--max-degree", type=int, default=448)
+    ap.add_argument("--min-gap", type=int, default=64)
+    args = ap.parse_args()
+    sols = search(args.max_degree, args.min_gap)
+    for exps in sols:
+        assert verify(exps), exps
+        emax = exps[-1]
+        taps = [emax - e for e in exps[:-1]]
+        print(f"M = {' + '.join(f'x^{e}' for e in reversed(exps))}"
+              f"   tap distances {sorted(taps)}")
+    if not sols:
+        print(f"no weight-6 multiple with degree <= {args.max_degree} and "
+              f"gap >= {args.min_gap}; widen --max-degree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

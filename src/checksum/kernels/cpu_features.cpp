@@ -1,0 +1,41 @@
+#include "checksum/kernels/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#elif defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace cksum::alg::kern::impl {
+
+namespace {
+
+bool probe_clmul() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  // The kernel needs PCLMULQDQ for the folds and SSE4.1 for the lane
+  // extracts in the final reduction.
+  constexpr unsigned kPclmulqdq = 1u << 1;
+  constexpr unsigned kSse41 = 1u << 19;
+  return (ecx & kPclmulqdq) != 0 && (ecx & kSse41) != 0;
+#elif defined(__aarch64__) && defined(__linux__)
+#ifdef HWCAP_PMULL
+  constexpr unsigned long kPmull = HWCAP_PMULL;
+#else
+  constexpr unsigned long kPmull = 1ul << 4;
+#endif
+  return (getauxval(AT_HWCAP) & kPmull) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool cpu_has_clmul() noexcept {
+  static const bool has = probe_clmul();
+  return has;
+}
+
+}  // namespace cksum::alg::kern::impl

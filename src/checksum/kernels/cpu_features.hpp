@@ -1,0 +1,18 @@
+// Runtime CPU-feature probe for the carry-less-multiply kernel tier.
+//
+// Compile-time guards only say what the *binary* contains; whether the
+// clmul kernel may actually run is a property of the machine executing
+// it. The registry consults this probe when resolving "best" and when
+// reporting per-kernel availability, so the same binary picks clmul on
+// hardware with carry-less multiply and falls back to chorba elsewhere.
+#pragma once
+
+namespace cksum::alg::kern::impl {
+
+/// True when this CPU can execute the clmul kernel's folding loop:
+/// x86 PCLMULQDQ + SSE4.1 (cpuid leaf 1, ECX bits 1 and 19), or
+/// AArch64 PMULL (getauxval(AT_HWCAP) & HWCAP_PMULL). Probed once on
+/// first call and cached; never throws, never raises SIGILL.
+bool cpu_has_clmul() noexcept;
+
+}  // namespace cksum::alg::kern::impl

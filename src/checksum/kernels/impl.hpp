@@ -41,6 +41,25 @@ std::uint32_t slicing_crc32(std::uint32_t crc, util::ByteView data) noexcept;
 // into the top half of the accumulator and folded once at the end.
 std::uint16_t swar_internet_sum(util::ByteView data) noexcept;
 
+// --- chorba: tableless CRC-32 ---------------------------------------
+// Sparse polynomial convolution (arXiv 2412.16398): message words are
+// eliminated by XOR-ing shifted copies of a weight-6 multiple of the
+// generator, five register-resident carry words, no lookup tables.
+// Runs anywhere; the fast fallback tier below clmul.
+std::uint32_t chorba_crc32(std::uint32_t crc, util::ByteView data) noexcept;
+
+// --- clmul: carry-less-multiply folding CRC-32 ----------------------
+// PCLMULQDQ (x86) / PMULL (AArch64) 4-way 64-byte fold loop with a
+// Barrett final reduction. clmul_crc32 is always safe to call: it
+// falls back to chorba when the binary or the CPU lacks the
+// instructions (so a stale function pointer can never fault).
+std::uint32_t clmul_crc32(std::uint32_t crc, util::ByteView data) noexcept;
+
+/// nullptr when the clmul kernel genuinely runs on this machine, else
+/// a short human-readable reason ("CPU lacks carry-less multiply...",
+/// "binary built without carry-less-multiply support").
+const char* clmul_unavailable() noexcept;
+
 /// Slice-by-8 CRC-32 lookup tables. t[0] is the byte table taken from
 /// GenericCrc(32, standard_poly(32)); t[1..7] are the shifted tables
 /// the slicing loop combines eight-at-a-time.

@@ -3,7 +3,10 @@
 #include <array>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "checksum/kernels/impl.hpp"
 #include "obs/registry.hpp"
@@ -37,14 +40,39 @@ constexpr Kernel kKernels[] = {
      impl::slicing_fletcher32,
      impl::slicing_adler32,
      impl::slicing_crc32},
+    // The two fast-CRC tiers only change crc32: the other algorithms
+    // keep swar's Internet sum and slicing's blocked modular sums, so
+    // stepping up a tier never slows a non-CRC path down.
+    {"chorba",
+     "tableless CRC-32 via sparse polynomial convolution (arXiv 2412.16398)",
+     3,
+     impl::swar_internet_sum,
+     impl::slicing_fletcher,
+     impl::slicing_fletcher32,
+     impl::slicing_adler32,
+     impl::chorba_crc32},
+    {"clmul",
+     "carry-less-multiply folding CRC-32 (PCLMULQDQ/PMULL, 64-byte stripes)",
+     4,
+     impl::swar_internet_sum,
+     impl::slicing_fletcher,
+     impl::slicing_fletcher32,
+     impl::slicing_adler32,
+     impl::clmul_crc32,
+     impl::clmul_unavailable},
 };
 
 constexpr int kNumKernels = static_cast<int>(std::size(kKernels));
 
+bool available(int idx) noexcept {
+  const Kernel& k = kKernels[idx];
+  return k.unavailable == nullptr || k.unavailable() == nullptr;
+}
+
 int best_index() noexcept {
-  int best = 0;
+  int best = 0;  // scalar: always available by construction
   for (int i = 1; i < kNumKernels; ++i)
-    if (kKernels[i].tier > kKernels[best].tier) best = i;
+    if (available(i) && kKernels[i].tier > kKernels[best].tier) best = i;
   return best;
 }
 
@@ -55,32 +83,127 @@ int index_of(std::string_view name) noexcept {
   return -1;
 }
 
+/// Why g_active holds what it holds — drives
+/// kernel_selection_reason() and the manifest "kernel_reason" member.
+enum class Source : int {
+  kDefaultBest = 0,  ///< nothing asked; "best" resolved per machine
+  kEnv,              ///< CKSUM_KERNEL named a usable kernel
+  kEnvFallback,      ///< CKSUM_KERNEL named something unusable
+  kExplicit,         ///< select_kernel() (--kernel flag) picked it
+};
+
 /// Selected kernel index; -1 until the first dispatch (or explicit
 /// select_kernel) resolves the CKSUM_KERNEL environment variable.
 std::atomic<int> g_active{-1};
+std::atomic<int> g_source{static_cast<int>(Source::kDefaultBest)};
 
 int active_index() noexcept {
   int idx = g_active.load(std::memory_order_relaxed);
   if (idx >= 0) return idx;
   const char* env = std::getenv(kKernelEnv);
-  idx = env != nullptr ? index_of(env) : -1;
+  Source src = Source::kDefaultBest;
+  idx = -1;
+  if (env != nullptr) {
+    idx = index_of(env);
+    if (idx >= 0 && !available(idx)) idx = -1;
+    src = idx >= 0 ? Source::kEnv : Source::kEnvFallback;
+  }
   if (idx < 0) idx = best_index();
   // Lost race: another thread resolved first; both wrote a valid index
-  // derived from the same environment, so either winner is fine.
+  // derived from the same environment, so either winner is fine (and
+  // the source annotation travels with the winning store).
   int expected = -1;
-  g_active.compare_exchange_strong(expected, idx, std::memory_order_relaxed);
+  if (g_active.compare_exchange_strong(expected, idx,
+                                       std::memory_order_relaxed))
+    g_source.store(static_cast<int>(src), std::memory_order_relaxed);
   return g_active.load(std::memory_order_relaxed);
 }
+
+#ifndef OBS_DISABLE
 
 /// Per-kernel dispatch counters. The split of work across kernels is a
 /// property of this run's configuration (like thread count), not of
 /// the corpus, so the counters are tagged kScheduling and stay out of
 /// cross-kernel determinism diffs.
+///
+/// Dispatch itself never touches these handles: counts accumulate in
+/// per-thread PendingShard cells (plain relaxed stores, single
+/// writer) and reach snapshots through an obs::SnapshotSource that
+/// sums the shards on demand — so a flood of sub-64-byte frames costs
+/// two uncontended stores per call, not registry traffic.
 struct KernelCounters {
   obs::Counter calls;
   obs::Counter bytes;
 };
 
+struct PendingShard {
+  std::atomic<std::uint64_t> calls[kNumKernels]{};
+  std::atomic<std::uint64_t> bytes[kNumKernels]{};
+};
+
+/// Shards outlive their threads (a snapshot may run after a worker
+/// exits), so they are heap-allocated and tracked forever, mirroring
+/// obs::Registry's own shard list.
+struct PendingState {
+  std::mutex mu;
+  std::vector<PendingShard*> shards;
+  /// Totals as of the last Registry::reset(), subtracted on collect
+  /// so reset() semantics hold without zeroing live shards.
+  std::uint64_t base_calls[kNumKernels]{};
+  std::uint64_t base_bytes[kNumKernels]{};
+};
+
+PendingState& pending_state() {
+  static PendingState* s = new PendingState;  // leak: outlives exit order
+  return *s;
+}
+
+void pending_totals(PendingState& st, std::uint64_t (&calls)[kNumKernels],
+                    std::uint64_t (&bytes)[kNumKernels]) {
+  for (int i = 0; i < kNumKernels; ++i) {
+    calls[i] = 0;
+    bytes[i] = 0;
+    for (const PendingShard* sh : st.shards) {
+      calls[i] += sh->calls[i].load(std::memory_order_relaxed);
+      bytes[i] += sh->bytes[i].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> collect_pending() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(2 * kNumKernels);
+  PendingState& st = pending_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  std::uint64_t calls[kNumKernels], bytes[kNumKernels];
+  pending_totals(st, calls, bytes);
+  for (int i = 0; i < kNumKernels; ++i) {
+    const std::string prefix = "kernel." + std::string(kKernels[i].name);
+    out.emplace_back(prefix + ".calls", calls[i] - st.base_calls[i]);
+    out.emplace_back(prefix + ".bytes", bytes[i] - st.base_bytes[i]);
+  }
+  return out;
+}
+
+void reset_pending() {
+  {
+    PendingState& st = pending_state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    pending_totals(st, st.base_calls, st.base_bytes);
+  }
+  // Registry::reset() zeroed every slot, including the availability
+  // gauges — re-assert them, since availability is a machine fact
+  // that survives a metrics epoch.
+  auto& reg = obs::Registry::global();
+  for (int i = 0; i < kNumKernels; ++i)
+    reg.gauge("kernel." + std::string(kKernels[i].name) + ".available",
+              obs::Tag::kScheduling)
+        .add(available(i) ? 1 : 0);
+}
+
+/// Registers the kernel.* families (zero-valued counters so manifests
+/// carry the full family, 0/1 availability gauges) and hooks the
+/// pending shards into snapshots. Once per process.
 std::array<KernelCounters, kNumKernels>& counters() {
   static std::array<KernelCounters, kNumKernels> handles = [] {
     std::array<KernelCounters, kNumKernels> out;
@@ -91,18 +214,42 @@ std::array<KernelCounters, kNumKernels>& counters() {
           reg.counter(prefix + ".calls", obs::Tag::kScheduling);
       out[static_cast<std::size_t>(i)].bytes =
           reg.counter(prefix + ".bytes", obs::Tag::kScheduling);
+      reg.gauge(prefix + ".available", obs::Tag::kScheduling)
+          .add(available(i) ? 1 : 0);
     }
+    reg.add_snapshot_source({collect_pending, reset_pending});
     return out;
   }();
   return handles;
 }
 
-/// The active kernel and its counters, with the byte count recorded.
+PendingShard& pending() {
+  thread_local PendingShard* shard = [] {
+    counters();  // keep the lazy family/source registration contract
+    auto* s = new PendingShard();
+    PendingState& st = pending_state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.shards.push_back(s);
+    return s;
+  }();
+  return *shard;
+}
+
+#endif  // OBS_DISABLE
+
+/// The active kernel, with the call and its byte count recorded.
 const Kernel& dispatch(std::size_t bytes) noexcept {
   const int idx = active_index();
-  const KernelCounters& c = counters()[static_cast<std::size_t>(idx)];
-  c.calls.add(1);
-  c.bytes.add(bytes);
+#ifndef OBS_DISABLE
+  PendingShard& sh = pending();
+  auto& c = sh.calls[idx];
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  auto& b = sh.bytes[idx];
+  b.store(b.load(std::memory_order_relaxed) + bytes,
+          std::memory_order_relaxed);
+#else
+  (void)bytes;
+#endif
   return kKernels[idx];
 }
 
@@ -115,18 +262,58 @@ const Kernel* find_kernel(std::string_view name) noexcept {
   return idx >= 0 ? &kKernels[idx] : nullptr;
 }
 
+bool kernel_available(const Kernel& k) noexcept {
+  return k.unavailable == nullptr || k.unavailable() == nullptr;
+}
+
+const char* kernel_unavailable_reason(const Kernel& k) noexcept {
+  return k.unavailable == nullptr ? nullptr : k.unavailable();
+}
+
 const Kernel& scalar_kernel() noexcept { return kKernels[0]; }
 
 const Kernel& active_kernel() noexcept { return kKernels[active_index()]; }
 
 bool select_kernel(std::string_view name) noexcept {
   const int idx = index_of(name);
-  if (idx < 0) return false;
+  if (idx < 0 || !available(idx)) return false;
   g_active.store(idx, std::memory_order_relaxed);
+  g_source.store(static_cast<int>(Source::kExplicit),
+                 std::memory_order_relaxed);
   return true;
 }
 
-void register_kernel_metrics() { counters(); }
+std::string kernel_selection_reason() {
+  const Kernel& k = active_kernel();  // forces resolution (and source)
+  switch (static_cast<Source>(g_source.load(std::memory_order_relaxed))) {
+    case Source::kExplicit:
+      return "explicit selection (--kernel / select_kernel)";
+    case Source::kEnv:
+      return std::string(kKernelEnv) + " environment selection";
+    case Source::kEnvFallback: {
+      const char* env = std::getenv(kKernelEnv);
+      return std::string(kKernelEnv) + "=" +
+             std::string(env != nullptr ? env : "?") +
+             " is not selectable on this machine; fell back to best";
+    }
+    case Source::kDefaultBest:
+      break;
+  }
+  std::string reason = "best: highest tier available on this machine";
+  for (const Kernel& other : kernels()) {
+    if (other.tier <= k.tier) continue;
+    const char* why = kernel_unavailable_reason(other);
+    reason += "; " + std::string(other.name) +
+              " unavailable: " + (why != nullptr ? why : "?");
+  }
+  return reason;
+}
+
+void register_kernel_metrics() {
+#ifndef OBS_DISABLE
+  counters();
+#endif
+}
 
 std::uint16_t internet_sum(util::ByteView data) noexcept {
   return dispatch(data.size()).internet_sum(data);

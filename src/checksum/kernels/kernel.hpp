@@ -16,7 +16,18 @@
 //            modular reduction, word-at-a-time Internet sum
 //   swar     slicing's integer kernels plus a 64-bit SWAR Internet
 //            sum with deferred end-around-carry folding
-//   best     alias for the highest-tier registered kernel
+//   chorba   tableless CRC-32 via sparse polynomial convolution
+//            (arXiv 2412.16398) over swar's integer kernels
+//   clmul    carry-less-multiply folding CRC-32 (PCLMULQDQ / PMULL)
+//            — only on hardware that has the instructions
+//   best     alias for the highest-tier kernel *available here*
+//
+// Availability is a runtime property: every kernel is always listed,
+// but a kernel may report itself unavailable on this machine (clmul
+// without carry-less-multiply hardware). `best` resolves per machine
+// — clmul where supported, else chorba — and unavailable kernels are
+// not selectable; kernel_selection_reason() says why the active
+// kernel is what it is, and exported manifests record it.
 //
 // Selection is a single process-wide switch: `select_kernel()` (or the
 // CKSUM_KERNEL environment variable, or --kernel on cksumlab/faultlab)
@@ -28,11 +39,17 @@
 //
 // The dispatched entry points record per-kernel obs counters
 // (`kernel.<name>.calls` / `kernel.<name>.bytes`) so an exported run
-// manifest shows which kernel did the work and how much of it.
+// manifest shows which kernel did the work and how much of it. The
+// counts accumulate in plain thread-local cells — two relaxed stores
+// per dispatch, nothing shared — and merge into the obs registry only
+// at snapshot time via a snapshot source, so sub-64-byte frame floods
+// never contend on registry slots. `kernel.<name>.available` gauges
+// (0/1) record the availability picture the run saw.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "checksum/fletcher.hpp"
@@ -62,13 +79,29 @@ struct Kernel {
   /// start; zlib semantics, identical to alg::crc32).
   std::uint32_t (*crc32)(std::uint32_t crc, util::ByteView data) noexcept =
       nullptr;
+
+  /// Runtime availability probe. nullptr for kernels that run on any
+  /// machine; otherwise returns nullptr when this machine can run the
+  /// kernel, else a short static reason it cannot ("CPU lacks
+  /// carry-less multiply ..."). Unavailable kernels stay listed in
+  /// kernels() but are never selectable and never picked by "best".
+  const char* (*unavailable)() noexcept = nullptr;
 };
+
+/// True when `k` can actually run on this machine.
+bool kernel_available(const Kernel& k) noexcept;
+
+/// nullptr when `k` is available here, else the human-readable reason
+/// it is not (static storage; never free it).
+const char* kernel_unavailable_reason(const Kernel& k) noexcept;
 
 /// Every registered kernel, in tier order (scalar first).
 std::span<const Kernel> kernels() noexcept;
 
-/// Look up a kernel by name; "best" resolves to the highest tier.
-/// Returns nullptr for unknown names.
+/// Look up a kernel by name; "best" resolves to the highest tier
+/// available on this machine. Returns nullptr for unknown names (an
+/// unavailable kernel is still found — callers that care distinguish
+/// with kernel_available()).
 const Kernel* find_kernel(std::string_view name) noexcept;
 
 /// The scalar reference kernel — what the conformance harness and the
@@ -77,14 +110,23 @@ const Kernel& scalar_kernel() noexcept;
 
 /// The kernel dispatched calls currently use. On first use the
 /// selection is initialised from the CKSUM_KERNEL environment variable
-/// when it names a registered kernel (or "best"), else to "best".
+/// when it names a registered kernel (or "best") that is available on
+/// this machine, else to "best".
 const Kernel& active_kernel() noexcept;
 
 /// Select the dispatch kernel by name ("best", "scalar", "slicing",
-/// "swar"). Returns false (selection unchanged) for unknown names.
+/// "swar", "chorba", "clmul"). Returns false (selection unchanged)
+/// for unknown names and for kernels unavailable on this machine.
 /// Intended for process startup; switching while other threads are
 /// dispatching is safe but the cutover point is unspecified.
 bool select_kernel(std::string_view name) noexcept;
+
+/// One sentence describing why active_kernel() is what it is:
+/// "best: highest available tier" (with per-kernel unavailability
+/// notes), an explicit selection, a CKSUM_KERNEL pick, or a fallback
+/// after CKSUM_KERNEL named something unusable. Exported manifests
+/// record this as the "kernel_reason" member next to "kernel".
+std::string kernel_selection_reason();
 
 /// Environment variable consulted on first dispatch (and by the CLI
 /// drivers, which reject unknown values loudly).

@@ -126,6 +126,19 @@ Histogram Registry::histogram(std::string_view metric_name, Tag tag) {
 }
 
 Snapshot Registry::snapshot() const {
+  // Collect external contributions before taking the lock: collect
+  // callbacks own their own synchronisation and must stay free to
+  // touch this registry-adjacent state without ordering against mu_.
+  std::vector<SnapshotSource> sources;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources = sources_;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> extra;
+  for (const SnapshotSource& s : sources) {
+    auto part = s.collect();
+    extra.insert(extra.end(), part.begin(), part.end());
+  }
   Snapshot out;
   std::lock_guard<std::mutex> lock(mu_);
   out.metrics.reserve(defs_.size());
@@ -143,6 +156,8 @@ Snapshot Registry::snapshot() const {
     switch (d.kind) {
       case Kind::kCounter:
         v.value = sum_slot(d.slot);
+        for (const auto& [extra_name, extra_value] : extra)
+          if (extra_name == d.name) v.value += extra_value;
         break;
       case Kind::kGauge:
         v.gauge = static_cast<std::int64_t>(sum_slot(d.slot));
@@ -162,9 +177,19 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() noexcept {
+  std::vector<SnapshotSource> sources;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& sh : shards_)
+      for (auto& slot : sh->slots) slot.store(0, std::memory_order_relaxed);
+    sources = sources_;
+  }
+  for (const SnapshotSource& s : sources) s.reset();
+}
+
+void Registry::add_snapshot_source(SnapshotSource source) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& sh : shards_)
-    for (auto& slot : sh->slots) slot.store(0, std::memory_order_relaxed);
+  sources_.push_back(source);
 }
 
 }  // namespace cksum::obs

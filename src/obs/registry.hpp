@@ -38,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cksum::obs {
@@ -80,6 +81,21 @@ struct Snapshot {
 };
 
 class Registry;
+
+/// An external accumulator merged additively into snapshots. Some hot
+/// paths batch counts in their own thread-local cells instead of
+/// paying a registry slot_add per event (the kernel dispatch counters
+/// do this); a snapshot source is how those cells still appear in
+/// every Snapshot. `collect` returns (metric name, absolute total)
+/// pairs, each added onto the like-named counter's summed value —
+/// totals must be monotone so snapshot timing stays irrelevant, and
+/// names must already be registered (unknown names are ignored).
+/// `reset` must re-baseline the source so subsequent collects start
+/// from zero again; Registry::reset() invokes it.
+struct SnapshotSource {
+  std::vector<std::pair<std::string, std::uint64_t>> (*collect)() = nullptr;
+  void (*reset)() = nullptr;
+};
 
 /// Monotonic event counter. Default-constructed (or budget-overflow)
 /// handles are inert.
@@ -146,9 +162,18 @@ class Registry {
   /// snapshots (sums are monotone and associative).
   Snapshot snapshot() const;
 
-  /// Zero every slot of every shard. Metric definitions and handles
-  /// stay valid. Test-only: callers must quiesce recording threads.
+  /// Zero every slot of every shard and re-baseline every snapshot
+  /// source. Metric definitions and handles stay valid. Test-only:
+  /// callers must quiesce recording threads.
   void reset() noexcept;
+
+  /// Register an external accumulator whose totals merge into every
+  /// subsequent snapshot (see SnapshotSource). Registration is
+  /// append-only and idempotence is the caller's problem: register
+  /// once, from a once-guarded init path. `collect`/`reset` are
+  /// invoked outside the registry lock and may not call back into
+  /// metric registration.
+  void add_snapshot_source(SnapshotSource source);
 
   /// Hot path: relaxed add into this thread's shard. Each slot has a
   /// single writer — the shard's owning thread (reset() is test-only
@@ -196,10 +221,11 @@ class Registry {
                       std::uint32_t nslots, bool& ok);
 
   const std::uint64_t id_;  ///< distinguishes registries in shard caches
-  mutable std::mutex mu_;   ///< guards defs_ and the shards_ list
+  mutable std::mutex mu_;   ///< guards defs_, shards_, and sources_
   std::vector<MetricDef> defs_;
   std::uint32_t next_slot_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<SnapshotSource> sources_;
 };
 
 inline void Counter::add(std::uint64_t n) const noexcept {

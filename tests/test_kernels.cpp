@@ -15,6 +15,7 @@
 // kernel), and the per-kernel dispatch counters.
 #include <gtest/gtest.h>
 
+#include <bitset>
 #include <cstdlib>
 #include <string>
 
@@ -59,6 +60,18 @@ void expect_matches_scalar(const Kernel& k, ByteView data,
 
 class PerKernel : public ::testing::TestWithParam<std::size_t> {
  protected:
+  void SetUp() override {
+    // Unavailable kernels degrade to a safe fallback when called, so
+    // the sweep would pass while silently testing the fallback path —
+    // skip loudly instead so the report shows what was actually
+    // covered on this machine.
+    const Kernel& k = kernel();
+    if (!kernel_available(k)) {
+      const char* why = kernel_unavailable_reason(k);
+      GTEST_SKIP() << k.name
+                   << " unavailable here: " << (why != nullptr ? why : "?");
+    }
+  }
   const Kernel& kernel() const { return kernels()[GetParam()]; }
   std::string kernel_name() const { return std::string(kernel().name); }
 };
@@ -232,17 +245,38 @@ TEST(KernelCombineProperty, FletcherMod255EdgeCases) {
 }
 
 TEST(KernelRegistry, LookupAndBestResolution) {
-  ASSERT_GE(kernels().size(), 3u);
+  ASSERT_GE(kernels().size(), 5u);
   EXPECT_NE(find_kernel("scalar"), nullptr);
   EXPECT_NE(find_kernel("slicing"), nullptr);
   EXPECT_NE(find_kernel("swar"), nullptr);
+  EXPECT_NE(find_kernel("chorba"), nullptr);
+  EXPECT_NE(find_kernel("clmul"), nullptr);
   EXPECT_EQ(find_kernel("no-such-kernel"), nullptr);
   EXPECT_EQ(find_kernel(""), nullptr);
 
+  // "best" is the highest tier *available on this machine*: clmul
+  // with carry-less-multiply hardware, else chorba. Unavailable
+  // kernels stay listed but never win the resolution.
   const Kernel* best = find_kernel("best");
   ASSERT_NE(best, nullptr);
-  for (const Kernel& k : kernels()) EXPECT_LE(k.tier, best->tier);
-  EXPECT_EQ(best->name, "swar");
+  EXPECT_TRUE(kernel_available(*best));
+  for (const Kernel& k : kernels()) {
+    if (kernel_available(k)) {
+      EXPECT_LE(k.tier, best->tier) << k.name;
+    }
+  }
+  const Kernel* clmul = find_kernel("clmul");
+  EXPECT_EQ(best->name, kernel_available(*clmul) ? "clmul" : "chorba");
+
+  // The portable tiers carry no availability probe at all, and any
+  // unavailable kernel must explain itself.
+  for (const char* portable : {"scalar", "slicing", "swar", "chorba"})
+    EXPECT_TRUE(kernel_available(*find_kernel(portable))) << portable;
+  for (const Kernel& k : kernels()) {
+    if (!kernel_available(k)) {
+      EXPECT_NE(kernel_unavailable_reason(k), nullptr) << k.name;
+    }
+  }
 
   EXPECT_EQ(scalar_kernel().name, "scalar");
   EXPECT_EQ(scalar_kernel().tier, 0);
@@ -267,6 +301,16 @@ TEST(KernelRegistry, EnvSelectionHonored) {
   const Kernel* want = find_kernel(env);
   ASSERT_NE(want, nullptr) << "CKSUM_KERNEL names unknown kernel '" << env
                            << "'";
+  if (!kernel_available(*want)) {
+    // A CI leg exporting CKSUM_KERNEL=clmul on hardware without the
+    // instructions: the lazy resolution falls back to best rather
+    // than crashing or pinning an unrunnable kernel. (The clmul CI
+    // leg probes first and skips, so reaching this branch there means
+    // the probe and the registry disagree — worth the failure.)
+    EXPECT_EQ(active_kernel().name, find_kernel("best")->name)
+        << "unavailable CKSUM_KERNEL value must fall back to best";
+    return;
+  }
   EXPECT_EQ(active_kernel().name, want->name);
 }
 
@@ -274,20 +318,96 @@ TEST(KernelRegistry, SelectKernelSwitchesDispatch) {
   const std::string before(active_kernel().name);
   const Bytes data = testgen::random_bytes(testgen::kConformanceSeed, 777);
   const std::uint32_t want = scalar_kernel().crc32(0u, ByteView(data));
+  std::string last;
   for (const Kernel& k : kernels()) {
+    if (!kernel_available(k)) {
+      // Selecting an unavailable kernel must refuse and leave the
+      // current selection alone.
+      EXPECT_FALSE(select_kernel(k.name)) << k.name;
+      continue;
+    }
     ASSERT_TRUE(select_kernel(k.name));
     EXPECT_EQ(active_kernel().name, k.name);
     EXPECT_EQ(crc32(ByteView(data)), want) << k.name;
     EXPECT_EQ(internet_sum(ByteView(data)),
               scalar_kernel().internet_sum(ByteView(data)))
         << k.name;
+    last = std::string(k.name);
   }
   EXPECT_FALSE(select_kernel("no-such-kernel"));
-  // An unknown name leaves the selection unchanged (still the last
-  // kernel of the loop), and the original selection is restorable.
-  EXPECT_EQ(active_kernel().name, kernels().back().name);
+  // Refused names leave the selection unchanged (still the last
+  // selectable kernel of the loop), and the original is restorable.
+  EXPECT_EQ(active_kernel().name, last);
   ASSERT_TRUE(select_kernel(before));
   EXPECT_EQ(active_kernel().name, before);
+}
+
+TEST(KernelRegistry, SelectionReasonIsNonEmptyAndTracksExplicitPicks) {
+  const std::string before(active_kernel().name);
+  // Whatever the current source (env, default, explicit), the reason
+  // must be a non-empty sentence.
+  EXPECT_FALSE(kernel_selection_reason().empty());
+  ASSERT_TRUE(select_kernel("scalar"));
+  EXPECT_NE(kernel_selection_reason().find("explicit"), std::string::npos);
+  ASSERT_TRUE(select_kernel(before));
+}
+
+TEST(ChorbaKernel, SparseMultipleDividesGenerator) {
+  // Re-prove from scratch that the chorba kernel's convolution
+  // polynomial M = x^274 + x^93 + x^75 + x^19 + x^11 + 1 (see
+  // scripts/find_sparse_multiple.py) is a multiple of the CRC-32
+  // generator G = 0x104C11DB7 over GF(2) — the entire correctness
+  // argument for eliminating words with it. (That the kernel's shift
+  // constants implement *this* M is what the differential sweeps
+  // establish; this test pins the algebra those constants encode.)
+  std::bitset<275> m;
+  for (const int e : {274, 93, 75, 19, 11, 0}) m.set(e);
+  std::bitset<275> g;
+  for (int i = 0; i <= 32; ++i)
+    if ((0x104C11DB7ull >> i) & 1) g.set(i);
+  for (int d = 274; d >= 32; --d)
+    if (m.test(static_cast<std::size_t>(d)))
+      m ^= g << static_cast<std::size_t>(d - 32);
+  EXPECT_TRUE(m.none()) << "remainder of M / G is nonzero";
+}
+
+TEST(ChorbaKernel, ConvolutionBlockBoundary) {
+  // Crafted inputs spanning the convolution's structural boundaries:
+  // the switch from the bitwise small path to the word convolution at
+  // 64 bytes (8 words = carry window + first eliminable word), and
+  // the first few advances of the five-word carry window. Random and
+  // all-ones payloads at every length across the region, from both a
+  // fresh and a resumed CRC state.
+  const Kernel* chorba = find_kernel("chorba");
+  ASSERT_NE(chorba, nullptr);
+  const Kernel& ref = scalar_kernel();
+  for (std::size_t len = 40; len <= 176; ++len) {
+    const Bytes rnd = testgen::random_bytes(
+        testgen::kConformanceSeed ^ (0xCB0 + len), len);
+    const Bytes ones(len, 0xFF);
+    for (const Bytes* data : {&rnd, &ones}) {
+      const ByteView v(*data);
+      EXPECT_EQ(chorba->crc32(0u, v), ref.crc32(0u, v)) << "len=" << len;
+      EXPECT_EQ(chorba->crc32(0xDEADBEEFu, v), ref.crc32(0xDEADBEEFu, v))
+          << "len=" << len;
+    }
+  }
+  // Single-byte impulses walking across three full window advances:
+  // each position exercises a distinct combination of the multiple's
+  // tap shifts (including the one-bit spills w<<63 and w>>57) and the
+  // carry handoff into the bitwise tail.
+  for (const std::size_t len : {64u, 65u, 127u, 128u, 160u}) {
+    Bytes data(len, 0x00);
+    for (std::size_t pos = 0; pos < len; ++pos) {
+      for (const std::uint8_t impulse : {0x01, 0x80}) {
+        data[pos] = impulse;
+        const ByteView v(data);
+        EXPECT_EQ(chorba->crc32(0u, v), ref.crc32(0u, v))
+            << "len=" << len << " pos=" << pos << " impulse=" << int(impulse);
+        data[pos] = 0x00;
+      }
+    }
+  }
 }
 
 #ifndef OBS_DISABLE
@@ -310,6 +430,23 @@ TEST(KernelRegistry, DispatchCountsIntoActiveKernelCounters) {
   (void)internet_sum(ByteView(data));
   EXPECT_EQ(value(calls_metric), calls_before + 2);
   EXPECT_EQ(value(bytes_metric), bytes_before + 2000);
+
+  // The TLS batching must stay exact for tiny frames too: counts
+  // reach the snapshot through the registered snapshot source, not
+  // per-call registry traffic.
+  const Bytes tiny(3, 0x5A);
+  for (int i = 0; i < 10; ++i) (void)crc32(ByteView(tiny));
+  EXPECT_EQ(value(calls_metric), calls_before + 12);
+  EXPECT_EQ(value(bytes_metric), bytes_before + 2030);
+
+  // Availability gauges: 0/1 per kernel, 1 for the active one.
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  for (const Kernel& k : kernels()) {
+    const obs::MetricValue* m =
+        snap.find("kernel." + std::string(k.name) + ".available");
+    ASSERT_NE(m, nullptr) << k.name;
+    EXPECT_EQ(m->gauge, kernel_available(k) ? 1 : 0) << k.name;
+  }
 }
 #endif
 

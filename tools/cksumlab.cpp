@@ -41,6 +41,7 @@
 #include "atm/demux.hpp"
 #include "checksum/kernels/kernel.hpp"
 #include "core/dircorpus.hpp"
+#include "kernel_cli.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "dist/coordinator.hpp"
@@ -72,42 +73,10 @@ int usage() {
                "[--worker-id n] [--metrics-out <path>]    worker mode\n"
                "       cksumlab dist (--profile <name> | --dir <path>)\n"
                "options accepted by every subcommand:\n"
-               "       --kernel best|scalar|slicing|swar   checksum kernel\n"
-               "       (or the CKSUM_KERNEL environment variable)\n");
+               "       --kernel best|scalar|slicing|swar|chorba|clmul|list\n"
+               "       (or the CKSUM_KERNEL environment variable);\n"
+               "       `list` prints every kernel with tier and availability\n");
   return 2;
-}
-
-/// Strip `--kernel <name>` from the argument list and apply it (the
-/// CKSUM_KERNEL environment variable is the fallback). Unknown names
-/// are a loud error rather than a silent fall-through to "best".
-bool apply_kernel_selection(std::vector<std::string>& args) {
-  std::string choice;
-  for (auto it = args.begin(); it != args.end();) {
-    if (*it == "--kernel") {
-      if (it + 1 == args.end()) {
-        std::fprintf(stderr, "--kernel requires a name\n");
-        return false;
-      }
-      choice = *(it + 1);
-      it = args.erase(it, it + 2);
-    } else {
-      ++it;
-    }
-  }
-  if (choice.empty()) {
-    const char* env = std::getenv(alg::kern::kKernelEnv);
-    if (env != nullptr) choice = env;
-  }
-  if (choice.empty()) return true;  // first dispatch resolves to "best"
-  if (!alg::kern::select_kernel(choice)) {
-    std::fprintf(stderr, "unknown kernel '%s'; available: best",
-                 choice.c_str());
-    for (const auto& k : alg::kern::kernels())
-      std::fprintf(stderr, " %s", std::string(k.name).c_str());
-    std::fprintf(stderr, "\n");
-    return false;
-  }
-  return true;
 }
 
 int cmd_sum(const std::vector<std::string>& args) {
@@ -585,9 +554,8 @@ int cmd_splice(const std::vector<std::string>& args) {
     info.corpus = corpus;
     info.seed = 0;  // splice corpora are pinned by profile/scale, not seed
     info.threads = resolved_threads;
-    info.extra_json = "\"kernel\": \"" +
-                      std::string(alg::kern::active_kernel().name) +
-                      "\", \"report\": " + report;
+    info.extra_json =
+        tools::kernel_manifest_json() + ", \"report\": " + report;
     if (!dist_json.empty()) info.extra_json += ",\n  \"dist\": " + dist_json;
     if (!exporter->finish(std::move(info))) {
       std::fprintf(stderr, "cksumlab: cannot write manifest to %s\n",
@@ -638,9 +606,15 @@ int cmd_dist(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
-  if (!apply_kernel_selection(args)) return 2;
+  // Kernel selection is handled before the subcommand is even looked
+  // at, so `cksumlab --kernel list` works bare and a bad --kernel (or
+  // CKSUM_KERNEL) fails fast on every subcommand alike.
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const int krc = tools::apply_kernel_args(args, "cksumlab");
+  if (krc != 0) return krc == 1 ? 0 : 2;
+  if (args.empty()) return usage();
+  const std::string cmd = args.front();
+  args.erase(args.begin());
   try {
     if (cmd == "sum") return cmd_sum(args);
     if (cmd == "profiles") return cmd_profiles();

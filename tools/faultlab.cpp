@@ -62,6 +62,7 @@
 #include "faults/channel.hpp"
 #include "faults/soak.hpp"
 #include "fsgen/profile.hpp"
+#include "kernel_cli.hpp"
 #include "obs/exporter.hpp"
 
 using namespace cksum;
@@ -83,8 +84,9 @@ int usage() {
       "       faultlab arqsoak [--seed n] [--faults n] [--max-scenarios n]\n"
       "                        [--scenario n] [--repro-file p]\n"
       "                        [--metrics-out p] [--progress] [--quiet]\n"
-      "all accept --kernel best|scalar|slicing|swar (or the\n"
-      "CKSUM_KERNEL environment variable) to pick the checksum kernel\n");
+      "all accept --kernel best|scalar|slicing|swar|chorba|clmul|list\n"
+      "(or the CKSUM_KERNEL environment variable) to pick the checksum\n"
+      "kernel; `list` prints every kernel with tier and availability\n");
   return 2;
 }
 
@@ -94,7 +96,6 @@ struct Opts {
   bool have_scenario = false;
   std::string repro_file;
   std::string metrics_out;
-  std::string kernel;  // "" = CKSUM_KERNEL env, else lazy "best"
   bool progress = false;
   bool quiet = false;
   bool ok = true;
@@ -132,8 +133,6 @@ Opts parse(const std::vector<std::string>& args) {
       o.progress = true;
     } else if (a == "--quiet") {
       o.quiet = true;
-    } else if (a == "--kernel") {
-      o.kernel = next();
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       o.ok = false;
@@ -249,9 +248,7 @@ int with_metrics(const Opts& o, const char* tool, Run run) {
     info.corpus = "fsgen-random";  // scenario corpora are seed-derived
     info.seed = o.cfg.seed;
     info.threads = 1;
-    info.extra_json =
-        "\"kernel\": \"" + std::string(alg::kern::active_kernel().name) +
-        "\"";
+    info.extra_json = tools::kernel_manifest_json();
     if (!exporter->finish(std::move(info))) {
       std::fprintf(stderr, "faultlab: cannot write manifest to %s\n",
                    o.metrics_out.c_str());
@@ -382,9 +379,7 @@ int with_arq_metrics(const ArqOpts& o, const char* tool,
     info.corpus = "arq-random";  // payloads are seed-derived
     info.seed = o.cfg.seed;
     info.threads = 1;
-    info.extra_json =
-        "\"kernel\": \"" + std::string(alg::kern::active_kernel().name) +
-        "\"";
+    info.extra_json = tools::kernel_manifest_json();
     if (extra_rows != nullptr && !extra_rows->empty())
       info.extra_json += ", \"arq\": " + *extra_rows;
     if (!exporter->finish(std::move(info))) {
@@ -769,28 +764,16 @@ int cmd_distkill(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Kernel selection is stripped before the subcommand split, so
+  // `faultlab --kernel list` works bare and a bad --kernel (or
+  // CKSUM_KERNEL) fails fast on every subcommand alike.
+  std::vector<std::string> all_args(argv + 1, argv + argc);
+  const int krc = tools::apply_kernel_args(all_args, "faultlab");
+  if (krc != 0) return krc == 1 ? 0 : 2;
+  if (all_args.empty()) return usage();
+  const std::string cmd = all_args.front();
+  std::vector<std::string> args(all_args.begin() + 1, all_args.end());
   if (cmd == "distworker" || cmd == "distkill") {
-    // These parse their own options (including --kernel, stripped here
-    // the same way every subcommand accepts it).
-    std::vector<std::string> args(argv + 2, argv + argc);
-    std::string choice;
-    for (auto it = args.begin(); it != args.end();) {
-      if (*it == "--kernel" && it + 1 != args.end()) {
-        choice = *(it + 1);
-        it = args.erase(it, it + 2);
-      } else {
-        ++it;
-      }
-    }
-    if (choice.empty()) {
-      const char* env = std::getenv(alg::kern::kKernelEnv);
-      if (env != nullptr) choice = env;
-    }
-    if (!choice.empty() && !alg::kern::select_kernel(choice)) {
-      std::fprintf(stderr, "faultlab: unknown kernel '%s'\n", choice.c_str());
-      return 2;
-    }
     try {
       return cmd == "distworker" ? cmd_distworker(args) : cmd_distkill(args);
     } catch (const std::exception& e) {
@@ -799,24 +782,6 @@ int main(int argc, char** argv) {
     }
   }
   if (cmd == "arq" || cmd == "arqsoak") {
-    std::vector<std::string> args(argv + 2, argv + argc);
-    std::string choice;
-    for (auto it = args.begin(); it != args.end();) {
-      if (*it == "--kernel" && it + 1 != args.end()) {
-        choice = *(it + 1);
-        it = args.erase(it, it + 2);
-      } else {
-        ++it;
-      }
-    }
-    if (choice.empty()) {
-      const char* env = std::getenv(alg::kern::kKernelEnv);
-      if (env != nullptr) choice = env;
-    }
-    if (!choice.empty() && !alg::kern::select_kernel(choice)) {
-      std::fprintf(stderr, "faultlab: unknown kernel '%s'\n", choice.c_str());
-      return 2;
-    }
     ArqOpts ao;
     try {
       ao = parse_arq(args);
@@ -838,27 +803,12 @@ int main(int argc, char** argv) {
   }
   Opts o;
   try {
-    o = parse(std::vector<std::string>(argv + 2, argv + argc));
+    o = parse(args);
   } catch (const std::exception&) {
     std::fprintf(stderr, "faultlab: expected a number after the last option\n");
     return usage();
   }
   if (!o.ok) return usage();
-  {
-    std::string choice = o.kernel;
-    if (choice.empty()) {
-      const char* env = std::getenv(alg::kern::kKernelEnv);
-      if (env != nullptr) choice = env;
-    }
-    if (!choice.empty() && !alg::kern::select_kernel(choice)) {
-      std::fprintf(stderr, "faultlab: unknown kernel '%s'; available: best",
-                   choice.c_str());
-      for (const auto& k : alg::kern::kernels())
-        std::fprintf(stderr, " %s", std::string(k.name).c_str());
-      std::fprintf(stderr, "\n");
-      return 2;
-    }
-  }
   try {
     if (cmd == "soak") return cmd_soak(o);
     if (cmd == "replay") return cmd_replay(o);

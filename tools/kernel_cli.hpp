@@ -1,0 +1,108 @@
+// Shared --kernel / CKSUM_KERNEL handling for the CLI drivers.
+//
+// Both cksumlab and faultlab accept `--kernel <name>` on every
+// subcommand (and the CKSUM_KERNEL environment variable as the
+// fallback). This header centralises the contract:
+//
+//   * `--kernel list` (or CKSUM_KERNEL=list) prints every registered
+//     kernel with its tier, availability on this machine, and the
+//     unavailability reason, plus what "best" resolves to — then the
+//     tool exits successfully without running a subcommand.
+//   * An unknown name is a loud error listing the valid names.
+//   * A known-but-unavailable kernel is a clean, distinct error
+//     naming the reason (e.g. "CPU lacks carry-less multiply") —
+//     never a crash, never a silent fall-through to "best".
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "checksum/kernels/kernel.hpp"
+#include "obs/snapshot.hpp"
+
+namespace cksum::tools {
+
+/// One row per registered kernel: name, tier, availability (with the
+/// reason when unavailable), description; headed by the machine's
+/// "best" resolution. Scripts parse the first line's "resolves to".
+inline void print_kernel_list(std::FILE* out) {
+  const alg::kern::Kernel* best = alg::kern::find_kernel("best");
+  std::fprintf(out, "kernels (best resolves to %s):\n",
+               best != nullptr ? std::string(best->name).c_str() : "?");
+  for (const alg::kern::Kernel& k : alg::kern::kernels()) {
+    const char* why = alg::kern::kernel_unavailable_reason(k);
+    std::fprintf(out, "  %-8s tier %d  %-11s %s%s%s%s\n",
+                 std::string(k.name).c_str(), k.tier,
+                 why == nullptr ? "available" : "unavailable",
+                 std::string(k.description).c_str(), why == nullptr ? "" : " (",
+                 why == nullptr ? "" : why, why == nullptr ? "" : ")");
+  }
+}
+
+/// Strip every `--kernel <name>` from `args` (last occurrence wins,
+/// CKSUM_KERNEL is the fallback) and act on the choice. Returns
+///   0  continue with the subcommand (kernel selected, or left to the
+///      lazy "best" resolution when nothing was asked),
+///   1  `list` was requested and printed — exit 0 without running,
+///   2  bad choice (message already printed) — exit 2.
+inline int apply_kernel_args(std::vector<std::string>& args,
+                             const char* tool) {
+  std::string choice;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--kernel") {
+      if (it + 1 == args.end()) {
+        std::fprintf(stderr, "%s: --kernel requires a name (try list)\n",
+                     tool);
+        return 2;
+      }
+      choice = *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (choice.empty()) {
+    const char* env = std::getenv(alg::kern::kKernelEnv);
+    if (env != nullptr) choice = env;
+  }
+  if (choice.empty()) return 0;  // first dispatch resolves to "best"
+  if (choice == "list") {
+    print_kernel_list(stdout);
+    return 1;
+  }
+  const alg::kern::Kernel* k = alg::kern::find_kernel(choice);
+  if (k == nullptr) {
+    std::fprintf(stderr, "%s: unknown kernel '%s'; available: best list",
+                 tool, choice.c_str());
+    for (const alg::kern::Kernel& each : alg::kern::kernels())
+      std::fprintf(stderr, " %s", std::string(each.name).c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  if (!alg::kern::kernel_available(*k)) {
+    const char* why = alg::kern::kernel_unavailable_reason(*k);
+    std::fprintf(stderr,
+                 "%s: kernel '%s' is unavailable on this machine: %s\n",
+                 tool, choice.c_str(), why != nullptr ? why : "?");
+    return 2;
+  }
+  if (!alg::kern::select_kernel(choice)) {
+    std::fprintf(stderr, "%s: cannot select kernel '%s'\n", tool,
+                 choice.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+/// The manifest members recording which kernel ran and why — spliced
+/// into RunInfo::extra_json by every exporting subcommand
+/// (docs/OBSERVABILITY.md documents both).
+inline std::string kernel_manifest_json() {
+  return "\"kernel\": \"" + std::string(alg::kern::active_kernel().name) +
+         "\", \"kernel_reason\": \"" +
+         obs::json_escape(alg::kern::kernel_selection_reason()) + "\"";
+}
+
+}  // namespace cksum::tools
