@@ -172,12 +172,19 @@ void register_kernel_benchmarks() {
     register_kernel_bench(k, "fletcher255", [&k](ByteView d) {
       return k.fletcher(d, cksum::alg::FletcherMod::kOnes255);
     });
+    register_kernel_bench(k, "fletcher256", [&k](ByteView d) {
+      return k.fletcher(d, cksum::alg::FletcherMod::kTwos256);
+    });
     register_kernel_bench(k, "fletcher32",
                           [&k](ByteView d) { return k.fletcher32(d); });
     register_kernel_bench(k, "adler32",
                           [&k](ByteView d) { return k.adler32(1, d); });
     register_kernel_bench(k, "crc32",
                           [&k](ByteView d) { return k.crc32(0, d); });
+    register_kernel_bench(k, "koopmandual",
+                          [&k](ByteView d) { return k.koopman_dual(d); });
+    register_kernel_bench(k, "koopmansingle",
+                          [&k](ByteView d) { return k.koopman_single(d); });
   }
 }
 

@@ -38,7 +38,11 @@ throughput per algorithm per kernel under "kernel_throughput".
 previous entry's, if the DFS evaluator is slower than the flat one,
 or (when --speed is given) if slicing-by-8 CRC-32 is less than 3x the
 scalar byte-table kernel — the locally recorded trajectory entries
-show >=4x, the gate is looser only to absorb CI-runner noise.
+show >=4x, the gate is looser only to absorb CI-runner noise. The
+--speed gates also compare the block-at-a-time Koopman dual sum
+against byte-at-a-time Fletcher-256 (want >= 1.2x on the slicing
+tier; locally ~1.8x) — rows absent from the dump skip the gate with
+a notice, matching the chorba/clmul pattern.
 """
 
 import argparse
@@ -325,6 +329,25 @@ def main() -> int:
             if ratio < floor:
                 print(f"CHECK FAILED: {kern_name} CRC-32 only {ratio:.2f}x "
                       f"slicing (want >={floor}x)", file=sys.stderr)
+                ok = False
+        # Large-block family gate: the Koopman dual sum digests 8
+        # bytes per step, so it must clearly beat byte-at-a-time
+        # Fletcher-256 on the same tier. Rows are absent when
+        # bench_speed ran with an older row set or a narrow filter —
+        # notice, not failure.
+        kt = entry.get("kernel_throughput", {})
+        kdual = kt.get("koopmandual", {}).get("slicing")
+        f256 = kt.get("fletcher256", {}).get("slicing")
+        if not kdual or not f256:
+            print("CHECK NOTICE: no koopmandual/fletcher256 slicing rows "
+                  "in the speed dump; Koopman-vs-Fletcher gate skipped",
+                  file=sys.stderr)
+        else:
+            ratio = kdual / f256
+            if ratio < 1.2:
+                print(f"CHECK FAILED: Koopman dual sum only {ratio:.2f}x "
+                      f"Fletcher-256 on the slicing tier (want >=1.2x)",
+                      file=sys.stderr)
                 ok = False
         if entry["speedup_dfs_vs_flat"] < 1.0:
             print("CHECK FAILED: DFS evaluator slower than flat baseline",

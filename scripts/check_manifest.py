@@ -5,6 +5,7 @@ Usage: check_manifest.py MANIFEST [--require-family FAM]...
                          [--require-kernel [NAME]]
                          [--require-dist]
                          [--require-arq]
+                         [--require-storage]
                          [--diff-deterministic OTHER]
 
 The schema is documented in src/obs/snapshot.hpp and
@@ -33,6 +34,14 @@ twice (or dropped) breaks that equality.
 per (policy, checksum, fault rate) cell (docs/ARQ.md). Each row must
 name a known policy, keep its outcome counters consistent with the
 offered load, and record clean termination.
+
+--require-storage fails unless the manifest carries the "storage"
+member that `faultlab storage` writes: the commit-block miss-rate
+frontier, one row per (checksum, block size, fault class) cell
+(docs/STORAGE.md). Each row must name a known fault class, keep the
+outcome accounting identity trials == benign + detected + undetected,
+and report a miss rate in [0, 1]; the run-level violation counter must
+be zero.
 
 --diff-deterministic OTHER fails if any deterministic-tagged metric
 (or the report, if both manifests carry one) differs from OTHER's.
@@ -286,6 +295,85 @@ def check_arq(doc):
     return problems
 
 
+STORAGE_FAULTS = {"torn", "misdirected", "lost", "corrupt"}
+STORAGE_COUNTERS = ("trials", "benign", "detected", "undetected",
+                    "run_heavy_trials", "run_heavy_scored",
+                    "run_heavy_undetected")
+
+
+def check_storage(doc):
+    """Problems with the manifest's storage frontier record, [] when
+    clean. See docs/STORAGE.md for the "storage" member's shape."""
+    st = doc.get("storage") if isinstance(doc, dict) else None
+    if not isinstance(st, dict):
+        return ["no 'storage' member — manifest was not produced by "
+                "`faultlab storage`"]
+    problems = []
+    for key in ("seed", "trials", "undetected", "violations"):
+        v = st.get(key)
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"storage.{key}: missing or not a non-negative "
+                            f"integer: {v!r}")
+    if st.get("violations", 0) != 0:
+        problems.append(f"storage.violations is {st.get('violations')!r} — "
+                        "a sealed block failed its own verification")
+    rows = st.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("storage.rows missing or empty")
+        rows = []
+    total_trials = total_undetected = 0
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append(f"storage.rows[{i}]: not an object")
+            continue
+        who = (f"storage.rows[{i}] ({row.get('key')!r}/{row.get('fault')!r}"
+               f"@{row.get('block_size')!r})")
+        for key in ("algorithm", "key"):
+            if not isinstance(row.get(key), str) or not row[key]:
+                problems.append(f"{who}: '{key}' missing or empty")
+        if row.get("fault") not in STORAGE_FAULTS:
+            problems.append(f"{who}: unknown fault class "
+                            f"{row.get('fault')!r}")
+        bs = row.get("block_size")
+        if not isinstance(bs, int) or bs <= 0 or bs % 512 != 0:
+            problems.append(f"{who}: block_size {bs!r} not a positive "
+                            "multiple of 512")
+        for key in STORAGE_COUNTERS:
+            v = row.get(key)
+            if not isinstance(v, int) or v < 0:
+                problems.append(f"{who}: bad {key} {v!r}")
+        mr = row.get("miss_rate")
+        if not isinstance(mr, (int, float)) or not 0 <= mr <= 1:
+            problems.append(f"{who}: miss_rate {mr!r} not in [0, 1]")
+        # The outcome accounting identity: every trial scored exactly
+        # one way, and the run-heavy slice is a subset of the whole.
+        counts = {k: row.get(k) for k in STORAGE_COUNTERS}
+        if all(isinstance(v, int) for v in counts.values()):
+            if (counts["trials"] != counts["benign"] + counts["detected"]
+                    + counts["undetected"]):
+                problems.append(f"{who}: benign + detected + undetected != "
+                                "trials")
+            if counts["run_heavy_trials"] > counts["trials"]:
+                problems.append(f"{who}: run_heavy_trials exceeds trials")
+            if counts["run_heavy_scored"] > counts["run_heavy_trials"]:
+                problems.append(f"{who}: run_heavy_scored exceeds "
+                                "run_heavy_trials")
+            if counts["run_heavy_undetected"] > counts["run_heavy_scored"]:
+                problems.append(f"{who}: run_heavy_undetected exceeds "
+                                "run_heavy_scored")
+            total_trials += counts["trials"]
+            total_undetected += counts["undetected"]
+    if (isinstance(st.get("trials"), int) and not problems
+            and st["trials"] != total_trials):
+        problems.append(f"storage.trials {st['trials']} != sum of row "
+                        f"trials {total_trials}")
+    if (isinstance(st.get("undetected"), int) and not problems
+            and st["undetected"] != total_undetected):
+        problems.append(f"storage.undetected {st['undetected']} != sum of "
+                        f"row undetected {total_undetected}")
+    return problems
+
+
 def deterministic_view(doc):
     """The portions of a manifest that must be invariant across kernel
     selections and thread counts: deterministic-tagged metrics plus the
@@ -329,6 +417,9 @@ def main():
     ap.add_argument("--require-arq", action="store_true",
                     help="require a well-formed ARQ frontier record "
                          "(faultlab arq --metrics-out)")
+    ap.add_argument("--require-storage", action="store_true",
+                    help="require a well-formed storage frontier record "
+                         "(faultlab storage --metrics-out)")
     ap.add_argument("--diff-deterministic", metavar="OTHER",
                     help="fail if deterministic-tagged metrics or the "
                          "report differ from manifest OTHER")
@@ -347,6 +438,8 @@ def main():
         problems += check_dist(doc, args.manifest)
     if args.require_arq:
         problems += check_arq(doc)
+    if args.require_storage:
+        problems += check_storage(doc)
     if args.diff_deterministic:
         try:
             with open(args.diff_deterministic) as f:

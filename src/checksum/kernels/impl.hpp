@@ -10,6 +10,7 @@
 
 #include "checksum/fletcher.hpp"
 #include "checksum/fletcher32.hpp"
+#include "checksum/koopman.hpp"
 #include "util/bytes.hpp"
 
 namespace cksum::alg::kern::impl {
@@ -23,6 +24,8 @@ FletcherPair scalar_fletcher(util::ByteView data, FletcherMod mod) noexcept;
 Fletcher32Pair scalar_fletcher32(util::ByteView data) noexcept;
 std::uint32_t scalar_adler32(std::uint32_t adler, util::ByteView data) noexcept;
 std::uint32_t scalar_crc32(std::uint32_t crc, util::ByteView data) noexcept;
+KoopmanDualPair scalar_koopman_dual(util::ByteView data) noexcept;
+std::uint64_t scalar_koopman_single(util::ByteView data) noexcept;
 
 // --- slicing: table-slicing CRC + blocked modular sums --------------
 // Slicing-by-8 CRC-32 over tables derived from GenericCrc; Fletcher /
@@ -35,6 +38,11 @@ Fletcher32Pair slicing_fletcher32(util::ByteView data) noexcept;
 std::uint32_t slicing_adler32(std::uint32_t adler,
                               util::ByteView data) noexcept;
 std::uint32_t slicing_crc32(std::uint32_t crc, util::ByteView data) noexcept;
+// Koopman sums with the per-block 64-bit modulo replaced by lane
+// folding against small power-of-2^16 (dual) / power-of-2^32 (single)
+// residues, reduction deferred to overflow-safe run boundaries.
+KoopmanDualPair slicing_koopman_dual(util::ByteView data) noexcept;
+std::uint64_t slicing_koopman_single(util::ByteView data) noexcept;
 
 // --- swar: 64-bit SWAR Internet sum ---------------------------------
 // Eight message bytes per 64-bit load, end-around carries deferred

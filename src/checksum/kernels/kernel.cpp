@@ -23,7 +23,9 @@ constexpr Kernel kKernels[] = {
      impl::scalar_fletcher,
      impl::scalar_fletcher32,
      impl::scalar_adler32,
-     impl::scalar_crc32},
+     impl::scalar_crc32,
+     impl::scalar_koopman_dual,
+     impl::scalar_koopman_single},
     {"slicing",
      "slicing-by-8 CRC-32; blocked Fletcher/Adler with deferred reduction",
      1,
@@ -31,7 +33,9 @@ constexpr Kernel kKernels[] = {
      impl::slicing_fletcher,
      impl::slicing_fletcher32,
      impl::slicing_adler32,
-     impl::slicing_crc32},
+     impl::slicing_crc32,
+     impl::slicing_koopman_dual,
+     impl::slicing_koopman_single},
     {"swar",
      "slicing integer kernels plus 64-bit SWAR Internet sum",
      2,
@@ -39,10 +43,13 @@ constexpr Kernel kKernels[] = {
      impl::slicing_fletcher,
      impl::slicing_fletcher32,
      impl::slicing_adler32,
-     impl::slicing_crc32},
+     impl::slicing_crc32,
+     impl::slicing_koopman_dual,
+     impl::slicing_koopman_single},
     // The two fast-CRC tiers only change crc32: the other algorithms
-    // keep swar's Internet sum and slicing's blocked modular sums, so
-    // stepping up a tier never slows a non-CRC path down.
+    // keep swar's Internet sum and slicing's blocked modular sums
+    // (including the lane-folded Koopman sums), so stepping up a tier
+    // never slows a non-CRC path down.
     {"chorba",
      "tableless CRC-32 via sparse polynomial convolution (arXiv 2412.16398)",
      3,
@@ -50,7 +57,9 @@ constexpr Kernel kKernels[] = {
      impl::slicing_fletcher,
      impl::slicing_fletcher32,
      impl::slicing_adler32,
-     impl::chorba_crc32},
+     impl::chorba_crc32,
+     impl::slicing_koopman_dual,
+     impl::slicing_koopman_single},
     {"clmul",
      "carry-less-multiply folding CRC-32 (PCLMULQDQ/PMULL, 64-byte stripes)",
      4,
@@ -59,6 +68,8 @@ constexpr Kernel kKernels[] = {
      impl::slicing_fletcher32,
      impl::slicing_adler32,
      impl::clmul_crc32,
+     impl::slicing_koopman_dual,
+     impl::slicing_koopman_single,
      impl::clmul_unavailable},
 };
 
@@ -337,6 +348,14 @@ std::uint32_t adler32(std::uint32_t adler, util::ByteView data) noexcept {
 
 std::uint32_t crc32(std::uint32_t crc, util::ByteView data) noexcept {
   return dispatch(data.size()).crc32(crc, data);
+}
+
+KoopmanDualPair koopman_dual(util::ByteView data) noexcept {
+  return dispatch(data.size()).koopman_dual(data);
+}
+
+std::uint64_t koopman_single(util::ByteView data) noexcept {
+  return dispatch(data.size()).koopman_single(data);
 }
 
 }  // namespace cksum::alg::kern

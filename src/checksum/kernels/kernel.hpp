@@ -54,12 +54,14 @@
 
 #include "checksum/fletcher.hpp"
 #include "checksum/fletcher32.hpp"
+#include "checksum/koopman.hpp"
 #include "util/bytes.hpp"
 
 namespace cksum::alg::kern {
 
 /// One formulation tier: a complete, bit-identical suite of entry
-/// points for the five algorithms. All function pointers are non-null.
+/// points for the seven algorithms. All function pointers are
+/// non-null.
 struct Kernel {
   std::string_view name;         ///< registry key ("scalar", "slicing", ...)
   std::string_view description;  ///< one-line technique summary
@@ -79,6 +81,11 @@ struct Kernel {
   /// start; zlib semantics, identical to alg::crc32).
   std::uint32_t (*crc32)(std::uint32_t crc, util::ByteView data) noexcept =
       nullptr;
+  /// Koopman large-block dual sum: 64-bit big-endian blocks feeding
+  /// two Fletcher-style sums mod 65521 (arXiv 2302.13432).
+  KoopmanDualPair (*koopman_dual)(util::ByteView data) noexcept = nullptr;
+  /// Koopman large-block single sum: 64-bit blocks mod 2^32 - 5.
+  std::uint64_t (*koopman_single)(util::ByteView data) noexcept = nullptr;
 
   /// Runtime availability probe. nullptr for kernels that run on any
   /// machine; otherwise returns nullptr when this machine can run the
@@ -151,5 +158,7 @@ std::uint32_t crc32(std::uint32_t crc, util::ByteView data) noexcept;
 inline std::uint32_t crc32(util::ByteView data) noexcept {
   return crc32(0, data);
 }
+KoopmanDualPair koopman_dual(util::ByteView data) noexcept;
+std::uint64_t koopman_single(util::ByteView data) noexcept;
 
 }  // namespace cksum::alg::kern

@@ -67,4 +67,12 @@ std::uint32_t scalar_crc32(std::uint32_t crc, util::ByteView data) noexcept {
   return crc32_table(crc, data);
 }
 
+KoopmanDualPair scalar_koopman_dual(util::ByteView data) noexcept {
+  return koopman_dual_naive(data);
+}
+
+std::uint64_t scalar_koopman_single(util::ByteView data) noexcept {
+  return koopman_single_naive(data);
+}
+
 }  // namespace cksum::alg::kern::impl

@@ -39,6 +39,17 @@ constexpr std::size_t kFletcher32ChunkWords = std::size_t{1} << 14;
 /// accumulators cannot overflow between reductions.
 constexpr std::size_t kAdlerChunk = 5552;
 
+/// 64-bit blocks between Koopman dual-sum reductions. Each folded
+/// block residue is < 65535·(3375+225+15+1) < 2^28, so over a run the
+/// A accumulator stays below 2^16 + 2048·2^28 < 2^40 and B below
+/// 2^16 + 2048·2^40 < 2^51 — both comfortably inside 64 bits.
+constexpr std::size_t kKoopmanDualRun = 2048;
+
+/// 64-bit blocks between Koopman single-sum reductions. Each folded
+/// block residue 5·hi + lo is < 6·2^32 < 2^35, so a run keeps the
+/// accumulator below 2^32 + 2^27·2^35 = 2^62 + 2^32.
+constexpr std::size_t kKoopmanSingleRun = std::size_t{1} << 27;
+
 }  // namespace
 
 const CrcSliceTables& crc32_slice_tables() noexcept {
@@ -189,6 +200,68 @@ std::uint32_t slicing_adler32(std::uint32_t adler,
     b %= kAdlerMod;
   }
   return (b << 16) | a;
+}
+
+KoopmanDualPair slicing_koopman_dual(util::ByteView data) noexcept {
+  // A 64-bit big-endian block with 16-bit lanes w0..w3 is congruent to
+  // w0·3375 + w1·225 + w2·15 + w3 (mod 65521), because 2^16 ≡ 15 and
+  // the higher lane weights are its powers: 15² = 225, 15³ = 3375.
+  // Three small multiplies replace the per-block 64-bit modulo, and
+  // the `%` reductions run only at kKoopmanDualRun boundaries.
+  constexpr std::uint64_t m = kKoopmanDualMod;
+  const std::uint8_t* p = data.data();
+  std::size_t nblocks = data.size() / kKoopmanBlockBytes;
+  std::uint64_t a = 0, b = 0;
+  while (nblocks > 0) {
+    std::size_t run = std::min(nblocks, kKoopmanDualRun);
+    nblocks -= run;
+    while (run-- > 0) {
+      const std::uint64_t w0 = util::load_be16(p);
+      const std::uint64_t w1 = util::load_be16(p + 2);
+      const std::uint64_t w2 = util::load_be16(p + 4);
+      const std::uint64_t w3 = util::load_be16(p + 6);
+      a += w0 * 3375 + w1 * 225 + w2 * 15 + w3;
+      b += a;
+      p += kKoopmanBlockBytes;
+    }
+    a %= m;
+    b %= m;
+  }
+  KoopmanDualPair out{static_cast<std::uint32_t>(a),
+                      static_cast<std::uint32_t>(b)};
+  const std::size_t tail = data.size() % kKoopmanBlockBytes;
+  if (tail > 0) {
+    // Final partial block, zero-padded on the right: one naive step
+    // over the remainder combined onto the block-aligned prefix.
+    out = koopman_dual_combine(
+        out, koopman_dual_naive(data.subspan(data.size() - tail)), 1);
+  }
+  return out;
+}
+
+std::uint64_t slicing_koopman_single(util::ByteView data) noexcept {
+  // 2^32 ≡ 5 (mod 2^32 - 5), so a block hi·2^32 + lo folds to
+  // 5·hi + lo; the full modulo runs once per kKoopmanSingleRun blocks.
+  constexpr std::uint64_t m = kKoopmanSingleMod;
+  const std::uint8_t* p = data.data();
+  std::size_t nblocks = data.size() / kKoopmanBlockBytes;
+  std::uint64_t s = 0;
+  while (nblocks > 0) {
+    std::size_t run = std::min(nblocks, kKoopmanSingleRun);
+    nblocks -= run;
+    while (run-- > 0) {
+      const std::uint64_t hi = util::load_be32(p);
+      const std::uint64_t lo = util::load_be32(p + 4);
+      s += hi * 5 + lo;
+      p += kKoopmanBlockBytes;
+    }
+    s %= m;
+  }
+  const std::size_t tail = data.size() % kKoopmanBlockBytes;
+  if (tail > 0)
+    s = koopman_single_combine(
+        s, koopman_single_naive(data.subspan(data.size() - tail)));
+  return s;
 }
 
 }  // namespace cksum::alg::kern::impl

@@ -1,0 +1,104 @@
+#include "storage/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/error_inject.hpp"
+#include "storage/layout.hpp"
+
+namespace cksum::storage {
+
+BlockDevice::BlockDevice(std::size_t block_size, const StoragePlan& plan,
+                         std::uint64_t seed)
+    : block_size_(block_size), plan_(plan), rng_(seed) {
+  assert(block_size_ >= 2 * kSectorSize && block_size_ % kSectorSize == 0);
+  assert(plan_.total_rate() <= 1.0 + 1e-9);
+  assert(plan_.burst_bits_min >= 1 &&
+         plan_.burst_bits_min <= plan_.burst_bits_max &&
+         plan_.burst_bits_max <= 64);
+}
+
+void BlockDevice::format(std::uint64_t addr, util::ByteView block) {
+  assert(block.size() == block_size_);
+  blocks_[addr] = util::Bytes(block.begin(), block.end());
+}
+
+WriteEvent BlockDevice::write(std::uint64_t addr, util::ByteView block) {
+  assert(block.size() == block_size_);
+  ++stats_.writes;
+  // One partition draw per write, consumed unconditionally so the
+  // fault schedule for write k never depends on what classes earlier
+  // writes hit — (plan, seed, sequence) fully determines the schedule.
+  const double u = rng_.uniform01();
+  double edge = plan_.torn_rate;
+  if (u < edge) {
+    // Sector-aligned tear strictly inside the block: s sectors of the
+    // new write land, the old content's suffix survives. The sealed
+    // header travels in sector 0, so the torn block carries the NEW
+    // check over a mixed payload — the storage splice.
+    const std::size_t sectors = block_size_ / kSectorSize;
+    const std::size_t s = 1 + static_cast<std::size_t>(
+                                  rng_.below(static_cast<std::uint64_t>(
+                                      sectors - 1)));
+    util::Bytes& dest = blocks_[addr];
+    if (dest.size() != block_size_) dest.assign(block_size_, 0);
+    std::copy(block.begin(),
+              block.begin() + static_cast<std::ptrdiff_t>(s * kSectorSize),
+              dest.begin());
+    ++stats_.torn;
+    return {WriteEvent::Kind::kTorn, s, 0};
+  }
+  edge += plan_.misdirect_rate;
+  if (u < edge) {
+    // The whole block lands at some other initialised address; the
+    // target never sees it. With no other address initialised the
+    // stray write falls outside the observed set entirely (victim ==
+    // target address marks that case).
+    std::vector<std::uint64_t> others;
+    others.reserve(blocks_.size());
+    for (const auto& [a, _] : blocks_)
+      if (a != addr) others.push_back(a);
+    std::uint64_t victim = addr;
+    if (!others.empty()) {
+      victim = others[rng_.below(others.size())];
+      blocks_[victim] = util::Bytes(block.begin(), block.end());
+    }
+    ++stats_.misdirected;
+    return {WriteEvent::Kind::kMisdirected, 0, victim};
+  }
+  edge += plan_.lost_rate;
+  if (u < edge) {
+    ++stats_.lost;
+    return {WriteEvent::Kind::kLost, 0, 0};
+  }
+  edge += plan_.corrupt_rate;
+  if (u < edge) {
+    util::Bytes& dest = blocks_[addr];
+    dest.assign(block.begin(), block.end());
+    const unsigned len = plan_.burst_bits_min +
+                         static_cast<unsigned>(rng_.below(
+                             plan_.burst_bits_max - plan_.burst_bits_min + 1));
+    core::apply_burst(dest,
+                      core::random_burst(rng_, 8 * block_size_, len));
+    ++stats_.corrupted;
+    return {WriteEvent::Kind::kCorrupted, 0, 0};
+  }
+  blocks_[addr] = util::Bytes(block.begin(), block.end());
+  ++stats_.committed;
+  return {WriteEvent::Kind::kCommitted, 0, 0};
+}
+
+util::ByteView BlockDevice::read(std::uint64_t addr) const noexcept {
+  const auto it = blocks_.find(addr);
+  if (it == blocks_.end()) return {};
+  return util::ByteView(it->second);
+}
+
+std::vector<std::uint64_t> BlockDevice::addresses() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(blocks_.size());
+  for (const auto& [a, _] : blocks_) out.push_back(a);
+  return out;
+}
+
+}  // namespace cksum::storage

@@ -1,0 +1,367 @@
+#include "storage/frontier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace cksum::storage {
+
+namespace {
+
+struct StorageMetrics {
+  obs::Counter trials, benign, detected, undetected, violations, cells,
+      writes, torn_injected, misdirected_injected, lost_injected,
+      corrupt_injected;
+};
+
+const StorageMetrics& smx() {
+  static const StorageMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    StorageMetrics v;
+    v.trials = r.counter("storage.trials");
+    v.benign = r.counter("storage.benign");
+    v.detected = r.counter("storage.detected");
+    v.undetected = r.counter("storage.undetected");
+    v.violations = r.counter("storage.violations");
+    v.cells = r.counter("storage.cells");
+    v.writes = r.counter("storage.writes");
+    v.torn_injected = r.counter("storage.torn.injected");
+    v.misdirected_injected = r.counter("storage.misdirected.injected");
+    v.lost_injected = r.counter("storage.lost.injected");
+    v.corrupt_injected = r.counter("storage.corrupt.injected");
+    return v;
+  }();
+  return m;
+}
+
+/// Carve a file into consecutive payload-sized windows.
+std::vector<util::Bytes> carve(const util::Bytes& file,
+                               std::size_t payload) {
+  std::vector<util::Bytes> out;
+  for (std::size_t off = 0; off + payload <= file.size(); off += payload)
+    out.emplace_back(file.begin() + static_cast<std::ptrdiff_t>(off),
+                     file.begin() + static_cast<std::ptrdiff_t>(off + payload));
+  return out;
+}
+
+StoragePlan forced_plan(FaultClass f) {
+  StoragePlan p;
+  switch (f) {
+    case FaultClass::kTorn: p.torn_rate = 1.0; break;
+    case FaultClass::kMisdirected: p.misdirect_rate = 1.0; break;
+    case FaultClass::kLost: p.lost_rate = 1.0; break;
+    case FaultClass::kCorrupt: p.corrupt_rate = 1.0; break;
+  }
+  return p;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BlockPool build_pool(std::size_t block_size, std::uint64_t seed,
+                     std::size_t target_pairs) {
+  assert(block_size > kCheckFieldSize);
+  BlockPool pool;
+  pool.block_size = block_size;
+  const std::size_t payload = block_size - kCheckFieldSize;
+  const util::Rng root(seed);
+  constexpr std::size_t nk = std::size(fsgen::kAllKinds);
+  // Per-kind window streams, refilled from fresh generated files, so
+  // the pool is balanced across kinds whatever the target count.
+  std::vector<std::vector<util::Bytes>> windows(nk);
+  std::vector<std::size_t> cursor(nk, 0);
+  std::vector<std::uint64_t> fileno(nk, 0);
+  while (pool.pairs.size() < target_pairs) {
+    for (std::size_t ki = 0; ki < nk && pool.pairs.size() < target_pairs;
+         ++ki) {
+      if (cursor[ki] + 1 >= windows[ki].size()) {
+        // Generators honour the size target only within a structural
+        // unit; grow the request until the file carves two windows.
+        std::size_t want = payload * 4 + payload / 2;
+        do {
+          const std::uint64_t fseed =
+              root.child(ki * 65536 + fileno[ki]++).next();
+          windows[ki] = carve(
+              fsgen::generate_file(fsgen::kAllKinds[ki], fseed, want),
+              payload);
+          want *= 2;
+        } while (windows[ki].size() < 2);
+        cursor[ki] = 0;
+      }
+      // Overlapping chain (w0,w1), (w1,w2), ... : each pair is one
+      // commit record advancing a generation within its journal
+      // stream, so run structure continues across a tear.
+      pool.pairs.push_back({fsgen::kAllKinds[ki], windows[ki][cursor[ki]],
+                            windows[ki][cursor[ki] + 1]});
+      ++cursor[ki];
+    }
+  }
+  return pool;
+}
+
+Outcome run_trial(const BlockPool& pool, Algo alg, FaultClass fault,
+                  std::uint64_t seed, std::uint64_t cell_id,
+                  std::uint64_t trial, TrialAudit* audit) {
+  assert(!pool.pairs.empty());
+  // The Rng chain depends only on (seed, cell, trial) — never on which
+  // thread runs the trial or in what order.
+  util::Rng tr = util::Rng(seed).child(cell_id).child(trial);
+  const std::size_t B = pool.block_size;
+  const BlockPool::Pair& pair = pool.pairs[tr.below(pool.pairs.size())];
+  const BlockPool::Pair& nb_pair = pool.pairs[tr.below(pool.pairs.size())];
+  const std::uint64_t addr = tr.next();
+  const std::uint64_t nb_addr = addr ^ (1 + tr.below(0xFFFF));
+
+  BlockDevice dev(B, forced_plan(fault), tr.next());
+  const WriteContext target_old{addr, 0};
+  const WriteContext target_new{addr, 1};
+  const WriteContext neighbour{nb_addr, 0};
+  dev.format(addr, seal_block(alg, target_old, pair.older, B));
+  util::Bytes want_nb = seal_block(alg, neighbour, nb_pair.older, B);
+  dev.format(nb_addr, want_nb);
+  util::Bytes want_target = seal_block(alg, target_new, pair.newer, B);
+  const WriteEvent ev = dev.write(addr, want_target);
+
+  // Byte-level oracle: after the write the reader expects the new
+  // generation at the target and the untouched neighbour beside it.
+  bool any_undetected = false, any_detected = false, violation = false;
+  const auto score = [&](std::uint64_t a, const WriteContext& ctx,
+                         const util::Bytes& expected,
+                         TrialAudit::Read* out) {
+    const util::ByteView actual = dev.read(a);
+    const bool correct =
+        actual.size() == expected.size() &&
+        std::equal(actual.begin(), actual.end(), expected.begin());
+    const bool ok = verify_block(alg, ctx, actual);
+    if (out != nullptr) {
+      out->address = a;
+      out->generation = ctx.generation;
+      out->expected = expected;
+      out->actual = util::Bytes(actual.begin(), actual.end());
+      out->check_passed = ok;
+    }
+    if (correct && !ok) violation = true;  // a sealed block must verify
+    if (!correct) (ok ? any_undetected : any_detected) = true;
+  };
+  score(addr, target_new, want_target,
+        audit != nullptr ? &audit->reads[0] : nullptr);
+  score(nb_addr, neighbour, want_nb,
+        audit != nullptr ? &audit->reads[1] : nullptr);
+  if (audit != nullptr) {
+    audit->kind = pair.kind;
+    audit->event = ev;
+  }
+  assert(!violation);
+  if (violation) return Outcome::kDetected;  // impossible by construction
+  if (any_undetected) return Outcome::kUndetected;
+  if (any_detected) return Outcome::kDetected;
+  return Outcome::kBenign;
+}
+
+FrontierResult run_frontier(const FrontierConfig& cfg) {
+  assert(cfg.block_sizes.size() == cfg.trials.size());
+  FrontierResult res;
+
+  // Pools and the fixed cell grid (block size → fault → algorithm).
+  std::vector<BlockPool> pools;
+  std::vector<std::uint64_t> cell_trials;
+  std::vector<std::size_t> cell_pool;
+  for (std::size_t bi = 0; bi < cfg.block_sizes.size(); ++bi) {
+    const std::size_t bs = cfg.block_sizes[bi];
+    std::size_t pairs = cfg.pool_pairs;
+    if (pairs == 0) pairs = bs >= 65536 ? 55 : 220;
+    pools.push_back(build_pool(bs, cfg.seed ^ 0x5706F01ull, pairs));
+    std::size_t trials = cfg.trials[bi];
+    if (trials == 0)
+      trials = cfg.quick ? (bs >= 65536 ? 48 : 240)
+                         : (bs >= 65536 ? 600 : 2500);
+    for (const FaultClass f : kAllFaults) {
+      for (const Algo a : kAllAlgos) {
+        CellResult c;
+        c.alg = a;
+        c.block_size = bs;
+        c.fault = f;
+        res.cells.push_back(c);
+        cell_trials.push_back(trials);
+        cell_pool.push_back(bi);
+      }
+    }
+  }
+
+  // Per-cell accumulation state, merged by commutative sums only.
+  struct CellAccum {
+    CellResult counts;
+    StorageStats dev;
+    std::uint64_t violations = 0;
+  };
+  struct Chunk {
+    std::size_t cell;
+    std::uint64_t begin, end;
+  };
+  std::vector<Chunk> chunks;
+  const unsigned threads = std::max(1u, cfg.threads);
+  for (std::size_t ci = 0; ci < res.cells.size(); ++ci) {
+    const std::uint64_t n = cell_trials[ci];
+    const std::uint64_t step =
+        std::max<std::uint64_t>(1, n / (threads * 4u));
+    for (std::uint64_t b = 0; b < n; b += step)
+      chunks.push_back({ci, b, std::min(n, b + step)});
+  }
+
+  std::vector<CellAccum> accum(res.cells.size());
+  std::mutex merge_mu;
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    std::vector<CellAccum> local(res.cells.size());
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks.size()) break;
+      const Chunk& ch = chunks[i];
+      const CellResult& cell = res.cells[ch.cell];
+      const BlockPool& pool = pools[cell_pool[ch.cell]];
+      CellAccum& la = local[ch.cell];
+      for (std::uint64_t t = ch.begin; t < ch.end; ++t) {
+        TrialAudit audit;
+        const Outcome o = run_trial(pool, cell.alg, cell.fault, cfg.seed,
+                                    ch.cell, t, &audit);
+        ++la.counts.trials;
+        switch (o) {
+          case Outcome::kBenign: ++la.counts.benign; break;
+          case Outcome::kDetected: ++la.counts.detected; break;
+          case Outcome::kUndetected: ++la.counts.undetected; break;
+        }
+        if (run_heavy(audit.kind)) {
+          ++la.counts.run_heavy_trials;
+          if (o != Outcome::kBenign) ++la.counts.run_heavy_scored;
+          if (o == Outcome::kUndetected) ++la.counts.run_heavy_undetected;
+        }
+        // Accounting violation: a reader seeing exactly the sealed
+        // block it expects must always pass verification.
+        for (const TrialAudit::Read& r : audit.reads)
+          if (r.actual == r.expected && !r.check_passed) ++la.violations;
+        // One device per trial: fold its injection counters in.
+        StorageStats ds;
+        ds.writes = 1;
+        switch (audit.event.kind) {
+          case WriteEvent::Kind::kCommitted: ds.committed = 1; break;
+          case WriteEvent::Kind::kTorn: ds.torn = 1; break;
+          case WriteEvent::Kind::kMisdirected: ds.misdirected = 1; break;
+          case WriteEvent::Kind::kLost: ds.lost = 1; break;
+          case WriteEvent::Kind::kCorrupted: ds.corrupted = 1; break;
+        }
+        la.dev.merge(ds);
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (std::size_t ci = 0; ci < accum.size(); ++ci) {
+      CellAccum& g = accum[ci];
+      const CellAccum& l = local[ci];
+      g.counts.trials += l.counts.trials;
+      g.counts.benign += l.counts.benign;
+      g.counts.detected += l.counts.detected;
+      g.counts.undetected += l.counts.undetected;
+      g.counts.run_heavy_trials += l.counts.run_heavy_trials;
+      g.counts.run_heavy_scored += l.counts.run_heavy_scored;
+      g.counts.run_heavy_undetected += l.counts.run_heavy_undetected;
+      g.dev.merge(l.dev);
+      g.violations += l.violations;
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool_threads;
+    for (unsigned i = 0; i < threads; ++i)
+      pool_threads.emplace_back(worker);
+    for (std::thread& th : pool_threads) th.join();
+  }
+
+  for (std::size_t ci = 0; ci < res.cells.size(); ++ci) {
+    CellResult& c = res.cells[ci];
+    const CellAccum& a = accum[ci];
+    c.trials = a.counts.trials;
+    c.benign = a.counts.benign;
+    c.detected = a.counts.detected;
+    c.undetected = a.counts.undetected;
+    c.run_heavy_trials = a.counts.run_heavy_trials;
+    c.run_heavy_scored = a.counts.run_heavy_scored;
+    c.run_heavy_undetected = a.counts.run_heavy_undetected;
+    res.device_stats.merge(a.dev);
+    res.trials_total += c.trials;
+    res.undetected_total += c.undetected;
+    res.violations += a.violations;
+  }
+
+#ifndef OBS_DISABLE
+  const StorageMetrics& m = smx();
+  m.trials.add(res.trials_total);
+  std::uint64_t benign = 0, detected = 0;
+  for (const CellResult& c : res.cells) {
+    benign += c.benign;
+    detected += c.detected;
+  }
+  m.benign.add(benign);
+  m.detected.add(detected);
+  m.undetected.add(res.undetected_total);
+  m.violations.add(res.violations);
+  m.cells.add(res.cells.size());
+  m.writes.add(res.device_stats.writes);
+  m.torn_injected.add(res.device_stats.torn);
+  m.misdirected_injected.add(res.device_stats.misdirected);
+  m.lost_injected.add(res.device_stats.lost);
+  m.corrupt_injected.add(res.device_stats.corrupted);
+#endif
+  return res;
+}
+
+std::string frontier_json(const FrontierConfig& cfg,
+                          const FrontierResult& res) {
+  std::string j = "{\"seed\": " + std::to_string(cfg.seed);
+  j += ", \"block_sizes\": [";
+  for (std::size_t i = 0; i < cfg.block_sizes.size(); ++i) {
+    if (i != 0) j += ", ";
+    j += std::to_string(cfg.block_sizes[i]);
+  }
+  j += "], \"trials\": " + std::to_string(res.trials_total);
+  j += ", \"undetected\": " + std::to_string(res.undetected_total);
+  j += ", \"violations\": " + std::to_string(res.violations);
+  j += ", \"rows\": [";
+  for (std::size_t i = 0; i < res.cells.size(); ++i) {
+    const CellResult& c = res.cells[i];
+    if (i != 0) j += ", ";
+    j += "{\"algorithm\": \"" + std::string(name(c.alg)) + "\"";
+    j += ", \"key\": \"" + std::string(manifest_key(c.alg)) + "\"";
+    j += ", \"block_size\": " + std::to_string(c.block_size);
+    j += ", \"fault\": \"" + std::string(name(c.fault)) + "\"";
+    j += ", \"trials\": " + std::to_string(c.trials);
+    j += ", \"benign\": " + std::to_string(c.benign);
+    j += ", \"detected\": " + std::to_string(c.detected);
+    j += ", \"undetected\": " + std::to_string(c.undetected);
+    j += ", \"run_heavy_trials\": " + std::to_string(c.run_heavy_trials);
+    j += ", \"run_heavy_scored\": " + std::to_string(c.run_heavy_scored);
+    j += ", \"run_heavy_undetected\": " +
+         std::to_string(c.run_heavy_undetected);
+    j += ", \"miss_rate\": " + fmt_double(c.miss_rate());
+    j += "}";
+  }
+  j += "]}";
+  return j;
+}
+
+void register_storage_metrics() {
+#ifndef OBS_DISABLE
+  smx();
+#endif
+}
+
+}  // namespace cksum::storage

@@ -1,0 +1,162 @@
+// The storage miss-rate frontier: the paper's Tables 4–10 question
+// asked of journal commit blocks instead of packets (docs/STORAGE.md).
+//
+// For every cell of (checksum × fault class × block size) the frontier
+// runs seeded trials. Each trial carves two consecutive payload
+// windows from one fsgen-generated file (old and new generation of the
+// same commit record, so run structure continues across a tear the way
+// it does in a real journal stream), seals them into commit blocks,
+// pushes the new generation through a single-fault BlockDevice, and
+// scores the read-back against a byte-level oracle:
+//
+//   benign      every readable block is bitwise the expected sealed
+//               block (e.g. a tear inside identical content)
+//   detected    some block deviates and verification rejects it
+//   undetected  some block deviates and verification ACCEPTS it —
+//               the miss the whole repository exists to count
+//
+// trials == benign + detected + undetected, per cell, by construction.
+//
+// Determinism: trial t of cell c derives its Rng purely from
+// (seed, c, t), and cells accumulate by commutative counter sums, so
+// the full table is bitwise identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsgen/generator.hpp"
+#include "storage/device.hpp"
+#include "storage/layout.hpp"
+
+namespace cksum::storage {
+
+enum class FaultClass { kTorn, kMisdirected, kLost, kCorrupt };
+
+inline constexpr FaultClass kAllFaults[] = {
+    FaultClass::kTorn, FaultClass::kMisdirected, FaultClass::kLost,
+    FaultClass::kCorrupt};
+
+constexpr std::string_view name(FaultClass f) noexcept {
+  switch (f) {
+    case FaultClass::kTorn: return "torn";
+    case FaultClass::kMisdirected: return "misdirected";
+    case FaultClass::kLost: return "lost";
+    case FaultClass::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+/// File kinds whose bytes are dominated by 0x00/0xFF runs — the slice
+/// where the paper's Fletcher-255 pathology lives (PBM rasters, word-
+/// processor padding runs, near-all-zero profiling data).
+constexpr bool run_heavy(fsgen::FileKind k) noexcept {
+  return k == fsgen::FileKind::kPbmImage ||
+         k == fsgen::FileKind::kWordProcessor ||
+         k == fsgen::FileKind::kGmonProfile;
+}
+
+/// Old/new payload pairs carved from the fsgen corpus at one block
+/// size: consecutive windows of the same generated file.
+struct BlockPool {
+  struct Pair {
+    fsgen::FileKind kind;
+    util::Bytes older;  ///< generation-0 payload (block_size - 8 bytes)
+    util::Bytes newer;  ///< generation-1 payload
+  };
+  std::size_t block_size = 0;
+  std::vector<Pair> pairs;
+};
+
+/// Deterministically carve `target_pairs` payload pairs, round-robin
+/// across every fsgen file kind so each kind's pathology is
+/// represented regardless of profile weighting.
+BlockPool build_pool(std::size_t block_size, std::uint64_t seed,
+                     std::size_t target_pairs);
+
+enum class Outcome { kBenign, kDetected, kUndetected };
+
+/// Everything one trial did, sufficient for an external byte-level
+/// audit (tests recompute the verdicts with the naive checksums).
+struct TrialAudit {
+  fsgen::FileKind kind = fsgen::FileKind::kText;
+  WriteEvent event;
+  struct Read {
+    std::uint64_t address = 0;
+    std::uint64_t generation = 0;
+    util::Bytes expected;  ///< the sealed block the reader should see
+    util::Bytes actual;    ///< what the device returned
+    bool check_passed = false;
+  };
+  Read reads[2];  ///< [0] = target, [1] = neighbour
+};
+
+/// One trial of cell `cell_id`: derives its Rng from (seed, cell_id,
+/// trial) only. `audit`, when non-null, receives the full byte-level
+/// record.
+Outcome run_trial(const BlockPool& pool, Algo alg, FaultClass fault,
+                  std::uint64_t seed, std::uint64_t cell_id,
+                  std::uint64_t trial, TrialAudit* audit = nullptr);
+
+struct FrontierConfig {
+  std::uint64_t seed = 0xC0FFEE;
+  /// Trials per cell, per block size (parallel to block_sizes); 0
+  /// entries fall back to the built-in defaults.
+  std::vector<std::size_t> block_sizes = {4096, 65536};
+  std::vector<std::size_t> trials = {0, 0};
+  std::size_t pool_pairs = 0;  ///< payload pairs per block size (0 = default)
+  unsigned threads = 1;
+  bool quick = false;
+};
+
+struct CellResult {
+  Algo alg = Algo::kCrc32;
+  std::size_t block_size = 0;
+  FaultClass fault = FaultClass::kTorn;
+  std::uint64_t trials = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t undetected = 0;
+  /// The torn-pathology slice: trials whose payload pair came from a
+  /// run-heavy file kind, and how they scored.
+  std::uint64_t run_heavy_trials = 0;
+  std::uint64_t run_heavy_scored = 0;
+  std::uint64_t run_heavy_undetected = 0;
+
+  /// Corruptions that reached the reader (benign trials excluded).
+  std::uint64_t scored() const noexcept { return detected + undetected; }
+  double miss_rate() const noexcept {
+    return scored() == 0 ? 0.0
+                         : static_cast<double>(undetected) /
+                               static_cast<double>(scored());
+  }
+};
+
+struct FrontierResult {
+  std::vector<CellResult> cells;  ///< fixed order: block size, fault, algo
+  StorageStats device_stats;      ///< summed over every trial's device
+  std::uint64_t trials_total = 0;
+  std::uint64_t undetected_total = 0;
+  /// Accounting violations (an expected sealed block failing its own
+  /// verification); always 0 unless the layout layer is broken.
+  std::uint64_t violations = 0;
+};
+
+/// Run the full matrix. Bitwise-deterministic in (config minus
+/// threads): the same seed and trial counts give identical cells at
+/// any thread count.
+FrontierResult run_frontier(const FrontierConfig& cfg);
+
+/// The manifest "storage" member: {"rows": [...], ...} — one row per
+/// cell with the outcome accounting identity intact
+/// (scripts/check_manifest.py --require-storage).
+std::string frontier_json(const FrontierConfig& cfg,
+                          const FrontierResult& res);
+
+/// Idempotently register the storage.* metric family (zero-valued)
+/// with obs::Registry::global(). Counters are kDeterministic: trial
+/// outcomes depend only on (seed, config), never on thread count.
+void register_storage_metrics();
+
+}  // namespace cksum::storage

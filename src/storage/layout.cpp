@@ -1,0 +1,81 @@
+#include "storage/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "checksum/checksum.hpp"
+#include "checksum/kernels/kernel.hpp"
+
+namespace cksum::storage {
+
+namespace {
+
+/// 16 bytes of covered-but-not-stored context: address ‖ generation,
+/// both big-endian. The even, 8-aligned length keeps every combine
+/// below exact (Internet needs an even prefix, Koopman a block-aligned
+/// one).
+std::size_t context_bytes(const WriteContext& ctx,
+                          std::uint8_t (&out)[16]) noexcept {
+  util::store_be64(out, ctx.address);
+  util::store_be64(out + 8, ctx.generation);
+  return sizeof out;
+}
+
+}  // namespace
+
+std::uint64_t compute_check(Algo a, const WriteContext& ctx,
+                            util::ByteView payload) {
+  std::uint8_t cb[16];
+  const util::ByteView cv(cb, context_bytes(ctx, cb));
+  // Each arm checksums the two fragments separately and folds them
+  // with the algorithm's partial-sum combine — the same contract the
+  // splice evaluator leans on, now on the storage hot path.
+  switch (a) {
+    case Algo::kCrc32:
+      return alg::kern::crc32(alg::kern::crc32(0, cv), payload);
+    case Algo::kInternet:
+      return alg::internet_combine(alg::kern::internet_sum(cv),
+                                   alg::kern::internet_sum(payload),
+                                   /*a_odd_length=*/false);
+    case Algo::kFletcher255: {
+      const auto mod = alg::FletcherMod::kOnes255;
+      return alg::fletcher_value(alg::fletcher_combine(
+          alg::kern::fletcher_block(cv, mod),
+          alg::kern::fletcher_block(payload, mod), payload.size(), mod));
+    }
+    case Algo::kFletcher256: {
+      const auto mod = alg::FletcherMod::kTwos256;
+      return alg::fletcher_value(alg::fletcher_combine(
+          alg::kern::fletcher_block(cv, mod),
+          alg::kern::fletcher_block(payload, mod), payload.size(), mod));
+    }
+    case Algo::kAdler32:
+      return alg::kern::adler32(alg::kern::adler32(1, cv), payload);
+    case Algo::kKoopmanDual:
+      return alg::koopman_dual_value(alg::koopman_dual_combine(
+          alg::kern::koopman_dual(cv), alg::kern::koopman_dual(payload),
+          alg::koopman_block_count(payload.size())));
+    case Algo::kKoopmanSingle:
+      return alg::koopman_single_combine(alg::kern::koopman_single(cv),
+                                         alg::kern::koopman_single(payload));
+  }
+  return 0;
+}
+
+util::Bytes seal_block(Algo a, const WriteContext& ctx,
+                       util::ByteView payload, std::size_t block_size) {
+  assert(block_size > kCheckFieldSize);
+  assert(payload.size() == block_size - kCheckFieldSize);
+  util::Bytes block(block_size);
+  util::store_be64(block.data(), compute_check(a, ctx, payload));
+  std::copy(payload.begin(), payload.end(), block.begin() + kCheckFieldSize);
+  return block;
+}
+
+bool verify_block(Algo a, const WriteContext& ctx, util::ByteView block) {
+  if (block.size() <= kCheckFieldSize) return false;
+  return util::load_be64(block.data()) ==
+         compute_check(a, ctx, block_payload(block));
+}
+
+}  // namespace cksum::storage

@@ -1,0 +1,142 @@
+// Commit-block layout: how a journal commit record is sealed with a
+// checksum and verified on read-back (docs/STORAGE.md).
+//
+// A sealed block is
+//
+//   [ check field : 8 bytes, big-endian ][ payload : block_size - 8 ]
+//
+// with the check computed over *context ‖ payload*, where the 16-byte
+// context is the block's logical address and write generation (each a
+// big-endian u64). The context is NOT stored in the block: the reader
+// supplies the (address, generation) it expects, the way ext4's
+// journal replays know which transaction a commit block must belong
+// to. That choice is what lets the checksum see storage-level faults
+// the payload bytes alone cannot witness:
+//
+//   * a misdirected write carries a check bound to the address it was
+//     *meant* for, so verification at the landing address fails;
+//   * a lost (or torn-away) write leaves the previous generation's
+//     check on disk, so verification against the expected generation
+//     fails.
+//
+// The check field lives at the *front* of the block deliberately. A
+// torn write lands a sector-aligned prefix of the new block over the
+// old one, so the surviving header always carries the NEW generation's
+// check — detection of a torn write therefore reduces exactly to the
+// paper's splice question: does checksum(new payload) differ from
+// checksum(new prefix ‖ old suffix)? A trailer-resident check would
+// make every torn write a trivial generation mismatch and hide the
+// per-algorithm differences this subsystem exists to measure.
+//
+// The per-algorithm check values are computed from the kernel
+// registry's dispatched entry points via each algorithm's partial-sum
+// combine, so the storage column exercises the same combine contracts
+// the splice evaluator depends on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace cksum::storage {
+
+/// The checksum matrix raced over commit blocks. Storage keeps its own
+/// enum (rather than extending alg::Algorithm, which transport-layer
+/// switches exhaust) so the block column can include Adler-32 and the
+/// Koopman large-block family.
+enum class Algo {
+  kCrc32,          ///< AAL5/zlib CRC-32
+  kInternet,       ///< 16-bit ones-complement sum (TCP/IP/UDP)
+  kFletcher255,    ///< Fletcher, ones-complement bytes (mod 255)
+  kFletcher256,    ///< Fletcher, twos-complement bytes (mod 256)
+  kAdler32,        ///< zlib Adler-32 (mod 65521, byte grain)
+  kKoopmanDual,    ///< Koopman dual sum, 64-bit blocks mod 65521
+  kKoopmanSingle,  ///< Koopman single sum, 64-bit blocks mod 2^32-5
+};
+
+inline constexpr Algo kAllAlgos[] = {
+    Algo::kCrc32,       Algo::kInternet,     Algo::kFletcher255,
+    Algo::kFletcher256, Algo::kAdler32,      Algo::kKoopmanDual,
+    Algo::kKoopmanSingle,
+};
+
+constexpr std::string_view name(Algo a) noexcept {
+  switch (a) {
+    case Algo::kCrc32: return "CRC-32";
+    case Algo::kInternet: return "TCP";
+    case Algo::kFletcher255: return "F-255";
+    case Algo::kFletcher256: return "F-256";
+    case Algo::kAdler32: return "Adler-32";
+    case Algo::kKoopmanDual: return "K-Dual";
+    case Algo::kKoopmanSingle: return "K-Single";
+  }
+  return "?";
+}
+
+constexpr std::string_view manifest_key(Algo a) noexcept {
+  switch (a) {
+    case Algo::kCrc32: return "crc32";
+    case Algo::kInternet: return "internet";
+    case Algo::kFletcher255: return "fletcher255";
+    case Algo::kFletcher256: return "fletcher256";
+    case Algo::kAdler32: return "adler32";
+    case Algo::kKoopmanDual: return "koopman_dual";
+    case Algo::kKoopmanSingle: return "koopman_single";
+  }
+  return "?";
+}
+
+/// Width of the check value in bits (uniform-data miss rate ≈ 2^-bits;
+/// the 16-bit sums are of course far worse than that on real data —
+/// that's the point of the matrix).
+constexpr unsigned check_bits(Algo a) noexcept {
+  switch (a) {
+    case Algo::kCrc32:
+    case Algo::kAdler32:
+    case Algo::kKoopmanDual:
+    case Algo::kKoopmanSingle:
+      return 32;
+    case Algo::kInternet:
+    case Algo::kFletcher255:
+    case Algo::kFletcher256:
+      return 16;
+  }
+  return 0;
+}
+
+/// Torn writes land sector-aligned prefixes.
+inline constexpr std::size_t kSectorSize = 512;
+
+/// Bytes of block header holding the big-endian check value.
+inline constexpr std::size_t kCheckFieldSize = 8;
+
+/// The (address, generation) a reader expects of a block — supplied at
+/// verify time, covered by the check, never stored in the block.
+struct WriteContext {
+  std::uint64_t address = 0;
+  std::uint64_t generation = 0;
+};
+
+/// Check value over context ‖ payload (only the low check_bits(a) bits
+/// are ever non-zero).
+std::uint64_t compute_check(Algo a, const WriteContext& ctx,
+                            util::ByteView payload);
+
+/// Build a sealed block of exactly `block_size` bytes:
+/// header(check) ‖ payload. Requires payload.size() == block_size -
+/// kCheckFieldSize.
+util::Bytes seal_block(Algo a, const WriteContext& ctx,
+                       util::ByteView payload, std::size_t block_size);
+
+/// The payload portion of a sealed block.
+inline util::ByteView block_payload(util::ByteView block) noexcept {
+  return block.subspan(kCheckFieldSize);
+}
+
+/// Recompute the check over (ctx, payload) and compare with the stored
+/// header. A block sealed with the same (algo, ctx, payload) always
+/// verifies.
+bool verify_block(Algo a, const WriteContext& ctx, util::ByteView block);
+
+}  // namespace cksum::storage

@@ -26,6 +26,12 @@ constexpr std::uint32_t load_be32(const std::uint8_t* p) noexcept {
          static_cast<std::uint32_t>(p[3]);
 }
 
+/// Load a 64-bit big-endian value.
+constexpr std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) |
+         static_cast<std::uint64_t>(load_be32(p + 4));
+}
+
 /// Store a 16-bit value big-endian.
 constexpr void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
   p[0] = static_cast<std::uint8_t>(v >> 8);
@@ -38,6 +44,12 @@ constexpr void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
   p[1] = static_cast<std::uint8_t>(v >> 16);
   p[2] = static_cast<std::uint8_t>(v >> 8);
   p[3] = static_cast<std::uint8_t>(v);
+}
+
+/// Store a 64-bit value big-endian.
+constexpr void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
 }
 
 /// Checked subspan: asserts the range is inside `data`.

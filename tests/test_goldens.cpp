@@ -164,6 +164,28 @@ constexpr FletcherGolden kFletcher32Goldens[] = {
     {"abc", 0xC462, 0x25C5},
 };
 
+// Koopman large-block sums (arXiv 2302.13432): big-endian 64-bit
+// blocks, partial final block zero-padded on the right; dual sums mod
+// 65521 packed B<<16|A, single sum mod 2^32-5. There is no published
+// test-vector suite, so these pin this repo's convention: each value
+// was computed by hand from the definition in an independent
+// big-integer implementation (scripts-free Python: split, pad, fold)
+// and cross-checked against the streaming classes; the naive/fast/
+// streaming agreement is enforced separately in test_koopman.cpp.
+struct KoopmanGolden {
+  std::string_view text;
+  std::uint32_t dual;
+  std::uint64_t single;
+};
+constexpr KoopmanGolden kKoopmanGoldens[] = {
+    {"", 0x00000000u, 0x00000000ull},
+    {"abcde", 0x71917191u, 0x4bebf0feull},
+    {"abcdefgh", 0xdef3def3u, 0x4c525866ull},
+    {"123456789", 0xc537b41cu, 0x48313746ull},
+    {"The quick brown fox jumps over the lazy dog", 0xaf6287b1u,
+     0x0ff0efb1ull},
+};
+
 TEST(KernelGoldens, EveryKernelReproducesPublishedVectors) {
   for (const Kernel& k : kernels()) {
     if (!kernel_available(k)) {
@@ -200,6 +222,12 @@ TEST(KernelGoldens, EveryKernelReproducesPublishedVectors) {
       const Fletcher32Pair p = k.fletcher32(view_of(g.text));
       EXPECT_EQ(p.a, g.a) << "f32 A(\"" << g.text << "\")";
       EXPECT_EQ(p.b, g.b) << "f32 B(\"" << g.text << "\")";
+    }
+    for (const KoopmanGolden& g : kKoopmanGoldens) {
+      EXPECT_EQ(koopman_dual_value(k.koopman_dual(view_of(g.text))), g.dual)
+          << "kdual(\"" << g.text << "\")";
+      EXPECT_EQ(k.koopman_single(view_of(g.text)), g.single)
+          << "ksingle(\"" << g.text << "\")";
     }
   }
 }

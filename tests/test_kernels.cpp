@@ -25,6 +25,7 @@
 #include "checksum/fletcher32.hpp"
 #include "checksum/internet.hpp"
 #include "checksum/kernels/kernel.hpp"
+#include "checksum/koopman.hpp"
 #include "kernel_testgen.hpp"
 #include "obs/registry.hpp"
 
@@ -35,13 +36,15 @@ using util::Bytes;
 using util::ByteView;
 
 /// Compare one kernel against the scalar reference on one buffer, all
-/// five algorithms. The streaming entry points are started from their
+/// seven algorithms. The streaming entry points are started from their
 /// conventional initial values (0 for CRC-32, 1 for Adler-32) and, to
 /// cover resumed calls, from a nonzero prior state.
 void expect_matches_scalar(const Kernel& k, ByteView data,
                            const std::string& context) {
   const Kernel& ref = scalar_kernel();
   EXPECT_EQ(k.internet_sum(data), ref.internet_sum(data)) << context;
+  EXPECT_EQ(k.koopman_dual(data), ref.koopman_dual(data)) << context;
+  EXPECT_EQ(k.koopman_single(data), ref.koopman_single(data)) << context;
   EXPECT_EQ(k.fletcher(data, FletcherMod::kOnes255),
             ref.fletcher(data, FletcherMod::kOnes255))
       << context;
@@ -154,6 +157,8 @@ TEST_P(PerKernel, EveryCombineSplit) {
   const FletcherPair f255_whole = ref.fletcher(whole, FletcherMod::kOnes255);
   const FletcherPair f256_whole = ref.fletcher(whole, FletcherMod::kTwos256);
   const Fletcher32Pair f32_whole = ref.fletcher32(whole);
+  const KoopmanDualPair kd_whole = ref.koopman_dual(whole);
+  const std::uint64_t ks_whole = ref.koopman_single(whole);
 
   for (std::size_t split = 0; split <= n; ++split) {
     const ByteView x = whole.first(split);
@@ -177,6 +182,19 @@ TEST_P(PerKernel, EveryCombineSplit) {
       EXPECT_EQ(fletcher32_combine(k.fletcher32(x), k.fletcher32(y),
                                    (y.size() + 1) / 2),
                 f32_whole)
+          << "split=" << split;
+    }
+    // The Koopman sums combine in zero-padded 64-bit blocks, so the
+    // law is exact only when the suffix starts on a block boundary.
+    if (split % kKoopmanBlockBytes == 0) {
+      EXPECT_EQ(koopman_dual_value(koopman_dual_combine(
+                    k.koopman_dual(x), k.koopman_dual(y),
+                    koopman_block_count(y.size()))),
+                koopman_dual_value(kd_whole))
+          << "split=" << split;
+      EXPECT_EQ(koopman_single_combine(k.koopman_single(x),
+                                       k.koopman_single(y)),
+                ks_whole)
           << "split=" << split;
     }
   }
@@ -286,6 +304,8 @@ TEST(KernelRegistry, LookupAndBestResolution) {
     EXPECT_NE(k.fletcher32, nullptr);
     EXPECT_NE(k.adler32, nullptr);
     EXPECT_NE(k.crc32, nullptr);
+    EXPECT_NE(k.koopman_dual, nullptr);
+    EXPECT_NE(k.koopman_single, nullptr);
   }
 }
 

@@ -64,6 +64,7 @@
 #include "fsgen/profile.hpp"
 #include "kernel_cli.hpp"
 #include "obs/exporter.hpp"
+#include "storage/frontier.hpp"
 
 using namespace cksum;
 
@@ -84,6 +85,9 @@ int usage() {
       "       faultlab arqsoak [--seed n] [--faults n] [--max-scenarios n]\n"
       "                        [--scenario n] [--repro-file p]\n"
       "                        [--metrics-out p] [--progress] [--quiet]\n"
+      "       faultlab storage [--seed n] [--trials n] [--threads n]\n"
+      "                        [--quick] [--json] [--metrics-out p]\n"
+      "                        [--progress] [--quiet]\n"
       "all accept --kernel best|scalar|slicing|swar|chorba|clmul|list\n"
       "(or the CKSUM_KERNEL environment variable) to pick the checksum\n"
       "kernel; `list` prints every kernel with tier and availability\n");
@@ -614,6 +618,179 @@ int cmd_arqsoak(const ArqOpts& o) {
   });
 }
 
+struct StorageOpts {
+  std::uint64_t seed = 0xC0FFEE;
+  std::size_t trials = 0;  ///< per cell, both block sizes (0 = defaults)
+  unsigned threads = 1;
+  bool quick = false;
+  bool json = false;
+  std::string metrics_out;
+  bool progress = false;
+  bool quiet = false;
+  bool ok = true;
+};
+
+StorageOpts parse_storage(const std::vector<std::string>& args) {
+  StorageOpts o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        o.ok = false;
+        return "0";
+      }
+      return args[++i];
+    };
+    if (a == "--seed") {
+      o.seed = std::stoull(next(), nullptr, 0);
+    } else if (a == "--trials") {
+      o.trials = std::stoull(next());
+    } else if (a == "--threads") {
+      o.threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--quick") {
+      o.quick = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--metrics-out") {
+      o.metrics_out = next();
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      o.ok = false;
+    }
+  }
+  return o;
+}
+
+std::string storage_ticker_line(const obs::Snapshot& snap, double elapsed) {
+  const auto get = [&](std::string_view name) -> std::uint64_t {
+    const obs::MetricValue* m = snap.find(name);
+    return m != nullptr ? m->value : 0;
+  };
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "storage: %llu trials  %llu detected  %llu undetected  "
+                "%llu violations  %.1fs",
+                static_cast<unsigned long long>(get("storage.trials")),
+                static_cast<unsigned long long>(get("storage.detected")),
+                static_cast<unsigned long long>(get("storage.undetected")),
+                static_cast<unsigned long long>(get("storage.violations")),
+                elapsed);
+  return buf;
+}
+
+/// Exporter wrapper for the storage frontier. `extra_rows`, when
+/// non-empty after run(), is spliced into the manifest as the
+/// "storage" top-level member (docs/OBSERVABILITY.md).
+template <typename Run>
+int with_storage_metrics(const StorageOpts& o, const char* tool,
+                         const std::string* extra_rows, Run run) {
+  storage::register_storage_metrics();
+  alg::kern::register_kernel_metrics();
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!o.metrics_out.empty() || o.progress) {
+    obs::MetricsExporter::Options eo;
+    eo.manifest_path = o.metrics_out;
+    eo.ticker = o.progress || isatty(2) != 0;
+    eo.ticker_line = storage_ticker_line;
+    exporter = std::make_unique<obs::MetricsExporter>(obs::Registry::global(),
+                                                      std::move(eo));
+  }
+  const int rc = run();
+  if (exporter) {
+    obs::RunInfo info;
+    info.tool = tool;
+    info.corpus = "fsgen-storage";  // payload pairs are seed-derived
+    info.seed = o.seed;
+    info.threads = o.threads;
+    info.extra_json = tools::kernel_manifest_json();
+    if (extra_rows != nullptr && !extra_rows->empty())
+      info.extra_json += ", \"storage\": " + *extra_rows;
+    if (!exporter->finish(std::move(info))) {
+      std::fprintf(stderr, "faultlab: cannot write manifest to %s\n",
+                   o.metrics_out.c_str());
+      return 1;
+    }
+  }
+  return rc;
+}
+
+/// The paper's question asked of commit blocks: which checksums leak
+/// which storage faults, on real file contents (docs/STORAGE.md).
+int cmd_storage(const StorageOpts& o, std::string* extra_rows) {
+  storage::FrontierConfig cfg;
+  cfg.seed = o.seed;
+  cfg.trials = {o.trials, o.trials};
+  cfg.threads = o.threads;
+  cfg.quick = o.quick;
+  const storage::FrontierResult res = storage::run_frontier(cfg);
+
+  bool failed = res.violations != 0;
+  std::string detail =
+      failed ? std::to_string(res.violations) + " accounting violations"
+             : std::string();
+  for (const storage::CellResult& c : res.cells) {
+    if (c.trials != c.benign + c.detected + c.undetected && !failed) {
+      failed = true;
+      detail = std::string(storage::name(c.alg)) + "/" +
+               std::string(storage::name(c.fault)) +
+               ": outcome counts do not sum to trials";
+    }
+  }
+
+  if (!o.quiet) {
+    core::TextTable t({"block", "fault", "check", "trials", "benign", "det",
+                       "undet", "miss", "runheavy miss"});
+    std::size_t last_block = 0;
+    for (const storage::CellResult& c : res.cells) {
+      if (last_block != 0 && c.block_size != last_block) t.add_separator();
+      last_block = c.block_size;
+      t.add_row({std::to_string(c.block_size),
+                 std::string(storage::name(c.fault)),
+                 std::string(storage::name(c.alg)), core::fmt_count(c.trials),
+                 core::fmt_count(c.benign), core::fmt_count(c.detected),
+                 core::fmt_count(c.undetected),
+                 core::fmt_pct(c.undetected, c.scored()),
+                 core::fmt_pct(c.run_heavy_undetected, c.run_heavy_scored)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+    // The headline: the paper's Fletcher run pathology, relocated to
+    // torn commit blocks. On 0x00/0xFF-heavy payloads a tear swaps
+    // content the ones'-complement sums cannot see.
+    std::printf("torn-write pathology, run-heavy slice (undetected/scored):\n");
+    for (const storage::CellResult& c : res.cells) {
+      if (c.fault != storage::FaultClass::kTorn) continue;
+      std::printf("  %-8s %6zu B: %s (%llu/%llu)\n",
+                  std::string(storage::name(c.alg)).c_str(), c.block_size,
+                  core::fmt_pct(c.run_heavy_undetected, c.run_heavy_scored)
+                      .c_str(),
+                  static_cast<unsigned long long>(c.run_heavy_undetected),
+                  static_cast<unsigned long long>(c.run_heavy_scored));
+    }
+    std::printf("\n");
+  }
+
+  const std::string rows = storage::frontier_json(cfg, res);
+  if (o.json) std::printf("%s\n", rows.c_str());
+  if (extra_rows != nullptr) *extra_rows = rows;
+
+  std::printf("storage frontier: %zu cells, %llu trials, %llu undetected: "
+              "%s\n",
+              res.cells.size(),
+              static_cast<unsigned long long>(res.trials_total),
+              static_cast<unsigned long long>(res.undetected_total),
+              failed ? "ACCOUNTING VIOLATED" : "accounting held");
+  if (failed) {
+    std::printf("  %s\n", detail.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 /// Hidden subcommand: one worker process of a distkill drill (also
 /// usable against a `cksumlab splice --serve` coordinator — both
 /// drivers speak the same protocol).
@@ -776,6 +953,25 @@ int main(int argc, char** argv) {
   if (cmd == "distworker" || cmd == "distkill") {
     try {
       return cmd == "distworker" ? cmd_distworker(args) : cmd_distkill(args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "faultlab: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (cmd == "storage") {
+    StorageOpts so;
+    try {
+      so = parse_storage(args);
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "faultlab: expected a number after the last option\n");
+      return usage();
+    }
+    if (!so.ok) return usage();
+    try {
+      std::string rows;
+      return with_storage_metrics(so, "faultlab storage", &rows,
+                                  [&] { return cmd_storage(so, &rows); });
     } catch (const std::exception& e) {
       std::fprintf(stderr, "faultlab: %s\n", e.what());
       return 1;
