@@ -43,6 +43,13 @@ show >=4x, the gate is looser only to absorb CI-runner noise. The
 against byte-at-a-time Fletcher-256 (want >= 1.2x on the slicing
 tier; locally ~1.8x) — rows absent from the dump skip the gate with
 a notice, matching the chorba/clmul pattern.
+
+The BM_RunCorpusStreamed rows (end-to-end splice run streamed from a
+sealed corpus store, see docs/CORPUS.md) ride along under the entry's
+"streaming" key, and --check holds streaming to >=0.95x the in-memory
+BM_RunFilesystem rate per worker. The 8-thread aggregate gate
+(>=4x the 1-thread streamed rate) only arms when the recorded
+hw_threads is >=8 — on smaller machines it skips with a notice.
 """
 
 import argparse
@@ -101,6 +108,20 @@ def validate_entry(entry):
             problems.append(f"{key!r} missing or not a number")
     if "manifest" in entry and not isinstance(entry["manifest"], dict):
         problems.append("'manifest' present but not an object")
+    if "streaming" in entry:
+        s = entry["streaming"]
+        if not isinstance(s, dict):
+            problems.append("'streaming' present but not an object")
+        else:
+            for key in ("in_memory_per_sec", "streamed_per_sec"):
+                rates = s.get(key)
+                if not isinstance(rates, dict) or not all(
+                        isinstance(v, (int, float)) for v in rates.values()):
+                    problems.append(f"'streaming'[{key!r}] not an object of "
+                                    f"numbers")
+            if not isinstance(s.get("hw_threads"), int):
+                problems.append("'streaming'['hw_threads'] missing or not "
+                                "an int")
     if "kernel_throughput" in entry:
         kt = entry["kernel_throughput"]
         if not isinstance(kt, dict):
@@ -223,14 +244,30 @@ def main() -> int:
 
     splices = {}
     pairs = {}
+    streaming = {"in_memory_per_sec": {}, "streamed_per_sec": {}}
+    hw_threads = None
     for b in raw.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
-        key = BENCH_KEYS.get(b.get("name", "").split("/")[0])
-        if key is None:
+        name = b.get("name", "")
+        key = BENCH_KEYS.get(name.split("/")[0])
+        if key is not None:
+            splices[key] = b.get("items_per_second")
+            pairs[key] = b.get("pairs_per_sec")
             continue
-        splices[key] = b.get("items_per_second")
-        pairs[key] = b.get("pairs_per_sec")
+        # End-to-end rows: BM_RunFilesystem/<threads>[/real_time] and
+        # BM_RunCorpusStreamed/<threads>[/real_time].
+        parts = name.split("/")
+        family = {"BM_RunFilesystem": "in_memory_per_sec",
+                  "BM_RunCorpusStreamed": "streamed_per_sec"}.get(parts[0])
+        if family is None or len(parts) < 2:
+            continue
+        rate = b.get("items_per_second")
+        if isinstance(rate, (int, float)):
+            streaming[family][parts[1]] = rate
+        ht = b.get("hw_threads")
+        if isinstance(ht, (int, float)):
+            hw_threads = int(ht)
 
     missing = [k for k in BENCH_KEYS.values() if splices.get(k) is None]
     if missing:
@@ -247,6 +284,9 @@ def main() -> int:
         "speedup_dfs_vs_flat": splices["dfs"] / splices["flat"],
         "speedup_dfs_vs_reference": splices["dfs"] / splices["reference"],
     }
+
+    if streaming["streamed_per_sec"] and hw_threads is not None:
+        entry["streaming"] = dict(streaming, hw_threads=hw_threads)
 
     if args.manifest:
         summary, err = manifest_summary(args.manifest)
@@ -301,6 +341,14 @@ def main() -> int:
             rates = ", ".join(f"{k} {v / 1e9:.2f} GB/s"
                               for k, v in sorted(per_kernel.items()))
             print(f"kernel {alg}: {rates}")
+    if "streaming" in entry:
+        s = entry["streaming"]
+        mem1 = s["in_memory_per_sec"].get("1")
+        str1 = s["streamed_per_sec"].get("1")
+        if mem1 and str1:
+            print(f"streaming: {str1:.3e} splices/sec from the corpus "
+                  f"store vs {mem1:.3e} in-memory at 1 thread "
+                  f"({str1 / mem1:.2f}x, {s['hw_threads']} hw threads)")
     print(f"appended entry #{len(trajectory)} to {args.trajectory}")
 
     if args.check:
@@ -349,6 +397,36 @@ def main() -> int:
                       f"Fletcher-256 on the slicing tier (want >=1.2x)",
                       file=sys.stderr)
                 ok = False
+        # Streaming-corpus gates: the store bakes packetisation in at
+        # build time, so streaming must not lose more than noise per
+        # worker, and must actually scale when the machine can.
+        s = entry.get("streaming")
+        if not s:
+            print("CHECK NOTICE: no BM_RunCorpusStreamed rows in the "
+                  "dump; streaming gates skipped", file=sys.stderr)
+        else:
+            mem1 = s["in_memory_per_sec"].get("1")
+            str1 = s["streamed_per_sec"].get("1")
+            str8 = s["streamed_per_sec"].get("8")
+            if mem1 and str1:
+                ratio = str1 / mem1
+                if ratio < 0.95:
+                    print(f"CHECK FAILED: corpus-streamed run only "
+                          f"{ratio:.2f}x the in-memory rate at 1 thread "
+                          f"(want >=0.95x)", file=sys.stderr)
+                    ok = False
+            if str1 and str8:
+                if s["hw_threads"] < 8:
+                    print(f"CHECK NOTICE: machine has "
+                          f"{s['hw_threads']} hw thread(s); 8-worker "
+                          f"aggregate gate skipped", file=sys.stderr)
+                else:
+                    ratio = str8 / str1
+                    if ratio < 4.0:
+                        print(f"CHECK FAILED: streamed aggregate only "
+                              f"{ratio:.2f}x the 1-thread rate at 8 "
+                              f"workers (want >=4x)", file=sys.stderr)
+                        ok = False
         if entry["speedup_dfs_vs_flat"] < 1.0:
             print("CHECK FAILED: DFS evaluator slower than flat baseline",
                   file=sys.stderr)

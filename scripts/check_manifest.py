@@ -154,50 +154,77 @@ def check_kernel(doc, want):
     return []
 
 
-def check_dist(doc, manifest_path):
-    """Problems with the manifest's distributed-run record, [] when
-    clean. See docs/DIST.md for the "dist" member's shape."""
-    dist = doc.get("dist") if isinstance(doc, dict) else None
-    if not isinstance(dist, dict):
-        return ["no 'dist' member — manifest was not produced by a "
-                "distributed run (cksumlab splice --serve)"]
+DIST_JOB_STATES = {"done", "cancelled", "aborted", "running"}
+
+
+def check_dist_job(job, who, manifest_path):
+    """Problems with one per-job record of the "dist" array, plus the
+    job's flat metric dict (for the aggregate identity). Returns
+    (problems, job_metrics)."""
     problems = []
+    v = job.get("job")
+    if not isinstance(v, int) or v < 1:
+        problems.append(f"{who}: 'job' missing or not a positive "
+                        f"integer: {v!r}")
+    name = job.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{who}: 'name' missing or empty")
+    state = job.get("state")
+    if state not in DIST_JOB_STATES:
+        problems.append(f"{who}: state {state!r} not one of "
+                        f"{sorted(DIST_JOB_STATES)}")
     for key in ("workers", "shards", "reassigned", "stale_results"):
-        v = dist.get(key)
+        v = job.get(key)
         if not isinstance(v, int) or v < 0:
-            problems.append(f"dist.{key}: missing or not a non-negative "
-                            f"integer: {v!r}")
-    if dist.get("complete") is not True:
-        problems.append("dist.complete is not true — run was aborted")
-    per = dist.get("per_worker")
-    if not isinstance(per, list) or not per:
-        problems.append("dist.per_worker missing or empty")
+            problems.append(f"{who}: missing or not a non-negative "
+                            f"integer: {key}={v!r}")
+    complete = job.get("complete")
+    if not isinstance(complete, bool):
+        problems.append(f"{who}: 'complete' missing or not a bool")
+    elif state == "done" and not complete:
+        problems.append(f"{who}: state is 'done' but complete is false")
+    elif state in ("cancelled", "aborted") and complete:
+        problems.append(f"{who}: state is {state!r} but complete is true")
+
+    job_metrics = job.get("metrics")
+    if not isinstance(job_metrics, dict):
+        problems.append(f"{who}: 'metrics' missing or not an object")
+        job_metrics = {}
+    for mname, mv in job_metrics.items():
+        if not isinstance(mv, int) or mv < 0:
+            problems.append(f"{who}: metric {mname!r} value {mv!r}")
+
+    per = job.get("per_worker")
+    if not isinstance(per, list):
+        problems.append(f"{who}: per_worker missing or not a list")
         per = []
+    elif not per and state == "done":
+        problems.append(f"{who}: job is done but per_worker is empty")
 
     sums = {}
     for i, w in enumerate(per):
         if not isinstance(w, dict):
-            problems.append(f"dist.per_worker[{i}]: not an object")
+            problems.append(f"{who}.per_worker[{i}]: not an object")
             continue
-        who = f"dist.per_worker[{i}] (worker {w.get('worker')!r})"
+        wwho = f"{who}.per_worker[{i}] (worker {w.get('worker')!r})"
         for key in ("worker", "pid", "shards"):
             v = w.get(key)
             if not isinstance(v, int) or v < 0:
-                problems.append(f"{who}: bad {key} {v!r}")
+                problems.append(f"{wwho}: bad {key} {v!r}")
         metrics = w.get("metrics")
         if not isinstance(metrics, dict):
-            problems.append(f"{who}: 'metrics' missing or not an object")
+            problems.append(f"{wwho}: 'metrics' missing or not an object")
             metrics = {}
-        for name, v in metrics.items():
-            if not isinstance(v, int) or v < 0:
-                problems.append(f"{who}: metric {name!r} value {v!r}")
+        for mname, mv in metrics.items():
+            if not isinstance(mv, int) or mv < 0:
+                problems.append(f"{wwho}: metric {mname!r} value {mv!r}")
                 continue
-            sums[name] = sums.get(name, 0) + v
+            sums[mname] = sums.get(mname, 0) + mv
         sub = w.get("manifest")
         if sub is None:
             continue  # worker ran without --metrics-out
         if not isinstance(sub, str) or not sub:
-            problems.append(f"{who}: 'manifest' not a non-empty string")
+            problems.append(f"{wwho}: 'manifest' not a non-empty string")
             continue
         # The path is recorded as the worker wrote it; also try it
         # relative to the aggregate manifest's directory.
@@ -212,14 +239,55 @@ def check_dist(doc, manifest_path):
             except (OSError, json.JSONDecodeError):
                 continue
         if subdoc is None:
-            problems.append(f"{who}: sub-manifest {sub!r} missing or "
+            problems.append(f"{wwho}: sub-manifest {sub!r} missing or "
                             "unreadable")
             continue
         for p in check_manifest(subdoc, []):
-            problems.append(f"{who}: sub-manifest {sub!r}: {p}")
+            problems.append(f"{wwho}: sub-manifest {sub!r}: {p}")
 
-    # The accounting identity: the aggregate's deterministic counters
-    # are exactly the sum of the accepted per-worker contributions.
+    # Per-job accounting identity: the job's counters are exactly the
+    # sum of the accepted per-worker contributions — for every job,
+    # including cancelled ones (stale results must not leak in).
+    for mname in set(sums) | set(job_metrics):
+        job_v = job_metrics.get(mname, 0)
+        worker_v = sums.get(mname, 0)
+        if isinstance(job_v, int) and job_v != worker_v:
+            problems.append(
+                f"{who}: counter {mname!r}: job total {job_v} != sum of "
+                f"per-worker contributions {worker_v}")
+    return problems, job_metrics
+
+
+def check_dist(doc, manifest_path):
+    """Problems with the manifest's distributed-run record, [] when
+    clean. See docs/DIST.md for the "dist" member's shape: an array
+    of per-job reports (a single `--serve` run is a 1-element array)."""
+    dist = doc.get("dist") if isinstance(doc, dict) else None
+    if not isinstance(dist, list) or not dist:
+        return ["no 'dist' array — manifest was not produced by a "
+                "distributed run (cksumlab splice --serve / JobService)"]
+    problems = []
+    seen_ids = set()
+    agg = {}
+    for i, job in enumerate(dist):
+        if not isinstance(job, dict):
+            problems.append(f"dist[{i}]: not an object")
+            continue
+        who = f"dist[{i}] (job {job.get('job')!r} {job.get('name')!r})"
+        job_problems, job_metrics = check_dist_job(job, who, manifest_path)
+        problems.extend(job_problems)
+        jid = job.get("job")
+        if isinstance(jid, int):
+            if jid in seen_ids:
+                problems.append(f"{who}: duplicate job id {jid}")
+            seen_ids.add(jid)
+        for mname, mv in job_metrics.items():
+            if isinstance(mv, int) and mv >= 0:
+                agg[mname] = agg.get(mname, 0) + mv
+
+    # Aggregate accounting identity: each deterministic counter in the
+    # document metrics equals the sum over all jobs (cancelled jobs
+    # included — their accepted shards were merged before the cancel).
     metrics = doc.get("metrics") if isinstance(doc.get("metrics"), dict) else {}
     for name, m in metrics.items():
         if not isinstance(m, dict) or m.get("tag") != "deterministic":
@@ -227,14 +295,14 @@ def check_dist(doc, manifest_path):
         if m.get("kind") != "counter":
             continue
         total = m.get("value")
-        worker_sum = sums.get(name, 0)
-        if isinstance(total, int) and total != worker_sum:
+        job_sum = agg.get(name, 0)
+        if isinstance(total, int) and total != job_sum:
             problems.append(
                 f"deterministic counter {name!r}: aggregate {total} != "
-                f"sum of per-worker contributions {worker_sum}")
-    for name in sums:
+                f"sum over jobs {job_sum}")
+    for name in agg:
         if name not in metrics:
-            problems.append(f"per-worker metric {name!r} absent from the "
+            problems.append(f"per-job metric {name!r} absent from the "
                             "aggregate metrics")
     return problems
 

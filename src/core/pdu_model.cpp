@@ -31,6 +31,8 @@ SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
     cp.f256 = alg::kern::fletcher_block(cell, alg::FletcherMod::kTwos256);
     cp.crc = alg::kern::crc32(cell);
     cp.hash = util::hash64(cell);
+    cp.kd = alg::kern::koopman_dual(cell);
+    cp.ks = alg::kern::koopman_single(cell);
     sp.cells.push_back(cp);
   }
 
@@ -47,6 +49,14 @@ SimPacket make_sim_packet(const net::PacketConfig& cfg, net::Packet&& pkt) {
 
   sp.stored_crc = sp.pdu.trailer().crc;
   sp.crc_head44 = alg::kern::crc32(sp.pdu.cell(n - 1).first(44));
+  // Koopman sums over the AAL5 CRC's coverage: whole PDU minus the
+  // trailing 4 CRC bytes, i.e. the EOM cell contributes bytes [0, 44).
+  sp.eom_kd = alg::kern::koopman_dual(sp.pdu.cell(n - 1).first(44));
+  sp.eom_ks = alg::kern::koopman_single(sp.pdu.cell(n - 1).first(44));
+  sp.kd_pdu =
+      alg::kern::koopman_dual(sp.pdu.bytes().first(sp.pdu.bytes().size() - 4));
+  sp.ks_pdu = alg::kern::koopman_single(
+      sp.pdu.bytes().first(sp.pdu.bytes().size() - 4));
   std::size_t eom_cov = sp.total_len > (n - 1) * atm::kCellPayload
                             ? sp.total_len - (n - 1) * atm::kCellPayload
                             : 0;

@@ -27,10 +27,17 @@
 
 #include "atm/aal5.hpp"
 #include "checksum/checksum.hpp"
+#include "checksum/koopman.hpp"
 #include "net/flow.hpp"
 #include "net/packet.hpp"
 
 namespace cksum::core {
+
+/// 64-bit Koopman blocks per 48-byte cell — exact: 48 is a multiple of
+/// the 8-byte block, so per-cell Koopman partials combine with no
+/// partial-block seams.
+inline constexpr std::uint64_t kKoopmanBlocksPerCell =
+    atm::kCellPayload / alg::kKoopmanBlockBytes;
 
 /// Partial sums over one full 48-byte PDU cell.
 struct CellPartial {
@@ -39,6 +46,8 @@ struct CellPartial {
   alg::FletcherPair f256{};      ///< Fletcher pair, mod 256
   std::uint32_t crc = 0;         ///< finalised crc32 of the 48 bytes
   std::uint64_t hash = 0;        ///< content hash (identical-data test)
+  alg::KoopmanDualPair kd{};     ///< Koopman dual pair of the 6 blocks
+  std::uint64_t ks = 0;          ///< Koopman single sum of the 6 blocks
 };
 
 /// Case-A transport-checksum pieces of one packet.
@@ -73,6 +82,14 @@ struct SimPacket {
   TransportPartials tp;
   std::uint32_t stored_crc = 0;   ///< AAL5 trailer CRC field
   std::uint32_t crc_head44 = 0;   ///< crc32 of EOM cell bytes [0, 44)
+  /// Koopman sums share the AAL5 CRC's coverage (the whole PDU minus
+  /// the trailing 4 check bytes), so the EOM cell contributes its
+  /// first 44 bytes — 5 full blocks plus a zero-padded 4-byte tail,
+  /// exactly the padding the direct computation applies at that length.
+  alg::KoopmanDualPair eom_kd{};  ///< Koopman dual of EOM bytes [0, 44)
+  std::uint64_t eom_ks = 0;       ///< Koopman single of EOM bytes [0, 44)
+  alg::KoopmanDualPair kd_pdu{};  ///< Koopman dual over PDU minus CRC field
+  std::uint64_t ks_pdu = 0;       ///< Koopman single over PDU minus CRC field
   /// Hash of the EOM cell's in-datagram bytes only ([0, tp.eom_len)) —
   /// identical-data comparisons are over the delivered IP datagram,
   /// not the AAL5 pad/trailer.

@@ -77,6 +77,8 @@ std::string splice_stats_json(const SpliceStats& st,
   field("missed_crc", st.missed_crc);
   field("missed_transport", st.missed_transport);
   field("missed_both", st.missed_both);
+  field("missed_koopman_dual", st.missed_koopman_dual);
+  field("missed_koopman_single", st.missed_koopman_single);
   field("fail_identical", st.fail_identical);
   field("pass_identical", st.pass_identical);
   field("fail_changed", st.fail_changed);

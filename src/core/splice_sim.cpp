@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "atm/splice.hpp"
+#include "checksum/kernels/kernel.hpp"
 #include "compress/lzw.hpp"
+#include "fsgen/corpus_store.hpp"
 #include "net/validate.hpp"
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
@@ -30,7 +32,8 @@ namespace {
 
 struct SpliceMetrics {
   obs::Counter files, packets, pairs, splices, fast, slow, caught_by_header,
-      identical, remaining, missed_crc, missed_transport, dfs_nodes;
+      identical, remaining, missed_crc, missed_transport, missed_koopman_dual,
+      missed_koopman_single, dfs_nodes;
   obs::Counter sched_files, sched_chunks, sched_steals;
   obs::Gauge sched_open_files;
   obs::Histogram packetize_ns, chunk_ns;
@@ -51,6 +54,8 @@ const SpliceMetrics& smx() {
     v.remaining = r.counter("splice.remaining");
     v.missed_crc = r.counter("splice.missed_crc");
     v.missed_transport = r.counter("splice.missed_transport");
+    v.missed_koopman_dual = r.counter("splice.missed_koopman_dual");
+    v.missed_koopman_single = r.counter("splice.missed_koopman_single");
     v.dfs_nodes = r.counter("splice.dfs_nodes");
     v.sched_files = r.counter("sched.files_claimed", obs::Tag::kScheduling);
     v.sched_chunks = r.counter("sched.chunks_claimed", obs::Tag::kScheduling);
@@ -80,7 +85,9 @@ class SpliceObsFlush {
         identical_(st.identical),
         remaining_(st.remaining),
         missed_crc_(st.missed_crc),
-        missed_transport_(st.missed_transport) {}
+        missed_transport_(st.missed_transport),
+        missed_kd_(st.missed_koopman_dual),
+        missed_ks_(st.missed_koopman_single) {}
   SpliceObsFlush(const SpliceObsFlush&) = delete;
   SpliceObsFlush& operator=(const SpliceObsFlush&) = delete;
   ~SpliceObsFlush() {
@@ -94,6 +101,8 @@ class SpliceObsFlush {
     m.remaining.add(st_.remaining - remaining_);
     m.missed_crc.add(st_.missed_crc - missed_crc_);
     m.missed_transport.add(st_.missed_transport - missed_transport_);
+    m.missed_koopman_dual.add(st_.missed_koopman_dual - missed_kd_);
+    m.missed_koopman_single.add(st_.missed_koopman_single - missed_ks_);
     m.dfs_nodes.add(dfs_nodes);
   }
 
@@ -104,7 +113,7 @@ class SpliceObsFlush {
   // SpliceStats would drag its by-k arrays through every pair.
   SpliceStats& st_;
   const std::uint64_t pairs_, total_, fast_, slow_, caught_, identical_,
-      remaining_, missed_crc_, missed_transport_;
+      remaining_, missed_crc_, missed_transport_, missed_kd_, missed_ks_;
 };
 
 #else
@@ -178,7 +187,8 @@ const std::uint8_t* pair_hdr_ok(const net::PacketConfig& cfg,
 }
 
 void classify(const PairContext& ctx, unsigned k1, bool hdr2, bool identical,
-              bool transport_pass, bool crc_pass, SpliceStats& st) {
+              bool transport_pass, bool crc_pass, bool kd_pass, bool ks_pass,
+              SpliceStats& st) {
   if (identical) {
     ++st.identical;
     if (transport_pass) {
@@ -197,6 +207,8 @@ void classify(const PairContext& ctx, unsigned k1, bool hdr2, bool identical,
   }
   if (crc_pass) ++st.missed_crc;
   if (crc_pass && transport_pass) ++st.missed_both;
+  if (kd_pass) ++st.missed_koopman_dual;
+  if (ks_pass) ++st.missed_koopman_single;
 
   const std::size_t n2 = ctx.p2->cells.size();
   const std::size_t k = std::min<std::size_t>(n2 - k1, kMaxTrackedK - 1);
@@ -219,7 +231,7 @@ void eval_slow(const PairContext& ctx, const atm::SpliceSpec& s,
     return;
   }
   classify(ctx, s.k1, (s.mask2 & 1u) != 0, o.identical, o.transport_pass,
-           o.crc_pass, st);
+           o.crc_pass, o.koopman_dual_pass, o.koopman_single_pass, st);
 }
 
 // ---------------------------------------------------------------------------
@@ -255,6 +267,9 @@ struct Agg {
   std::uint64_t inet = 0;
   std::uint64_t fa = 0;   ///< unreduced Fletcher A term
   std::uint64_t fb = 0;   ///< unreduced, distance-weighted B term
+  std::uint64_t ka = 0;   ///< unreduced Koopman dual A term
+  std::uint64_t kb = 0;   ///< unreduced, block-distance-weighted B term
+  std::uint64_t ks = 0;   ///< unreduced Koopman single sum
   std::uint32_t crc = 0;  ///< XOR of distance-advanced per-cell CRCs
   bool eq1 = true;        ///< chosen cells match p1's at their position
   bool eq2 = true;        ///< chosen cells match p2's at their position
@@ -279,6 +294,12 @@ struct DfsPair {
   // Pair constants: first cell at position 0 plus the EOM cell.
   std::uint64_t iconst = 0;
   std::uint64_t fconst_a = 0, fconst_b = 0;
+  // Koopman pair constants and targets: same two mandatory fragments,
+  // with B weighted by trailing *block* count (6 per cell, 6 for the
+  // EOM cell's 44 covered bytes). Targets are p2's whole-PDU sums.
+  std::uint64_t kconst_a = 0, kconst_b = 0, ksconst = 0;
+  alg::KoopmanDualPair kd_target{};
+  std::uint64_t ks_target = 0;
   std::uint32_t crc_target = 0;
   std::uint16_t stored_canon = 0;
   SpliceStats* st = nullptr;
@@ -331,6 +352,11 @@ inline void fold(const DfsPair& fs, Agg& a, const CellPartial& c,
   a.fb += fp.b +
           (static_cast<std::uint64_t>(atm::kCellPayload) * d + fs.eom_len) *
               fp.a;
+  // Koopman dual: the Fletcher recurrence at block grain — d trailing
+  // cells of 6 blocks each plus the EOM cell's 6 covered blocks.
+  a.ka += c.kd.a;
+  a.kb += c.kd.b + kKoopmanBlocksPerCell * (d + 1ull) * c.kd.a;
+  a.ks += c.ks;
   a.crc ^= suffix_comb(d).advance(c.crc);
   a.eq2 = a.eq2 && c.hash == fs.c2[pos].hash;
   if (fs.track1) a.eq1 = a.eq1 && c.hash == fs.c1[pos].hash;
@@ -356,7 +382,16 @@ void dfs_leaf(const DfsPair& fs, const Agg& a1, const SuffixCombo& c2,
     transport_pass = fs.stored_canon == alg::ones_canonical(expect);
   }
   const bool crc_pass = (a1.crc ^ c2.agg.crc) == fs.crc_target;
-  classify(ctx, k1, c2.hdr2, identical, transport_pass, crc_pass, *fs.st);
+  const bool kd_pass =
+      (fs.kconst_a + a1.ka + c2.agg.ka) % alg::kKoopmanDualMod ==
+          fs.kd_target.a &&
+      (fs.kconst_b + a1.kb + c2.agg.kb) % alg::kKoopmanDualMod ==
+          fs.kd_target.b;
+  const bool ks_pass =
+      (fs.ksconst + a1.ks + c2.agg.ks) % alg::kKoopmanSingleMod ==
+      fs.ks_target;
+  classify(ctx, k1, c2.hdr2, identical, transport_pass, crc_pass, kd_pass,
+           ks_pass, *fs.st);
 }
 
 /// Phase 2: pool every way p2's non-EOM cells can fill the LAST r
@@ -462,6 +497,10 @@ void eval_fast_flat(const PairContext& ctx, const atm::SpliceSpec& s,
   std::uint64_t fa = hf.a;
   std::uint64_t fb = hf.b;
   std::uint32_t crc = 0;
+  // Koopman coverage is the raw PDU (minus the CRC field), so unlike
+  // the transport sums it includes the position-0 cell's bytes.
+  alg::KoopmanDualPair kd{};
+  std::uint64_t ks = 0;
   bool ident2 = true;
   bool ident1 = (n1 == n2);
   std::size_t pos = 0;
@@ -469,6 +508,8 @@ void eval_fast_flat(const PairContext& ctx, const atm::SpliceSpec& s,
   auto take = [&](const SimPacket& src, unsigned idx) {
     const CellPartial& c = src.cells[idx];
     crc = pos == 0 ? c.crc : comb48().combine(crc, c.crc);
+    kd = alg::koopman_dual_combine(kd, c.kd, kKoopmanBlocksPerCell);
+    ks += c.ks;
     ident2 = ident2 && c.hash == p2.cells[pos].hash;
     if (ident1) ident1 = c.hash == p1.cells[pos].hash;
     if (pos != 0) {
@@ -495,6 +536,9 @@ void eval_fast_flat(const PairContext& ctx, const atm::SpliceSpec& s,
     fb += static_cast<std::uint64_t>(p2.tp.eom_len) * fa + fp.b;
     fa += fp.a;
     crc = comb44().combine(crc, p2.crc_head44);
+    kd = alg::koopman_dual_combine(kd, p2.eom_kd,
+                                   alg::koopman_block_count(44));
+    ks += p2.eom_ks;
   }
 
   bool transport_pass;
@@ -516,8 +560,10 @@ void eval_fast_flat(const PairContext& ctx, const atm::SpliceSpec& s,
   }
 
   const bool crc_pass = crc == p2.stored_crc;
+  const bool kd_pass = kd == p2.kd_pdu;
+  const bool ks_pass = ks % alg::kKoopmanSingleMod == p2.ks_pdu;
   classify(ctx, s.k1, (s.mask2 & 1u) != 0, ident1 || ident2, transport_pass,
-           crc_pass, st);
+           crc_pass, kd_pass, ks_pass, st);
 }
 
 PairContext make_pair_context(const net::PacketConfig& cfg, const SimPacket& p1,
@@ -582,6 +628,12 @@ SpliceOutcome evaluate_splice_reference(const net::PacketConfig& cfg,
   out.transport_pass =
       net::verify_transport_checksum(cfg, util::ByteView(bytes).first(len));
   out.crc_pass = atm::crc_ok(util::ByteView(bytes));
+  // Koopman sums share the AAL5 CRC's coverage; "pass" means the
+  // splice reproduces packet 2's stored-in-our-model sums (the splice
+  // carries p2's trailer, so p2's whole-PDU values are the targets).
+  const util::ByteView kcov(bytes.data(), bytes.size() - 4);
+  out.koopman_dual_pass = alg::kern::koopman_dual(kcov) == p2.kd_pdu;
+  out.koopman_single_pass = alg::kern::koopman_single(kcov) == p2.ks_pdu;
   return out;
 }
 
@@ -596,6 +648,8 @@ void SpliceStats::merge(const SpliceStats& o) {
   missed_crc += o.missed_crc;
   missed_transport += o.missed_transport;
   missed_both += o.missed_both;
+  missed_koopman_dual += o.missed_koopman_dual;
+  missed_koopman_single += o.missed_koopman_single;
   fail_identical += o.fail_identical;
   pass_identical += o.pass_identical;
   fail_changed += o.fail_changed;
@@ -681,6 +735,17 @@ void evaluate_pair(const net::PacketConfig& cfg, const SimPacket& p1,
   }
   fs.crc_target = p2.stored_crc ^ p2.crc_head44 ^
                   suffix_comb(fs.e2 - 1).advance(p1.cells[0].crc);
+  // Koopman constants: p1's mandatory first cell (6*e2 blocks follow
+  // it) plus p2's EOM fragment (nothing follows). Targets are p2's
+  // whole-PDU sums — the splice carries p2's trailer.
+  fs.kconst_a = p1.cells[0].kd.a + p2.eom_kd.a;
+  fs.kconst_b = static_cast<std::uint64_t>(p1.cells[0].kd.b) +
+                kKoopmanBlocksPerCell * static_cast<std::uint64_t>(fs.e2) *
+                    p1.cells[0].kd.a +
+                p2.eom_kd.b;
+  fs.ksconst = p1.cells[0].ks + p2.eom_ks;
+  fs.kd_target = p2.kd_pdu;
+  fs.ks_target = p2.ks_pdu;
   fs.stored_canon = alg::ones_canonical(ctx.header_placement ? p1.tp.stored
                                                              : p2.tp.stored);
   fs.st = &stats;
@@ -769,30 +834,41 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
   return run_filesystem_range(cfg, fs, 0, fs.file_count());
 }
 
-SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
-                                 const fsgen::Filesystem& fs,
-                                 std::size_t begin, std::size_t end) {
+namespace {
+
+/// The scheduler behind run_filesystem_range and run_corpus_range.
+/// `load(i)` produces file i's SimPackets — by generate + packetize
+/// for a fsgen source, by memcpy reconstruction for a corpus store —
+/// and the rest of the machinery (sequential loop or pair-granular
+/// work stealing) is source-agnostic. Every SpliceStats counter is
+/// additive, so the merged result is bitwise identical for any thread
+/// count, interleaving, or source representation of the same corpus.
+template <typename Loader>
+SpliceStats run_range_impl(const SpliceRunConfig& cfg, Loader&& load,
+                           std::size_t begin, std::size_t end) {
   unsigned threads = cfg.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  end = std::min(end, fs.file_count());
-  begin = std::min(begin, end);
-  const std::size_t nfiles = end - begin;
+  const std::size_t nfiles = end > begin ? end - begin : 0;
+  const SpliceMetrics& mx = smx();
 
   if (threads <= 1 || nfiles == 0) {
     SpliceStats st;
     for (std::size_t i = begin; i < end; ++i) {
-      const util::Bytes file = fs.file(i);
-      st.merge(run_file(cfg, util::ByteView(file)));
+      const std::vector<SimPacket> pkts = load(i);
+      st.files += 1;
+      st.packets += pkts.size();
+      mx.files.add(1);
+      mx.packets.add(pkts.size());
+      for (std::size_t j = 0; j + 1 < pkts.size(); ++j)
+        evaluate_pair(cfg.flow.packet, pkts[j], pkts[j + 1], st);
     }
     return st;
   }
 
   // Pair-granular work stealing: whichever worker claims a file
-  // packetizes it once, then its adjacent-pair range is carved into
+  // loads it once, then its adjacent-pair range is carved into
   // fixed chunks that any idle worker can steal, so one large file no
-  // longer serialises the run. Every SpliceStats counter is additive,
-  // so the merged result is bitwise identical for any thread count or
-  // interleaving.
+  // longer serialises the run.
   struct FileWork {
     std::vector<SimPacket> pkts;
     std::atomic<std::size_t> next_pair{0};
@@ -800,7 +876,6 @@ SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
     unsigned owner = 0;  ///< worker that packetized it (steal counting)
   };
   constexpr std::size_t kPairChunk = 8;
-  const SpliceMetrics& mx = smx();
 
   std::vector<SpliceStats> partial(threads);
   std::atomic<std::size_t> next_file{begin};
@@ -847,9 +922,8 @@ SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
       packetizing.fetch_add(1);
       const std::size_t i = next_file.fetch_add(1);
       if (i < end) {
-        const util::Bytes file = fs.file(i);
         auto work = std::make_shared<FileWork>();
-        work->pkts = prepare_file(cfg, util::ByteView(file));
+        work->pkts = load(i);
         work->owner = t;
         st.files += 1;
         st.packets += work->pkts.size();
@@ -891,6 +965,44 @@ SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
   SpliceStats st;
   for (const auto& p : partial) st.merge(p);
   return st;
+}
+
+}  // namespace
+
+SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
+                                 const fsgen::Filesystem& fs,
+                                 std::size_t begin, std::size_t end) {
+  end = std::min(end, fs.file_count());
+  begin = std::min(begin, end);
+  return run_range_impl(
+      cfg,
+      [&](std::size_t i) {
+        const util::Bytes file = fs.file(i);
+        return prepare_file(cfg, util::ByteView(file));
+      },
+      begin, end);
+}
+
+SpliceStats run_corpus(const SpliceRunConfig& cfg,
+                       const fsgen::CorpusReader& corpus) {
+  return run_corpus_range(cfg, corpus, 0, corpus.file_count());
+}
+
+SpliceStats run_corpus_range(const SpliceRunConfig& cfg,
+                             const fsgen::CorpusReader& corpus,
+                             std::size_t begin, std::size_t end) {
+  end = std::min(end, corpus.file_count());
+  begin = std::min(begin, end);
+  return run_range_impl(
+      cfg,
+      [&](std::size_t i) {
+        // The reconstruction cost lands in the same timing histogram
+        // as packetisation so the two sources are directly comparable
+        // in exported manifests.
+        obs::ScopedTimer timer(smx().packetize_ns);
+        return corpus.file_packets(i);
+      },
+      begin, end);
 }
 
 }  // namespace cksum::core

@@ -23,6 +23,10 @@
 #include "core/pdu_model.hpp"
 #include "fsgen/profile.hpp"
 
+namespace cksum::fsgen {
+class CorpusReader;
+}
+
 namespace cksum::core {
 
 struct SpliceRunConfig {
@@ -52,6 +56,12 @@ struct SpliceStats {
   std::uint64_t missed_crc = 0;        ///< remaining, CRC-32 passed
   std::uint64_t missed_transport = 0;  ///< remaining, transport passed
   std::uint64_t missed_both = 0;
+
+  /// Remaining splices the Koopman large-block sums pass (evaluated
+  /// over the AAL5 CRC's coverage, so the columns are directly
+  /// comparable with missed_crc).
+  std::uint64_t missed_koopman_dual = 0;
+  std::uint64_t missed_koopman_single = 0;
 
   /// Table 10 matrix (checksum result x data-identical result).
   std::uint64_t fail_identical = 0;  ///< checksum rejects an identical splice
@@ -112,6 +122,8 @@ struct SpliceOutcome {
   bool identical = false;       ///< meaningful only when headers passed
   bool transport_pass = false;  ///< computed even for identical splices
   bool crc_pass = false;
+  bool koopman_dual_pass = false;    ///< over the AAL5 CRC coverage
+  bool koopman_single_pass = false;  ///< over the AAL5 CRC coverage
 };
 
 /// Reference evaluation of a single splice by materialising its bytes
@@ -145,5 +157,22 @@ SpliceStats run_filesystem(const SpliceRunConfig& cfg,
 SpliceStats run_filesystem_range(const SpliceRunConfig& cfg,
                                  const fsgen::Filesystem& fs,
                                  std::size_t begin, std::size_t end);
+
+/// Evaluate a precomputed corpus store (src/fsgen/corpus_store.hpp)
+/// instead of re-packetising. cfg.flow MUST be the corpus's recorded
+/// flow (take it from CorpusReader::info().params — the transport
+/// checksum is baked into the stored packet bytes); cfg.threads and
+/// cfg.compress_files behave as for run_filesystem (compression
+/// already happened at build time, so compress_files is ignored).
+/// Bitwise identical to run_filesystem over the source filesystem —
+/// the corpus-format conformance contract (tests/test_corpus_store).
+SpliceStats run_corpus(const SpliceRunConfig& cfg,
+                       const fsgen::CorpusReader& corpus);
+
+/// Corpus-store analogue of run_filesystem_range — the lease unit of
+/// the distributed service's corpus-file jobs.
+SpliceStats run_corpus_range(const SpliceRunConfig& cfg,
+                             const fsgen::CorpusReader& corpus,
+                             std::size_t begin, std::size_t end);
 
 }  // namespace cksum::core

@@ -79,6 +79,13 @@ std::string DistReport::dist_json() const {
   out += ", \"reassigned\": " + std::to_string(reassigned);
   out += ", \"stale_results\": " + std::to_string(stale_results);
   out += ", \"complete\": " + std::string(complete ? "true" : "false");
+  // The run's own deterministic totals: the sum of the accepted
+  // per-worker contributions. check_manifest.py asserts both this
+  // per-run identity and that the jobs sum to the aggregate metrics.
+  std::map<std::string, std::uint64_t> totals;
+  for (const WorkerInfo& w : workers)
+    for (const auto& [name, v] : w.metrics) totals[name] += v;
+  out += ", \"metrics\": " + json_u64_map(totals);
   out += ", \"per_worker\": [";
   bool first = true;
   for (const WorkerInfo& w : workers) {

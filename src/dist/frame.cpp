@@ -74,6 +74,7 @@ std::string_view name(MsgType t) noexcept {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kGoodbye: return "goodbye";
     case MsgType::kNack: return "nack";
+    case MsgType::kJobConfig: return "job_config";
   }
   return "unknown";
 }
@@ -102,7 +103,7 @@ bool decode_frame_header(const std::uint8_t* hdr, MsgType* type,
   if (hdr[4] != kFrameVersion) return false;
   const std::uint8_t t = hdr[5];
   if (t < static_cast<std::uint8_t>(MsgType::kHello) ||
-      t > static_cast<std::uint8_t>(MsgType::kNack))
+      t > static_cast<std::uint8_t>(MsgType::kJobConfig))
     return false;
   const std::uint32_t len = get_le32(hdr + 12);
   if (len > kMaxFramePayload) return false;

@@ -38,6 +38,7 @@ enum class MsgType : std::uint8_t {
   kShutdown = 7,     ///< coordinator -> worker: run complete, finish up
   kGoodbye = 8,      ///< worker -> coordinator: clean exit (+ manifest)
   kNack = 9,         ///< either: CRC reject, resend from carried seq
+  kJobConfig = 10,   ///< coordinator -> worker: a named job's config
 };
 
 std::string_view name(MsgType t) noexcept;

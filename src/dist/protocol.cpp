@@ -94,6 +94,8 @@ void for_each_stat_field(core::SpliceStats& st, F&& f) {
   f(st.missed_crc);
   f(st.missed_transport);
   f(st.missed_both);
+  f(st.missed_koopman_dual);
+  f(st.missed_koopman_single);
   f(st.fail_identical);
   f(st.pass_identical);
   f(st.fail_changed);
@@ -167,7 +169,8 @@ std::optional<ConfigMsg> decode_config(util::ByteView in) {
   Reader r{in};
   ConfigMsg m;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(CorpusKind::kManifest)) return std::nullopt;
+  if (kind > static_cast<std::uint8_t>(CorpusKind::kCorpusFile))
+    return std::nullopt;
   m.corpus_kind = static_cast<CorpusKind>(kind);
   m.corpus = r.str();
   m.scale = r.f64();
@@ -181,12 +184,35 @@ std::optional<ConfigMsg> decode_config(util::ByteView in) {
   return m;
 }
 
+util::Bytes encode(const JobConfigMsg& m) {
+  util::Bytes out;
+  put_u64(out, m.job);
+  put_str(out, m.name);
+  const util::Bytes cfg = encode(m.run);
+  out.insert(out.end(), cfg.begin(), cfg.end());
+  return out;
+}
+
+std::optional<JobConfigMsg> decode_job_config(util::ByteView in) {
+  Reader r{in};
+  JobConfigMsg m;
+  m.job = r.u64();
+  m.name = r.str();
+  if (!r.ok) return std::nullopt;
+  const auto cfg =
+      decode_config(util::ByteView(in.data() + r.off, in.size() - r.off));
+  if (!cfg) return std::nullopt;
+  m.run = *cfg;
+  return m;
+}
+
 util::Bytes encode(const LeaseGrantMsg& m) {
   util::Bytes out;
   put_u64(out, m.shard);
   put_u64(out, m.epoch);
   put_u64(out, m.begin);
   put_u64(out, m.end);
+  put_u64(out, m.job);
   return out;
 }
 
@@ -197,6 +223,7 @@ std::optional<LeaseGrantMsg> decode_lease_grant(util::ByteView in) {
   m.epoch = r.u64();
   m.begin = r.u64();
   m.end = r.u64();
+  m.job = r.u64();
   if (!r.done()) return std::nullopt;
   return m;
 }
@@ -211,6 +238,7 @@ util::Bytes encode(const LeaseResultMsg& m) {
     put_str(out, d.name);
     put_u64(out, d.delta);
   }
+  put_u64(out, m.job);
   return out;
 }
 
@@ -233,6 +261,7 @@ std::optional<LeaseResultMsg> decode_lease_result(util::ByteView in) {
     if (!r.ok) return std::nullopt;
     m.deltas.push_back(std::move(d));
   }
+  m.job = r.u64();
   if (!r.done()) return std::nullopt;
   return m;
 }
@@ -241,6 +270,7 @@ util::Bytes encode(const HeartbeatMsg& m) {
   util::Bytes out;
   put_u64(out, m.shard);
   put_u64(out, m.epoch);
+  put_u64(out, m.job);
   return out;
 }
 
@@ -249,6 +279,7 @@ std::optional<HeartbeatMsg> decode_heartbeat(util::ByteView in) {
   HeartbeatMsg m;
   m.shard = r.u64();
   m.epoch = r.u64();
+  m.job = r.u64();
   if (!r.done()) return std::nullopt;
   return m;
 }
@@ -284,6 +315,16 @@ void register_dist_metrics() {
   reg.counter("dist.results_accepted", obs::Tag::kScheduling);
   reg.counter("dist.results_stale", obs::Tag::kScheduling);
   reg.counter("dist.heartbeats", obs::Tag::kScheduling);
+  // Multi-tenant job service (service.hpp).
+  reg.counter("dist.jobs_submitted", obs::Tag::kScheduling);
+  reg.counter("dist.jobs_rejected", obs::Tag::kScheduling);
+  reg.counter("dist.jobs_cancelled", obs::Tag::kScheduling);
+  reg.counter("dist.jobs_completed", obs::Tag::kScheduling);
+  // High-water mark of any connection's bounded write queue (monotone
+  // max, recorded as the counter's value) and grants deferred because
+  // a queue was at capacity.
+  reg.counter("dist.write_queue_hwm", obs::Tag::kScheduling);
+  reg.counter("dist.grants_deferred", obs::Tag::kScheduling);
 }
 
 }  // namespace cksum::dist

@@ -19,13 +19,18 @@
 
 namespace cksum::dist {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: lease/heartbeat/result frames carry a job id (multi-tenant
+/// JobService, service.hpp) and ConfigMsg may name a corpus store.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// How ConfigMsg::corpus names the corpus.
 enum class CorpusKind : std::uint8_t {
-  kProfile = 0,   ///< corpus = profile name, scaled by `scale`
-  kDirectory = 1, ///< corpus = directory path (must exist on the worker)
-  kManifest = 2,  ///< corpus = the manifest *text* itself (no shared fs)
+  kProfile = 0,    ///< corpus = profile name, scaled by `scale`
+  kDirectory = 1,  ///< corpus = directory path (must exist on the worker)
+  kManifest = 2,   ///< corpus = the manifest *text* itself (no shared fs)
+  kCorpusFile = 3, ///< corpus = path to a prebuilt corpus store
+                   ///< (`cksumlab corpus build`); the worker takes the
+                   ///< run flow FROM the store, not from this message
 };
 
 /// worker -> coordinator, first frame on the connection.
@@ -49,15 +54,27 @@ struct ConfigMsg {
   std::uint32_t heartbeat_ms = 1000;
 };
 
+/// coordinator -> worker: a named job's run configuration. The
+/// multi-tenant JobService sends one of these before the first lease
+/// it grants a connection for that job; the single-job Coordinator
+/// never sends it (its lone Config is job 0).
+struct JobConfigMsg {
+  std::uint64_t job = 0;
+  std::string name;  ///< display name (informational)
+  ConfigMsg run;
+};
+
 /// coordinator -> worker: lease on files [begin, end) of shard
 /// `shard`. `epoch` is the at-most-once token — it increments on every
 /// (re)grant of the shard, and results carrying a stale epoch are
-/// discarded by the coordinator.
+/// discarded by the coordinator. `job` scopes the shard space: shard
+/// indices are per-job (0 for the single-job Coordinator).
 struct LeaseGrantMsg {
   std::uint64_t shard = 0;
   std::uint64_t epoch = 0;
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
+  std::uint64_t job = 0;
 };
 
 /// worker -> coordinator: the completed shard's statistics plus the
@@ -69,12 +86,14 @@ struct LeaseResultMsg {
   std::uint64_t epoch = 0;
   core::SpliceStats stats;
   std::vector<obs::CounterDelta> deltas;
+  std::uint64_t job = 0;
 };
 
 /// worker -> coordinator while evaluating (extends the lease deadline).
 struct HeartbeatMsg {
   std::uint64_t shard = 0;
   std::uint64_t epoch = 0;
+  std::uint64_t job = 0;
 };
 
 /// worker -> coordinator on clean shutdown; `manifest_path` is the
@@ -85,6 +104,7 @@ struct GoodbyeMsg {
 
 util::Bytes encode(const HelloMsg&);
 util::Bytes encode(const ConfigMsg&);
+util::Bytes encode(const JobConfigMsg&);
 util::Bytes encode(const LeaseGrantMsg&);
 util::Bytes encode(const LeaseResultMsg&);
 util::Bytes encode(const HeartbeatMsg&);
@@ -92,6 +112,7 @@ util::Bytes encode(const GoodbyeMsg&);
 
 std::optional<HelloMsg> decode_hello(util::ByteView);
 std::optional<ConfigMsg> decode_config(util::ByteView);
+std::optional<JobConfigMsg> decode_job_config(util::ByteView);
 std::optional<LeaseGrantMsg> decode_lease_grant(util::ByteView);
 std::optional<LeaseResultMsg> decode_lease_result(util::ByteView);
 std::optional<HeartbeatMsg> decode_heartbeat(util::ByteView);

@@ -10,8 +10,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "dist/frame.hpp"
 #include "dist/protocol.hpp"
 #include "faults/channel.hpp"
+#include "fsgen/corpus_store.hpp"
 #include "fsgen/profile.hpp"
 #include "obs/snapshot.hpp"
 #include "util/rng.hpp"
@@ -67,8 +70,10 @@ int connect_coordinator(const std::string& host, std::uint16_t port,
 struct WorkerCorpus {
   std::unique_ptr<fsgen::Filesystem> fs;
   std::vector<std::filesystem::path> files;  // directory mode
+  std::unique_ptr<fsgen::CorpusReader> store;  // corpus-file mode
 
   std::size_t size() const {
+    if (store) return store->file_count();
     return fs ? fs->file_count() : files.size();
   }
 };
@@ -87,6 +92,13 @@ WorkerCorpus load_corpus(const ConfigMsg& cfg) {
     case CorpusKind::kDirectory:
       c.files = core::list_corpus_files(cfg.corpus);
       break;
+    case CorpusKind::kCorpusFile: {
+      std::string err;
+      c.store = fsgen::CorpusReader::open(cfg.corpus, &err);
+      if (!c.store)
+        throw std::runtime_error("corpus store " + cfg.corpus + ": " + err);
+      break;
+    }
   }
   return c;
 }
@@ -94,6 +106,7 @@ WorkerCorpus load_corpus(const ConfigMsg& cfg) {
 core::SpliceStats evaluate_range(const core::SpliceRunConfig& run,
                                  const WorkerCorpus& corpus,
                                  std::size_t begin, std::size_t end) {
+  if (corpus.store) return core::run_corpus_range(run, *corpus.store, begin, end);
   if (corpus.fs) return core::run_filesystem_range(run, *corpus.fs, begin, end);
   // Directory mode: same skip-empty walk as core::run_directory, over
   // the lease's slice of the sorted file list.
@@ -129,10 +142,12 @@ class HeartbeatPump {
     thread_.join();
   }
 
-  void begin_lease(std::uint64_t shard, std::uint64_t epoch) {
+  void begin_lease(std::uint64_t shard, std::uint64_t epoch,
+                   std::uint64_t job) {
     std::lock_guard<std::mutex> lk(mu_);
     shard_ = shard;
     epoch_ = epoch;
+    job_ = job;
     active_ = true;
   }
   void end_lease() {
@@ -151,7 +166,7 @@ class HeartbeatPump {
           interval_ms_ - interval_ms_ / 4 + jitter_.below(interval_ms_ / 2 + 1);
       cv_.wait_for(lk, std::chrono::milliseconds(wait));
       if (stop_ || !active_) continue;
-      const HeartbeatMsg hb{shard_, epoch_};
+      const HeartbeatMsg hb{shard_, epoch_, job_};
       lk.unlock();
       ch_.send(MsgType::kHeartbeat, encode(hb));
       lk.lock();
@@ -168,6 +183,35 @@ class HeartbeatPump {
   bool active_ = false;
   std::uint64_t shard_ = 0;
   std::uint64_t epoch_ = 0;
+  std::uint64_t job_ = 0;
+};
+
+/// Reconstruct the exact run configuration for one job. A corpus
+/// store's flow is authoritative (the transport checksum is baked into
+/// its packet bytes), so kCorpusFile jobs take it from the store.
+core::SpliceRunConfig make_run_config(const ConfigMsg& cfg,
+                                      const WorkerCorpus& corpus) {
+  core::SpliceRunConfig run;
+  if (corpus.store) {
+    run.flow = corpus.store->info().params.flow;
+    run.compress_files = false;  // compression happened at build time
+  } else {
+    run.flow = core::paper_flow_config();
+    run.flow.segment_size = cfg.segment;
+    run.flow.packet.transport = static_cast<alg::Algorithm>(cfg.transport);
+    run.flow.packet.placement = cfg.trailer ? net::ChecksumPlacement::kTrailer
+                                            : net::ChecksumPlacement::kHeader;
+    run.compress_files = cfg.compress;
+  }
+  run.threads = std::max(1u, cfg.threads);
+  return run;
+}
+
+/// One job's worker-side state: config, corpus, and run configuration.
+struct WorkerJob {
+  ConfigMsg cfg;
+  WorkerCorpus corpus;
+  core::SpliceRunConfig run;
 };
 
 }  // namespace
@@ -200,23 +244,26 @@ int run_worker(const WorkerOptions& opts) {
   const auto cfg = decode_config(util::ByteView(f.payload));
   if (!cfg) return 1;
 
-  core::SpliceRunConfig run;
-  run.flow = core::paper_flow_config();
-  run.flow.segment_size = cfg->segment;
-  run.flow.packet.transport = static_cast<alg::Algorithm>(cfg->transport);
-  run.flow.packet.placement = cfg->trailer ? net::ChecksumPlacement::kTrailer
-                                           : net::ChecksumPlacement::kHeader;
-  run.compress_files = cfg->compress;
-  run.threads = std::max(1u, cfg->threads);
-
-  WorkerCorpus corpus;
-  try {
-    corpus = load_corpus(*cfg);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "dist worker %llu: bad corpus config: %s\n",
-                 static_cast<unsigned long long>(opts.worker_id), e.what());
-    return 1;
-  }
+  // Job table: the single-job Coordinator's lone Config is job 0; the
+  // multi-tenant JobService adds further jobs with JobConfig frames
+  // before the first lease it grants this connection for each.
+  std::map<std::uint64_t, WorkerJob> jobs;
+  auto add_job = [&](std::uint64_t id, const ConfigMsg& jc) -> bool {
+    WorkerJob j;
+    j.cfg = jc;
+    try {
+      j.corpus = load_corpus(jc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dist worker %llu: bad corpus config: %s\n",
+                   static_cast<unsigned long long>(opts.worker_id), e.what());
+      return false;
+    }
+    j.run = make_run_config(jc, j.corpus);
+    jobs.erase(id);
+    jobs.emplace(id, std::move(j));
+    return true;
+  };
+  if (!add_job(0, *cfg)) return 1;
 
   obs::Registry& reg = obs::Registry::global();
   const auto start = std::chrono::steady_clock::now();
@@ -227,15 +274,24 @@ int run_worker(const WorkerOptions& opts) {
     // whole fleet has connected (the start barrier).
     if (!ch.recv(&f, 60000)) return 1;
     switch (f.type) {
+      case MsgType::kJobConfig: {
+        const auto m = decode_job_config(util::ByteView(f.payload));
+        if (!m || !add_job(m->job, m->run)) return 1;
+        break;
+      }
       case MsgType::kLeaseGrant: {
         const auto g = decode_lease_grant(util::ByteView(f.payload));
         if (!g) return 1;
-        pump.begin_lease(g->shard, g->epoch);
+        const auto it = jobs.find(g->job);
+        if (it == jobs.end()) return 1;  // grant before JobConfig: bug
+        const WorkerJob& job = it->second;
+        pump.begin_lease(g->shard, g->epoch, g->job);
         const obs::Snapshot before = reg.snapshot();
         LeaseResultMsg res;
         res.shard = g->shard;
         res.epoch = g->epoch;
-        res.stats = evaluate_range(run, corpus, g->begin, g->end);
+        res.job = g->job;
+        res.stats = evaluate_range(job.run, job.corpus, g->begin, g->end);
         res.deltas = obs::counter_deltas(before, reg.snapshot());
         pump.end_lease();
         if (!ch.send(MsgType::kLeaseResult, encode(res))) return 1;
@@ -252,7 +308,7 @@ int run_worker(const WorkerOptions& opts) {
                             ? "<manifest>"
                             : cfg->corpus;
           info.seed = 0;
-          info.threads = run.threads;
+          info.threads = jobs.count(0) ? jobs.at(0).run.threads : 1;
           info.wall_seconds =
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             start)

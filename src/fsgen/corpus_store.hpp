@@ -1,0 +1,180 @@
+// Precomputed splice-corpus store — the streaming half of the
+// line-rate refactor (docs/CORPUS.md).
+//
+// `run_filesystem` regenerates every file and re-packetises it (AAL5
+// framing + five checksum families per cell) on every run; for a
+// fixed corpus that work is identical each time. A corpus store runs
+// the packetiser ONCE and persists everything evaluate_pair consumes
+// — per-cell partial sums laid out SoA, per-packet transport
+// partials, header-check verdicts, and the raw PDU bytes the slow
+// path materialises from — in a single mmap-able arena, so workers
+// stream shards at memcpy speed instead of checksum speed.
+//
+// On-disk layout (native-endian, the endian tag rejects foreign
+// files):
+//
+//   [CorpusHeader]            sealed by header_crc (field zeroed)
+//   [SectionRec x n]          kind/offset/size table
+//   [sections ...]            each offset 64-byte aligned, zero padded
+//
+// seal_crc covers every byte after the header (section table
+// included), so any bit flip in the body is detected before use; the
+// header has its own CRC so a flipped length/offset can never send
+// the reader out of bounds — every structural invariant is checked at
+// open() with an explicit reason, never by faulting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pdu_model.hpp"
+#include "fsgen/profile.hpp"
+#include "net/flow.hpp"
+
+namespace cksum::fsgen {
+
+/// Magic + version. The version is part of the magic string so a
+/// future incompatible layout is rejected byte-for-byte.
+inline constexpr char kCorpusMagic[8] = {'C', 'K', 'C', 'O',
+                                         'R', 'P', '0', '1'};
+inline constexpr std::uint32_t kCorpusEndianTag = 0x01020304;
+inline constexpr std::uint32_t kCorpusVersion = 1;
+inline constexpr std::size_t kCorpusAlign = 64;
+
+/// Everything that went into packetising the corpus. Persisted in the
+/// header: a store is only valid for the exact flow it was built
+/// with (the transport checksum is written into the packet bytes),
+/// so readers take their run configuration FROM the store instead of
+/// trusting the caller to repeat it.
+struct CorpusBuildParams {
+  std::string profile;  ///< display name (informational)
+  double scale = 1.0;
+  net::FlowConfig flow;
+  bool compress = false;  ///< files were LZW-compressed before transfer
+};
+
+/// Section kinds. Cell partials are SoA: one section per column, each
+/// indexed by the same global cell index.
+enum class CorpusSection : std::uint32_t {
+  kFiles = 1,      ///< FileRec[file_count]
+  kPackets = 2,    ///< PacketRec[packet_count]
+  kCellInet = 3,   ///< u16[cell_count]
+  kCellF255 = 4,   ///< {u32 a, u32 b}[cell_count]
+  kCellF256 = 5,   ///< {u32 a, u32 b}[cell_count]
+  kCellCrc = 6,    ///< u32[cell_count]
+  kCellHash = 7,   ///< u64[cell_count]
+  kCellKd = 8,     ///< {u32 a, u32 b}[cell_count] Koopman dual
+  kCellKs = 9,     ///< u64[cell_count] Koopman single
+  kHdrOk = 10,     ///< u8 blob, per-packet [hdr_begin, +cell_count-1)
+  kPduBytes = 11,  ///< raw PDU bytes, per-packet [pdu_offset, +48*cells)
+};
+
+struct CorpusSectionRec {
+  std::uint32_t kind = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;  ///< from file start, kCorpusAlign-aligned
+  std::uint64_t size = 0;    ///< payload bytes (padding not included)
+};
+static_assert(sizeof(CorpusSectionRec) == 24);
+
+/// Fixed-size per-packet record: SimPacket minus the per-cell columns.
+struct CorpusPacketRec {
+  std::uint64_t cell_begin = 0;  ///< first index into the cell columns
+  std::uint64_t hdr_begin = 0;   ///< first index into kHdrOk
+  std::uint64_t pdu_offset = 0;  ///< byte offset into kPduBytes
+  std::uint64_t eom_cov_hash = 0;
+  std::uint64_t eom_ks = 0;
+  std::uint64_t ks_pdu = 0;
+  std::uint32_t cell_count = 0;
+  std::uint32_t stored_crc = 0;
+  std::uint32_t crc_head44 = 0;
+  std::uint32_t eom_kd_a = 0, eom_kd_b = 0;
+  std::uint32_t kd_pdu_a = 0, kd_pdu_b = 0;
+  std::uint32_t head_f255_a = 0, head_f255_b = 0;
+  std::uint32_t head_f256_a = 0, head_f256_b = 0;
+  std::uint32_t eom_f255_a = 0, eom_f255_b = 0;
+  std::uint32_t eom_f256_a = 0, eom_f256_b = 0;
+  std::uint32_t eom_len = 0;
+  std::uint16_t total_len = 0;
+  std::uint16_t head_sum = 0;
+  std::uint16_t eom_sum = 0;
+  std::uint16_t stored = 0;
+  std::uint8_t fast_path_ok = 0;
+  std::uint8_t hdr_require_ipck = 0;
+  std::uint8_t hdr_legacy95 = 0;
+  std::uint8_t pad[5] = {};
+};
+static_assert(sizeof(CorpusPacketRec) == 128);
+
+struct CorpusFileRec {
+  std::uint64_t packet_begin = 0;
+  std::uint64_t packet_count = 0;
+};
+static_assert(sizeof(CorpusFileRec) == 16);
+
+/// Summary returned by info() (and printed by `cksumlab corpus info`).
+struct CorpusInfo {
+  std::uint32_t version = 0;
+  std::uint64_t file_size = 0;
+  std::uint64_t files = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t pdu_bytes = 0;
+  CorpusBuildParams params;
+};
+
+/// Packetise every file of `fs` under `params` and write the sealed
+/// store to `path`. Returns false with a reason in *error (the
+/// partial output file is removed).
+bool build_corpus(const CorpusBuildParams& params, const Filesystem& fs,
+                  const std::string& path, std::string* error);
+
+/// Read side: mmaps the file, validates magic/version/endianness/
+/// CRCs/section bounds/alignment and every packet index once, then
+/// serves packets by memcpy-reconstruction. Thread-safe after open()
+/// (all reads are const over the mapping).
+class CorpusReader {
+ public:
+  /// nullptr + reason in *error on any validation failure. Never
+  /// faults on truncated or corrupted input.
+  static std::unique_ptr<CorpusReader> open(const std::string& path,
+                                            std::string* error);
+  ~CorpusReader();
+  CorpusReader(const CorpusReader&) = delete;
+  CorpusReader& operator=(const CorpusReader&) = delete;
+
+  const CorpusInfo& info() const noexcept { return info_; }
+  std::size_t file_count() const noexcept {
+    return static_cast<std::size_t>(info_.files);
+  }
+
+  /// Reconstruct file i's packets, bitwise-equal to
+  /// packetize_file(params.flow, <file bytes>) on the original data
+  /// (asserted by tests/test_corpus_store.cpp for every registry
+  /// checksum). No checksum is recomputed.
+  std::vector<core::SimPacket> file_packets(std::size_t i) const;
+
+ private:
+  CorpusReader() = default;
+
+  const std::uint8_t* base_ = nullptr;  ///< mmap base
+  std::size_t map_len_ = 0;
+  CorpusInfo info_;
+  // Section payloads (validated in-bounds at open).
+  const CorpusFileRec* files_ = nullptr;
+  const CorpusPacketRec* packets_ = nullptr;
+  const std::uint16_t* cell_inet_ = nullptr;
+  const std::uint32_t* cell_f255_ = nullptr;  ///< a,b interleaved
+  const std::uint32_t* cell_f256_ = nullptr;
+  const std::uint32_t* cell_crc_ = nullptr;
+  const std::uint64_t* cell_hash_ = nullptr;
+  const std::uint32_t* cell_kd_ = nullptr;  ///< a,b interleaved
+  const std::uint64_t* cell_ks_ = nullptr;
+  const std::uint8_t* hdr_ok_ = nullptr;
+  std::uint64_t hdr_ok_size_ = 0;
+  const std::uint8_t* pdu_bytes_ = nullptr;
+};
+
+}  // namespace cksum::fsgen

@@ -4,14 +4,21 @@
 // bitwise-deterministic in the first place.
 #include <sys/socket.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "core/experiments.hpp"
+#include "core/splice_sim.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/frame.hpp"
 #include "dist/lease.hpp"
 #include "dist/protocol.hpp"
+#include "dist/service.hpp"
+#include "dist/worker.hpp"
+#include "fsgen/profile.hpp"
 #include "obs/registry.hpp"
 #include "obs/snapshot.hpp"
 #include "util/rng.hpp"
@@ -172,6 +179,8 @@ core::SpliceStats random_stats(util::Rng& rng) {
   st.missed_crc = r();
   st.missed_transport = r();
   st.missed_both = r();
+  st.missed_koopman_dual = r();
+  st.missed_koopman_single = r();
   st.fail_identical = r();
   st.pass_identical = r();
   st.fail_changed = r();
@@ -371,6 +380,211 @@ TEST(DistMergeProperty, CommutativeAssociativeWithIdentity) {
     zero_a.merge(a);
     EXPECT_EQ(zero_a, a);
   }
+}
+
+// --- Multi-tenant JobService ----------------------------------------
+
+/// Per-connection backpressure primitive: capacity is a hard bound,
+/// the high-water mark records the deepest the queue ever got.
+TEST(DistQueue, BoundedWriteQueueBackpressure) {
+  dist::BoundedWriteQueue q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.push(MsgType::kLeaseGrant, {1}));
+  EXPECT_TRUE(q.push(MsgType::kJobConfig, {2, 2}));
+  EXPECT_TRUE(q.push(MsgType::kShutdown, {}));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(MsgType::kLeaseGrant, {9}));  // rejected, not queued
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.hwm(), 3u);
+
+  MsgType t{};
+  util::Bytes p;
+  ASSERT_TRUE(q.pop(&t, &p));
+  EXPECT_EQ(t, MsgType::kLeaseGrant);  // FIFO order preserved
+  EXPECT_EQ(p, util::Bytes{1});
+  ASSERT_TRUE(q.pop(&t, &p));
+  EXPECT_EQ(t, MsgType::kJobConfig);
+  ASSERT_TRUE(q.pop(&t, &p));
+  EXPECT_EQ(t, MsgType::kShutdown);
+  EXPECT_FALSE(q.pop(&t, &p));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.hwm(), 3u);  // hwm is sticky across drains
+}
+
+namespace {
+
+dist::JobSpec profile_job(const std::string& name, double scale,
+                          std::size_t shard_files = 0) {
+  dist::JobSpec spec;
+  spec.name = name;
+  spec.run.corpus_kind = dist::CorpusKind::kProfile;
+  spec.run.corpus = "nsc05";
+  spec.run.scale = scale;
+  spec.run.segment = 256;
+  spec.run.transport =
+      static_cast<std::uint8_t>(alg::Algorithm::kInternet);
+  spec.run.threads = 1;
+  spec.nfiles = fsgen::Filesystem(fsgen::profile("nsc05"), scale).file_count();
+  spec.shard_files = shard_files;
+  return spec;
+}
+
+core::SpliceStats profile_oracle(double scale) {
+  core::SpliceRunConfig cfg;
+  cfg.flow = core::paper_flow_config();
+  cfg.threads = 1;
+  return core::run_filesystem(cfg,
+                              fsgen::Filesystem(fsgen::profile("nsc05"), scale));
+}
+
+std::thread worker_thread(std::uint16_t port, std::uint64_t id, int* rc) {
+  return std::thread([port, id, rc] {
+    dist::WorkerOptions w;
+    w.host = "127.0.0.1";
+    w.port = port;
+    w.worker_id = id;
+    w.tool = "cksum_tests worker";
+    *rc = dist::run_worker(w);
+  });
+}
+
+}  // namespace
+
+/// The tentpole guarantee: three concurrently running named jobs on
+/// one shared worker pool each merge to exactly the stats a
+/// single-process run of the same corpus produces. (Counter-delta
+/// accounting needs process-isolated workers and is exercised by the
+/// faultlab drill; SpliceStats travel in lease results and stay
+/// per-job even with every worker in this one process.)
+TEST(DistJobService, ConcurrentJobsBitwiseEqualOracles) {
+  dist::register_dist_metrics();
+  const double scales[3] = {0.08, 0.06, 0.04};
+
+  dist::ServiceConfig sc;
+  sc.expected_workers = 3;
+  sc.lease_timeout_ms = 60000;
+  dist::JobService svc(sc);
+
+  std::uint64_t ids[3];
+  for (int j = 0; j < 3; ++j) {
+    const auto id =
+        svc.submit(profile_job("job" + std::to_string(j), scales[j], 1));
+    ASSERT_TRUE(id.has_value());
+    ids[j] = *id;
+  }
+  EXPECT_EQ(ids[0], 1u);  // ids start at 1 (0 = handshake placeholder)
+
+  int rcs[3] = {-1, -1, -1};
+  std::thread workers[3];
+  for (int i = 0; i < 3; ++i)
+    workers[i] = worker_thread(svc.port(), i + 1, &rcs[i]);
+
+  for (int j = 0; j < 3; ++j) {
+    const dist::JobReport rep = svc.wait(ids[j]);
+    EXPECT_EQ(rep.state, dist::JobState::kDone);
+    EXPECT_TRUE(rep.report.complete);
+    EXPECT_EQ(rep.report.stats, profile_oracle(scales[j]))
+        << "job " << j << " diverged from its single-process oracle";
+  }
+
+  const std::vector<dist::JobReport> all = svc.drain();
+  ASSERT_EQ(all.size(), 3u);
+  for (const auto& r : all) EXPECT_EQ(r.state, dist::JobState::kDone);
+  for (auto& t : workers) t.join();
+  for (const int rc : rcs) EXPECT_EQ(rc, 0);
+
+  // The manifest member is a well-formed per-job array.
+  const std::string js = svc.jobs_json();
+  EXPECT_EQ(js.front(), '[');
+  EXPECT_NE(js.find("\"job\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"job\": 3"), std::string::npos);
+  EXPECT_NE(js.find("\"state\": \"done\""), std::string::npos);
+}
+
+/// Admission control: beyond max_jobs the submit is rejected up front
+/// and the rejection is observable in the dist.* counters.
+TEST(DistJobService, AdmissionRejectsBeyondLimits) {
+  dist::register_dist_metrics();
+  const auto counter = [](std::string_view name) -> std::uint64_t {
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const obs::MetricValue* m = snap.find(name);
+    return m != nullptr ? m->value : 0;
+  };
+  const std::uint64_t rejected0 = counter("dist.jobs_rejected");
+
+  dist::ServiceConfig sc;
+  sc.limits.max_jobs = 1;
+  dist::JobService svc(sc);
+  const auto first = svc.submit(profile_job("only", 0.04));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(svc.submit(profile_job("rejected", 0.04)).has_value());
+  EXPECT_EQ(counter("dist.jobs_rejected"), rejected0 + 1);
+
+  // Queued-shard budget: a job whose shard count alone exceeds the
+  // limit is rejected even when the job table has room.
+  dist::ServiceConfig sc2;
+  sc2.limits.max_queued_shards = 2;
+  dist::JobService svc2(sc2);
+  EXPECT_FALSE(svc2.submit(profile_job("too-wide", 0.08, 1)).has_value());
+  EXPECT_EQ(counter("dist.jobs_rejected"), rejected0 + 2);
+
+  EXPECT_TRUE(svc.cancel(*first));
+  svc.drain();
+  svc2.drain();
+}
+
+/// Cancelling one job mid-flight must not disturb its neighbours: the
+/// survivor still merges bitwise-equal to its oracle, the cancelled
+/// job keeps its partial merge and terminal state.
+TEST(DistJobService, CancelMidFlightLeavesSurvivorIntact) {
+  dist::register_dist_metrics();
+  dist::ServiceConfig sc;
+  sc.expected_workers = 1;
+  sc.lease_timeout_ms = 60000;
+  dist::JobService svc(sc);
+
+  const auto keep = svc.submit(profile_job("keep", 0.08, 1));
+  const auto axe = svc.submit(profile_job("axe", 0.08, 1));
+  ASSERT_TRUE(keep.has_value());
+  ASSERT_TRUE(axe.has_value());
+
+  // Cancel the victim as soon as one of its shards has merged — from
+  // this thread, not the hook (the hook runs inside the service loop).
+  std::atomic<bool> axe_started{false};
+  svc.set_event_hook([&](const dist::ServiceEvent& ev) {
+    if (ev.kind == dist::ServiceEvent::Kind::kResultAccepted &&
+        ev.job == *axe)
+      axe_started.store(true);
+  });
+
+  int rc = -1;
+  std::thread w = worker_thread(svc.port(), 1, &rc);
+  while (!axe_started.load() && svc.status(*axe)->state ==
+                                    dist::JobState::kRunning) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const bool cancelled = svc.cancel(*axe);
+
+  const dist::JobReport kept = svc.wait(*keep);
+  EXPECT_EQ(kept.state, dist::JobState::kDone);
+  EXPECT_TRUE(kept.report.complete);
+  EXPECT_EQ(kept.report.stats, profile_oracle(0.08));
+
+  const dist::JobReport axed = svc.wait(*axe);
+  if (cancelled) {
+    EXPECT_EQ(axed.state, dist::JobState::kCancelled);
+    EXPECT_FALSE(axed.report.complete);
+  } else {
+    // The whole job raced to completion before cancel() landed —
+    // legitimate on a fast machine; it must then equal its oracle.
+    EXPECT_EQ(axed.state, dist::JobState::kDone);
+    EXPECT_EQ(axed.report.stats, profile_oracle(0.08));
+  }
+
+  svc.drain();
+  w.join();
+  EXPECT_EQ(rc, 0);
 }
 
 }  // namespace

@@ -45,9 +45,11 @@
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "dist/coordinator.hpp"
+#include "dist/service.hpp"
 #include "dist/spawn.hpp"
 #include "dist/worker.hpp"
 #include "faults/channel.hpp"
+#include "fsgen/corpus_store.hpp"
 #include "obs/exporter.hpp"
 #include "stats/uniformity.hpp"
 #include "util/pcap.hpp"
@@ -63,7 +65,11 @@ int usage() {
                "       cksumlab gen <kind> <bytes> [seed]\n"
                "       cksumlab manifest <profile> [scale]\n"
                "       cksumlab pcap <out.pcap> [profile] [max-packets]\n"
-               "       cksumlab splice (--profile <name> | --dir <path> | --manifest <file> | --quick) "
+               "       cksumlab corpus build (--profile <name> | --manifest <file> | --quick) "
+               "--out <path> [--compress] [--scale x] [--segment n] "
+               "[--transport ...] [--trailer]\n"
+               "       cksumlab corpus info <path>\n"
+               "       cksumlab splice (--profile <name> | --dir <path> | --manifest <file> | --corpus <store> | --quick) "
                "[--transport tcp|f255|f256] [--trailer] [--scale x] "
                "[--segment n] [--threads n] [--verbose] [--json] "
                "[--metrics-out <path>] [--progress]\n"
@@ -151,6 +157,7 @@ struct CommonOpts {
   std::string profile;
   std::string dir;
   std::string manifest;  // corpus pinned by `cksumlab manifest`
+  std::string corpus;    // prebuilt store from `cksumlab corpus build`
   std::string metrics_out;  // telemetry run-manifest path ("" = off)
   net::PacketConfig pkt;
   double scale = 1.0;
@@ -188,6 +195,8 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
       o.manifest = next();
     } else if (a == "--dir") {
       o.dir = next();
+    } else if (a == "--corpus") {
+      o.corpus = next();
     } else if (a == "--scale") {
       o.scale = std::stod(next());
       scale_set = true;
@@ -250,7 +259,7 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
     }
   }
   int sources = (!o.profile.empty() ? 1 : 0) + (!o.dir.empty() ? 1 : 0) +
-                (!o.manifest.empty() ? 1 : 0);
+                (!o.manifest.empty() ? 1 : 0) + (!o.corpus.empty() ? 1 : 0);
   if (quick && sources == 0) {
     // CI shorthand: a corpus small enough for smoke jobs.
     o.profile = "nsc05";
@@ -275,6 +284,10 @@ void print_splice_stats(const core::SpliceStats& st,
   const std::string name = "missed by " + std::string(alg::name(pkt.transport));
   t.add_row({name, core::fmt_count(st.missed_transport),
              core::fmt_pct(st.missed_transport, st.remaining)});
+  t.add_row({"missed by K-Dual", core::fmt_count(st.missed_koopman_dual),
+             core::fmt_pct(st.missed_koopman_dual, st.remaining)});
+  t.add_row({"missed by K-Single", core::fmt_count(st.missed_koopman_single),
+             core::fmt_pct(st.missed_koopman_single, st.remaining)});
   t.print(std::cout);
   std::printf("uniform-data expectation for %s: %s%%\n",
               std::string(alg::name(pkt.transport)).c_str(),
@@ -386,15 +399,23 @@ int cmd_splice_worker(const std::vector<std::string>& args) {
 /// self-spawn `--workers` worker processes (0 = externally started),
 /// and merge their lease results. On success `st` and `dist_json` hold
 /// the merged stats and the manifest's "dist" member.
-int run_distributed(const CommonOpts& o, std::string& corpus,
-                    core::SpliceStats& st, std::string& dist_json) {
+int run_distributed(const CommonOpts& o, const fsgen::CorpusReader* store,
+                    std::string& corpus, core::SpliceStats& st,
+                    std::string& dist_json) {
   dist::DistConfig dc;
   dist::ConfigMsg& run = dc.run;
   run.scale = o.scale;
   run.segment = o.segment;
   run.transport = static_cast<std::uint8_t>(o.pkt.transport);
   run.trailer = o.pkt.placement == net::ChecksumPlacement::kTrailer;
-  if (!o.profile.empty()) {
+  if (store != nullptr) {
+    // Workers mmap the store themselves and take the run flow FROM it,
+    // so only the path crosses the wire.
+    corpus = o.corpus;
+    run.corpus_kind = dist::CorpusKind::kCorpusFile;
+    run.corpus = o.corpus;
+    dc.nfiles = store->file_count();
+  } else if (!o.profile.empty()) {
     corpus = o.profile;
     run.corpus_kind = dist::CorpusKind::kProfile;
     run.corpus = o.profile;
@@ -486,14 +507,21 @@ int run_distributed(const CommonOpts& o, std::string& corpus,
     return 1;
   }
   st = rep.stats;
-  dist_json = rep.dist_json();
+  // The manifest's "dist" member is a per-job array even for this
+  // single-job path, so check_manifest validates one shape everywhere.
+  dist::JobReport jr;
+  jr.job = 1;
+  jr.name = corpus;
+  jr.state = dist::JobState::kDone;
+  jr.report = rep;
+  dist_json = "[" + jr.json() + "]";
   return 0;
 }
 
 int cmd_splice(const std::vector<std::string>& args) {
   for (const std::string& a : args)
     if (a == "--connect") return cmd_splice_worker(args);
-  const CommonOpts o = parse_common(args);
+  CommonOpts o = parse_common(args);
   if (!o.ok) return usage();
 
   // Register every metric family up front so exported manifests carry
@@ -504,10 +532,28 @@ int cmd_splice(const std::vector<std::string>& args) {
   alg::kern::register_kernel_metrics();
   dist::register_dist_metrics();
 
+  // A prebuilt store is authoritative for the flow it was packetised
+  // under (the transport checksum is baked into the packet bytes), so
+  // its parameters override the command line for reporting too.
+  std::unique_ptr<fsgen::CorpusReader> store;
+  if (!o.corpus.empty()) {
+    std::string err;
+    store = fsgen::CorpusReader::open(o.corpus, &err);
+    if (!store) {
+      std::fprintf(stderr, "cksumlab: corpus store %s: %s\n",
+                   o.corpus.c_str(), err.c_str());
+      return 1;
+    }
+    o.pkt = store->info().params.flow.packet;
+    o.segment = store->info().params.flow.segment_size;
+    o.scale = store->info().params.scale;
+  }
+
   core::SpliceRunConfig cfg;
   cfg.flow = core::paper_flow_config();
   cfg.flow.segment_size = o.segment;
   cfg.flow.packet = o.pkt;
+  if (store) cfg.flow = store->info().params.flow;
   cfg.threads = o.threads;
   const unsigned resolved_threads =
       o.threads != 0 ? o.threads
@@ -527,8 +573,11 @@ int cmd_splice(const std::vector<std::string>& args) {
   std::string corpus;
   std::string dist_json;  // "dist" manifest member for --serve runs
   if (o.serve) {
-    const int rc = run_distributed(o, corpus, st, dist_json);
+    const int rc = run_distributed(o, store.get(), corpus, st, dist_json);
     if (rc != 0) return rc;
+  } else if (store) {
+    corpus = o.corpus;
+    st = core::run_corpus(cfg, *store);
   } else if (!o.profile.empty()) {
     corpus = o.profile;
     const fsgen::Filesystem fs(fsgen::profile(o.profile), o.scale);
@@ -569,6 +618,118 @@ int cmd_splice(const std::vector<std::string>& args) {
   } else {
     print_splice_stats(st, o.pkt, o.verbose);
   }
+  return 0;
+}
+
+/// `cksumlab corpus build --out <path>` / `cksumlab corpus info <path>`
+/// — write and inspect the precomputed splice-corpus store
+/// (docs/CORPUS.md). Build packetises a synthetic source exactly once;
+/// `splice --corpus <path>` then streams it without re-checksumming.
+int cmd_corpus(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string verb = args.front();
+
+  if (verb == "info") {
+    if (args.size() < 2) return usage();
+    std::string err;
+    const auto rd = fsgen::CorpusReader::open(args[1], &err);
+    if (!rd) {
+      std::fprintf(stderr, "cksumlab: corpus store %s: %s\n",
+                   args[1].c_str(), err.c_str());
+      return 1;
+    }
+    const fsgen::CorpusInfo& in = rd->info();
+    std::printf("store       %s\n", args[1].c_str());
+    std::printf("version     %u\n", in.version);
+    std::printf("file size   %s bytes\n",
+                core::fmt_count(in.file_size).c_str());
+    std::printf("files       %s\n", core::fmt_count(in.files).c_str());
+    std::printf("packets     %s\n", core::fmt_count(in.packets).c_str());
+    std::printf("cells       %s\n", core::fmt_count(in.cells).c_str());
+    std::printf("pdu bytes   %s\n", core::fmt_count(in.pdu_bytes).c_str());
+    std::printf("profile     %s\n", in.params.profile.c_str());
+    std::printf("scale       %g\n", in.params.scale);
+    std::printf("transport   %s\n",
+                std::string(alg::name(in.params.flow.packet.transport))
+                    .c_str());
+    std::printf("placement   %s\n",
+                in.params.flow.packet.placement ==
+                        net::ChecksumPlacement::kTrailer
+                    ? "trailer"
+                    : "header");
+    std::printf("segment     %zu\n", in.params.flow.segment_size);
+    std::printf("compress    %s\n", in.params.compress ? "lzw" : "off");
+    return 0;
+  }
+
+  if (verb != "build") {
+    std::fprintf(stderr, "unknown corpus verb '%s'\n", verb.c_str());
+    return usage();
+  }
+  // --out and --compress belong to build, not to parse_common.
+  std::string out_path;
+  bool compress = false;
+  std::vector<std::string> common;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--compress") {
+      compress = true;
+    } else {
+      common.push_back(args[i]);
+    }
+  }
+  const CommonOpts o = parse_common(common);
+  if (!o.ok || out_path.empty()) return usage();
+  if (!o.dir.empty()) {
+    std::fprintf(stderr,
+                 "cksumlab: corpus build wants a reproducible synthetic "
+                 "source (--profile/--manifest), not --dir\n");
+    return 2;
+  }
+
+  fsgen::CorpusBuildParams params;
+  params.scale = o.scale;
+  params.compress = compress;
+  params.flow = core::paper_flow_config();
+  params.flow.segment_size = o.segment;
+  params.flow.packet = o.pkt;
+
+  std::string err;
+  bool built = false;
+  if (!o.profile.empty()) {
+    params.profile = o.profile;
+    const fsgen::Filesystem fs(fsgen::profile(o.profile), o.scale);
+    built = fsgen::build_corpus(params, fs, out_path, &err);
+  } else {
+    params.profile = o.manifest;
+    const util::Bytes text = core::read_file_prefix(o.manifest, 1u << 24);
+    const fsgen::Filesystem fs = fsgen::Filesystem::from_manifest(
+        fsgen::profile("nsc05"),
+        std::string_view(reinterpret_cast<const char*>(text.data()),
+                         text.size()));
+    built = fsgen::build_corpus(params, fs, out_path, &err);
+  }
+  if (!built) {
+    std::fprintf(stderr, "cksumlab: corpus build failed: %s\n", err.c_str());
+    return 1;
+  }
+  // Self-check: a store we cannot reopen and validate is not a store.
+  const auto rd = fsgen::CorpusReader::open(out_path, &err);
+  if (!rd) {
+    std::fprintf(stderr,
+                 "cksumlab: built store fails validation (%s) — removing\n",
+                 err.c_str());
+    std::remove(out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "%s: %llu files, %llu packets, %llu cells (%s bytes)\n",
+               out_path.c_str(),
+               static_cast<unsigned long long>(rd->info().files),
+               static_cast<unsigned long long>(rd->info().packets),
+               static_cast<unsigned long long>(rd->info().cells),
+               core::fmt_count(rd->info().file_size).c_str());
   return 0;
 }
 
@@ -622,6 +783,7 @@ int main(int argc, char** argv) {
     if (cmd == "manifest") return cmd_manifest(args);
     if (cmd == "pcap") return cmd_pcap(args);
     if (cmd == "splice") return cmd_splice(args);
+    if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "dist") return cmd_dist(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cksumlab: %s\n", e.what());

@@ -39,12 +39,15 @@
 // passing length+CRC must match a payload that was actually sent.
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
@@ -57,6 +60,7 @@
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "dist/coordinator.hpp"
+#include "dist/service.hpp"
 #include "dist/spawn.hpp"
 #include "dist/worker.hpp"
 #include "faults/channel.hpp"
@@ -78,8 +82,9 @@ int usage() {
       "                     [--metrics-out p] [--progress] [--quiet]\n"
       "       faultlab replay --seed n --scenario n [--channels n] "
       "[--budget n]\n"
-      "       faultlab distkill [--workers n] [--profile p] [--scale x]\n"
-      "                         [--shard-files n] [--quick] [--verbose]\n"
+      "       faultlab distkill [--workers n] [--jobs n] [--profile p]\n"
+      "                         [--scale x] [--shard-files n] [--quick]\n"
+      "                         [--verbose] [--metrics-out p]\n"
       "       faultlab arq [--seed n] [--payloads n] [--quick] [--json]\n"
       "                    [--metrics-out p] [--quiet]\n"
       "       faultlab arqsoak [--seed n] [--faults n] [--max-scenarios n]\n"
@@ -820,16 +825,220 @@ int cmd_distworker(const std::vector<std::string>& args) {
   return dist::run_worker(w);
 }
 
+/// Multi-tenant drill (--jobs >= 2, docs/DIST.md failure matrix): N
+/// named jobs run concurrently on one shared pool of worker
+/// processes; one worker is SIGKILLed the moment the first result
+/// lands anywhere, and the last job is cancelled after its first
+/// merged shard. Every surviving job must still merge bitwise equal
+/// to its own single-process oracle, the kill must be confirmed at
+/// reap time, and an over-limit submit must be rejected up front.
+int run_multitenant_drill(unsigned workers, unsigned jobs,
+                          const std::string& profile, double scale,
+                          std::size_t shard_files, bool verbose,
+                          const std::string& metrics_out) {
+  core::register_splice_metrics();
+  dist::register_dist_metrics();
+
+  // Per-job corpora: same profile, distinct scales, so each oracle is
+  // a genuinely different report and cross-job leakage cannot cancel
+  // out.
+  std::vector<double> scales(jobs);
+  std::vector<core::SpliceStats> oracles(jobs);
+  std::vector<std::size_t> nfiles(jobs);
+  for (unsigned j = 0; j < jobs; ++j) {
+    scales[j] = scale * (1.0 - 0.2 * j);
+    core::SpliceRunConfig run;
+    run.flow = core::paper_flow_config();
+    run.threads = 1;
+    const fsgen::Filesystem fs(fsgen::profile(profile), scales[j]);
+    nfiles[j] = fs.file_count();
+    oracles[j] = core::run_filesystem(run, fs);
+  }
+  // The oracle runs above bumped the same global splice counters the
+  // service run is about to use; re-baseline so the exported manifest
+  // holds the accounting identity "aggregate == sum over jobs"
+  // (check_manifest --require-dist enforces it).
+  obs::Registry::global().reset();
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!metrics_out.empty()) {
+    obs::MetricsExporter::Options eo;
+    eo.manifest_path = metrics_out;
+    eo.ticker = false;
+    exporter = std::make_unique<obs::MetricsExporter>(obs::Registry::global(),
+                                                      std::move(eo));
+  }
+
+  dist::ServiceConfig sc;
+  sc.expected_workers = workers;
+  sc.limits.max_jobs = jobs;  // the probe submit below must bounce
+  dist::JobService svc(sc);
+
+  std::vector<std::uint64_t> ids;
+  for (unsigned j = 0; j < jobs; ++j) {
+    dist::JobSpec spec;
+    spec.name = profile + "@" + std::to_string(scales[j]);
+    spec.run.corpus_kind = dist::CorpusKind::kProfile;
+    spec.run.corpus = profile;
+    spec.run.scale = scales[j];
+    spec.run.threads = 1;
+    spec.nfiles = nfiles[j];
+    spec.shard_files = shard_files;
+    const auto id = svc.submit(spec);
+    if (!id.has_value()) {
+      std::fprintf(stderr, "distkill: job %u unexpectedly rejected\n", j + 1);
+      return 1;
+    }
+    ids.push_back(*id);
+  }
+  const std::uint64_t victim = ids.back();
+
+  // Admission probe: the table is full, so one more submit must be
+  // rejected (observable as dist.jobs_rejected).
+  dist::JobSpec extra;
+  extra.name = "over-limit";
+  extra.run.corpus_kind = dist::CorpusKind::kProfile;
+  extra.run.corpus = profile;
+  extra.run.scale = scales[0];
+  extra.nfiles = nfiles[0];
+  const bool admission_rejected = !svc.submit(extra).has_value();
+
+  std::atomic<pid_t> killed_pid{-1};
+  std::atomic<bool> victim_started{false};
+  std::vector<pid_t> pids;
+  svc.set_event_hook([&](const dist::ServiceEvent& ev) {
+    if (verbose)
+      std::fprintf(stderr, "distkill: event %d worker %llu job %llu "
+                           "shard %zu\n",
+                   static_cast<int>(ev.kind),
+                   static_cast<unsigned long long>(ev.worker_id),
+                   static_cast<unsigned long long>(ev.job), ev.shard);
+    if (ev.kind != dist::ServiceEvent::Kind::kResultAccepted) return;
+    if (ev.job == victim) victim_started.store(true);
+    if (killed_pid.load() == -1) {
+      // The expected_workers barrier held every grant until the whole
+      // pool was connected, so any pid other than the deliverer
+      // provably holds a lease of SOME job right now.
+      for (const pid_t p : pids) {
+        if (static_cast<std::uint64_t>(p) == ev.pid) continue;
+        dist::kill_process(p);
+        killed_pid.store(p);
+        std::fprintf(stderr, "distkill: SIGKILLed worker pid %d after "
+                             "first accepted result\n",
+                     static_cast<int>(p));
+        break;
+      }
+    }
+  });
+
+  const std::string exe = dist::self_exe_path();
+  if (exe.empty()) {
+    std::fprintf(stderr, "faultlab: cannot locate own executable\n");
+    return 1;
+  }
+  for (unsigned i = 0; i < workers; ++i) {
+    const pid_t pid = dist::spawn_process(
+        {exe, "distworker", "--connect",
+         "127.0.0.1:" + std::to_string(svc.port()), "--worker-id",
+         std::to_string(i + 1), "--kernel",
+         std::string(alg::kern::active_kernel().name)});
+    if (pid < 0) {
+      std::fprintf(stderr, "faultlab: cannot spawn worker %u\n", i + 1);
+      return 1;
+    }
+    pids.push_back(pid);
+  }
+
+  // Cancel the victim from this thread (the hook runs inside the
+  // service loop) once one of its shards has merged — mid-flight by
+  // construction unless the job already raced to done.
+  while (!victim_started.load() &&
+         svc.status(victim)->state == dist::JobState::kRunning) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const bool cancelled = svc.cancel(victim);
+
+  bool survivors_ok = true;
+  for (unsigned j = 0; j + 1 < jobs; ++j) {
+    const dist::JobReport rep = svc.wait(ids[j]);
+    const bool ok = rep.state == dist::JobState::kDone &&
+                    rep.report.complete && rep.report.stats == oracles[j];
+    if (!ok)
+      std::fprintf(stderr, "distkill: job %llu (%s) FAILED its oracle\n",
+                   static_cast<unsigned long long>(rep.job),
+                   rep.name.c_str());
+    survivors_ok = survivors_ok && ok;
+  }
+  const dist::JobReport vic = svc.wait(victim);
+  const bool victim_ok =
+      cancelled ? vic.state == dist::JobState::kCancelled
+                : (vic.state == dist::JobState::kDone &&
+                   vic.report.stats == oracles[jobs - 1]);
+
+  svc.drain();
+  bool killed_confirmed = false;
+  for (const pid_t p : pids) {
+    const int code = dist::wait_process(p);
+    if (p == killed_pid.load() && code == 128 + 9) killed_confirmed = true;
+  }
+
+  const auto counter = [](std::string_view name) -> std::uint64_t {
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const obs::MetricValue* m = snap.find(name);
+    return m != nullptr ? m->value : 0;
+  };
+  std::printf("distkill: %u jobs on %u pooled workers\n", jobs, workers);
+  std::printf("survivor jobs bitwise-equal to oracles: %s\n",
+              survivors_ok ? "yes" : "NO");
+  std::printf("victim job %s: %s\n",
+              cancelled ? "cancelled mid-flight" : "raced to done",
+              victim_ok ? "ok" : "WRONG STATE");
+  std::printf("worker killed mid-run: %s\n",
+              killed_confirmed ? "yes (SIGKILL confirmed)" : "NO");
+  std::printf("over-limit submit rejected: %s\n",
+              admission_rejected ? "yes" : "NO");
+  std::printf("dist counters: submitted %llu, rejected %llu, cancelled "
+              "%llu, completed %llu, write-queue hwm %llu, grants "
+              "deferred %llu\n",
+              static_cast<unsigned long long>(counter("dist.jobs_submitted")),
+              static_cast<unsigned long long>(counter("dist.jobs_rejected")),
+              static_cast<unsigned long long>(counter("dist.jobs_cancelled")),
+              static_cast<unsigned long long>(counter("dist.jobs_completed")),
+              static_cast<unsigned long long>(counter("dist.write_queue_hwm")),
+              static_cast<unsigned long long>(counter("dist.grants_deferred")));
+
+  if (exporter) {
+    obs::RunInfo info;
+    info.tool = "faultlab distkill";
+    info.corpus = profile;
+    info.seed = 0;
+    info.threads = 1;
+    info.extra_json =
+        tools::kernel_manifest_json() + ",\n  \"dist\": " + svc.jobs_json();
+    if (!exporter->finish(std::move(info))) {
+      std::fprintf(stderr, "faultlab: cannot write manifest to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  return (survivors_ok && victim_ok && killed_confirmed &&
+          admission_rejected)
+             ? 0
+             : 1;
+}
+
 /// The worker-loss drill (satellite of docs/DIST.md's failure matrix):
 /// run the reference corpus single-process, re-run it distributed with
 /// one worker SIGKILLed the moment the first lease result lands, and
 /// require the merged report to be bitwise identical anyway.
 int cmd_distkill(const std::vector<std::string>& args) {
   unsigned workers = 3;
+  unsigned jobs = 1;
   std::string profile = "nsc05";
   double scale = 0.1;
   std::size_t shard_files = 1;  // one file per lease: everyone leases
   bool verbose = false;
+  std::string metrics_out;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> std::string {
@@ -837,12 +1046,16 @@ int cmd_distkill(const std::vector<std::string>& args) {
     };
     if (a == "--workers") {
       workers = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--jobs") {
+      jobs = static_cast<unsigned>(std::stoul(next()));
     } else if (a == "--profile") {
       profile = next();
     } else if (a == "--scale") {
       scale = std::stod(next());
     } else if (a == "--shard-files") {
       shard_files = std::stoull(next());
+    } else if (a == "--metrics-out") {
+      metrics_out = next();
     } else if (a == "--quick") {
       // defaults already are the quick corpus; accepted for symmetry
     } else if (a == "--verbose") {
@@ -859,6 +1072,9 @@ int cmd_distkill(const std::vector<std::string>& args) {
   faults::register_fault_metrics();
   atm::register_atm_metrics();
   alg::kern::register_kernel_metrics();
+  if (jobs >= 2)
+    return run_multitenant_drill(workers, jobs, profile, scale, shard_files,
+                                 verbose, metrics_out);
 
   // The oracle: the same corpus evaluated in-process.
   core::SpliceRunConfig run;
