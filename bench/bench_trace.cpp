@@ -1,0 +1,90 @@
+// Trace-lab throughput (docs/TRACE.md): how fast a capture moves from
+// raw pcap bytes to the PDU model.
+//
+//   BM_PcapParse     structural parse + record classification, MB/s of
+//                    capture bytes
+//   BM_TraceIngest   full ingest: header checks, transport-checksum
+//                    validation, SimPacket construction (packets/sec)
+//   BM_DataProfile   the data-profile analyzer over payload bytes
+//
+// The capture is synthesised in memory with util::PcapWriter over a
+// seeded flow, so numbers are hermetic and comparable run to run.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/experiments.hpp"
+#include "fsgen/generator.hpp"
+#include "net/flow.hpp"
+#include "trace/ingest.hpp"
+#include "trace/pcap_reader.hpp"
+#include "trace/profile.hpp"
+#include "util/pcap.hpp"
+
+namespace {
+
+using namespace cksum;
+
+/// A deterministic ~1 MiB capture: four seeded 256 KiB transfers, one
+/// flow restart each, LINKTYPE_RAW.
+const util::Bytes& capture_bytes() {
+  static const util::Bytes cap = [] {
+    const net::FlowConfig flow = core::paper_flow_config();
+    std::ostringstream os;
+    util::PcapWriter w(os, util::PcapLink::kRaw);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const util::Bytes file = fsgen::generate_file(
+          fsgen::FileKind::kGmonProfile, seed, 256 * 1024);
+      for (const auto& p : net::segment_file(flow, util::ByteView(file)))
+        w.write_packet(p.ip_bytes());
+    }
+    const std::string s = os.str();
+    return util::Bytes(s.begin(), s.end());
+  }();
+  return cap;
+}
+
+void BM_PcapParse(benchmark::State& state) {
+  const util::Bytes& cap = capture_bytes();
+  std::string err;
+  for (auto _ : state) {
+    auto r = trace::PcapReader::parse(cap, &err);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cap.size()));
+}
+BENCHMARK(BM_PcapParse);
+
+void BM_TraceIngest(benchmark::State& state) {
+  std::string err;
+  const auto r = trace::PcapReader::parse(capture_bytes(), &err);
+  trace::IngestConfig cfg;
+  cfg.flow = core::paper_flow_config();
+  std::uint64_t accepted = 0;
+  for (auto _ : state) {
+    const trace::IngestResult res = trace::ingest_capture(*r, cfg);
+    accepted = res.counts.accepted;
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(accepted));
+}
+BENCHMARK(BM_TraceIngest);
+
+void BM_DataProfile(benchmark::State& state) {
+  const util::Bytes payload =
+      fsgen::generate_file(fsgen::FileKind::kGmonProfile, 3, 256 * 1024);
+  for (auto _ : state) {
+    trace::DataProfile prof;
+    prof.add_payload(util::ByteView(payload));
+    benchmark::DoNotOptimize(prof.bytes());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_DataProfile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

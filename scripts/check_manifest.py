@@ -6,6 +6,7 @@ Usage: check_manifest.py MANIFEST [--require-family FAM]...
                          [--require-dist]
                          [--require-arq]
                          [--require-storage]
+                         [--require-trace]
                          [--diff-deterministic OTHER]
 
 The schema is documented in src/obs/snapshot.hpp and
@@ -442,6 +443,73 @@ def check_storage(doc):
     return problems
 
 
+TRACE_REJECTS = ("truncated", "link_too_short", "non_ipv4", "header",
+                 "checksum", "orphan")
+
+
+def check_trace(doc):
+    """Problems with the manifest's trace-ingest record, [] when clean.
+    See docs/TRACE.md for the "trace" member's shape."""
+    tr = doc.get("trace") if isinstance(doc, dict) else None
+    if not isinstance(tr, dict):
+        return ["no 'trace' member — manifest was not produced by "
+                "`cksumlab trace`"]
+    problems = []
+    if not isinstance(tr.get("capture"), str) or not tr["capture"]:
+        problems.append("trace.capture missing or empty")
+    if tr.get("linktype") not in (1, 101):
+        problems.append(f"trace.linktype {tr.get('linktype')!r} is neither "
+                        "LINKTYPE_ETHERNET (1) nor LINKTYPE_RAW (101)")
+    sl = tr.get("snaplen")
+    if not isinstance(sl, int) or not 1 <= sl <= (1 << 20):
+        problems.append(f"trace.snaplen {sl!r} outside the reader's "
+                        "accepted range 1..1048576")
+    for key in ("records", "accepted", "rejected", "files"):
+        v = tr.get(key)
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"trace.{key}: missing or not a non-negative "
+                            f"integer: {v!r}")
+    rejects = tr.get("rejects")
+    if not isinstance(rejects, dict):
+        problems.append("trace.rejects missing or not an object")
+        rejects = {}
+    for key in TRACE_REJECTS:
+        v = rejects.get(key)
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"trace.rejects.{key}: missing or not a "
+                            f"non-negative integer: {v!r}")
+    if not problems:
+        # The ingest accounting identities: every record scored exactly
+        # one way, and a file needs at least one accepted packet.
+        if tr["records"] != tr["accepted"] + tr["rejected"]:
+            problems.append("trace accounting: accepted + rejected != "
+                            "records")
+        if tr["rejected"] != sum(rejects[k] for k in TRACE_REJECTS):
+            problems.append("trace accounting: rejected != sum of the "
+                            "reject classes")
+        if tr["files"] > tr["accepted"]:
+            problems.append("trace.files exceeds accepted packet count")
+    prof = tr.get("profile")
+    if not isinstance(prof, dict):
+        problems.append("trace.profile missing or not an object")
+    else:
+        for key in ("bytes", "cells", "zero_runs", "ff_runs"):
+            v = prof.get(key)
+            if not isinstance(v, int) or v < 0:
+                problems.append(f"trace.profile.{key}: missing or not a "
+                                f"non-negative integer: {v!r}")
+        for key in ("byte_entropy_bits", "word_entropy_bits",
+                    "cell_entropy_bits", "zero_fraction", "cell_pmax"):
+            v = prof.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                problems.append(f"trace.profile.{key}: missing or "
+                                f"negative: {v!r}")
+        if isinstance(prof.get("byte_entropy_bits"), (int, float)) \
+                and prof["byte_entropy_bits"] > 8.0:
+            problems.append("trace.profile.byte_entropy_bits exceeds 8")
+    return problems
+
+
 def deterministic_view(doc):
     """The portions of a manifest that must be invariant across kernel
     selections and thread counts: deterministic-tagged metrics plus the
@@ -488,6 +556,9 @@ def main():
     ap.add_argument("--require-storage", action="store_true",
                     help="require a well-formed storage frontier record "
                          "(faultlab storage --metrics-out)")
+    ap.add_argument("--require-trace", action="store_true",
+                    help="require a well-formed trace-ingest record "
+                         "(cksumlab trace --metrics-out)")
     ap.add_argument("--diff-deterministic", metavar="OTHER",
                     help="fail if deterministic-tagged metrics or the "
                          "report differ from manifest OTHER")
@@ -508,6 +579,8 @@ def main():
         problems += check_arq(doc)
     if args.require_storage:
         problems += check_storage(doc)
+    if args.require_trace:
+        problems += check_trace(doc)
     if args.diff_deterministic:
         try:
             with open(args.diff_deterministic) as f:

@@ -993,6 +993,10 @@ SpliceStats run_corpus_range(const SpliceRunConfig& cfg,
                              std::size_t begin, std::size_t end) {
   end = std::min(end, corpus.file_count());
   begin = std::min(begin, end);
+  // Advisory readahead over exactly the SoA slices this range touches:
+  // a dist worker streams each lease shard from a cold page cache, so
+  // asking for the pages up front overlaps I/O with reconstruction.
+  corpus.advise_will_need(begin, end);
   return run_range_impl(
       cfg,
       [&](std::size_t i) {

@@ -11,6 +11,7 @@
 
 #include "checksum/kernels/kernel.hpp"
 #include "compress/lzw.hpp"
+#include "obs/registry.hpp"
 
 namespace cksum::fsgen {
 
@@ -66,21 +67,11 @@ void fail(std::string* error, std::string why) {
   if (error != nullptr) *error = std::move(why);
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Writer.
-// ---------------------------------------------------------------------------
-
-bool build_corpus(const CorpusBuildParams& params, const Filesystem& fs,
-                  const std::string& path, std::string* error) {
-  if (params.profile.size() > sizeof(CorpusHeader{}.profile)) {
-    fail(error, "profile name too long (max 64 bytes)");
-    return false;
-  }
-
-  // Gather: run the packetiser once over every file and flatten the
-  // results into the SoA columns.
+/// The SoA columns of a store under construction. Every build source
+/// (synthetic filesystem, capture-ingested SimPackets) flattens
+/// through the same add_file, so the sealed bytes are identical for
+/// identical packets regardless of where they came from.
+struct FlatCorpus {
   std::vector<CorpusFileRec> files;
   std::vector<CorpusPacketRec> packets;
   std::vector<std::uint16_t> cell_inet;
@@ -88,12 +79,7 @@ bool build_corpus(const CorpusBuildParams& params, const Filesystem& fs,
   std::vector<std::uint64_t> cell_hash, cell_ks;
   std::vector<std::uint8_t> hdr_ok, pdu_bytes;
 
-  files.reserve(fs.file_count());
-  for (std::size_t i = 0; i < fs.file_count(); ++i) {
-    util::Bytes data = fs.file(i);
-    if (params.compress) data = compress::lzw_compress(util::ByteView(data));
-    std::vector<core::SimPacket> pkts =
-        core::packetize_file(params.flow, util::ByteView(data));
+  void add_file(const std::vector<core::SimPacket>& pkts) {
     files.push_back({packets.size(), pkts.size()});
     for (const core::SimPacket& sp : pkts) {
       CorpusPacketRec r;
@@ -146,6 +132,59 @@ bool build_corpus(const CorpusBuildParams& params, const Filesystem& fs,
       pdu_bytes.insert(pdu_bytes.end(), pb.begin(), pb.end());
     }
   }
+};
+
+bool write_corpus(const CorpusBuildParams& params, const FlatCorpus& flat,
+                  const std::string& path, std::string* error);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+bool build_corpus(const CorpusBuildParams& params, const Filesystem& fs,
+                  const std::string& path, std::string* error) {
+  // Gather: run the packetiser once over every file and flatten the
+  // results into the SoA columns.
+  FlatCorpus flat;
+  flat.files.reserve(fs.file_count());
+  for (std::size_t i = 0; i < fs.file_count(); ++i) {
+    util::Bytes data = fs.file(i);
+    if (params.compress) data = compress::lzw_compress(util::ByteView(data));
+    flat.add_file(core::packetize_file(params.flow, util::ByteView(data)));
+  }
+  return write_corpus(params, flat, path, error);
+}
+
+bool build_corpus(const CorpusBuildParams& params,
+                  const std::vector<std::vector<core::SimPacket>>& files,
+                  const std::string& path, std::string* error) {
+  FlatCorpus flat;
+  flat.files.reserve(files.size());
+  for (const auto& pkts : files) flat.add_file(pkts);
+  return write_corpus(params, flat, path, error);
+}
+
+namespace {
+
+bool write_corpus(const CorpusBuildParams& params, const FlatCorpus& flat,
+                  const std::string& path, std::string* error) {
+  if (params.profile.size() > sizeof(CorpusHeader{}.profile)) {
+    fail(error, "profile name too long (max 64 bytes)");
+    return false;
+  }
+  const auto& files = flat.files;
+  const auto& packets = flat.packets;
+  const auto& cell_inet = flat.cell_inet;
+  const auto& cell_f255 = flat.cell_f255;
+  const auto& cell_f256 = flat.cell_f256;
+  const auto& cell_crc = flat.cell_crc;
+  const auto& cell_kd = flat.cell_kd;
+  const auto& cell_hash = flat.cell_hash;
+  const auto& cell_ks = flat.cell_ks;
+  const auto& hdr_ok = flat.hdr_ok;
+  const auto& pdu_bytes = flat.pdu_bytes;
 
   // Layout: header, section table, then each section 64-byte aligned.
   struct Sect {
@@ -238,6 +277,8 @@ bool build_corpus(const CorpusBuildParams& params, const Filesystem& fs,
   }
   return true;
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Reader.
@@ -496,6 +537,81 @@ std::vector<core::SimPacket> CorpusReader::file_packets(std::size_t i) const {
     out.push_back(std::move(sp));
   }
   return out;
+}
+
+namespace {
+
+/// Shard readahead telemetry. Tagged scheduling, not deterministic:
+/// lease boundaries (and therefore advised ranges) differ between a
+/// local run and a distributed one.
+struct ReadaheadMetrics {
+  obs::Counter calls;
+  obs::Counter bytes;
+};
+
+const ReadaheadMetrics& rmx() {
+  static const ReadaheadMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    ReadaheadMetrics mx;
+    mx.calls = r.counter("corpus.readahead_calls", obs::Tag::kScheduling);
+    mx.bytes = r.counter("corpus.readahead_bytes", obs::Tag::kScheduling);
+    return mx;
+  }();
+  return m;
+}
+
+/// posix_madvise(WILLNEED) over [p, p+n), widened to page boundaries.
+/// Advisory only — errors are deliberately ignored.
+std::uint64_t advise_range(const void* p, std::uint64_t n) {
+  if (n == 0) return 0;
+  static const std::uintptr_t page =
+      static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t start = addr & ~(page - 1);
+  const std::uintptr_t end = (addr + n + page - 1) & ~(page - 1);
+  (void)::posix_madvise(reinterpret_cast<void*>(start), end - start,
+                        POSIX_MADV_WILLNEED);
+  return end - start;
+}
+
+}  // namespace
+
+void CorpusReader::advise_will_need(std::size_t begin, std::size_t end) const {
+  end = std::min<std::size_t>(end, info_.files);
+  begin = std::min(begin, end);
+  if (begin == end) return;
+  const CorpusFileRec& fb = files_[begin];
+  const CorpusFileRec& fe = files_[end - 1];
+  const std::uint64_t p0 = fb.packet_begin;
+  const std::uint64_t p1 = fe.packet_begin + fe.packet_count;
+  if (p0 >= p1) return;  // a shard of empty files touches nothing
+  const CorpusPacketRec& r0 = packets_[p0];
+  const CorpusPacketRec& r1 = packets_[p1 - 1];
+  const std::uint64_t c0 = r0.cell_begin;
+  const std::uint64_t c1 = r1.cell_begin + r1.cell_count;
+  const std::uint64_t cells = c1 - c0;
+  const std::uint64_t h0 = r0.hdr_begin;
+  const std::uint64_t h1 = r1.hdr_begin + (r1.cell_count - 1);
+  const std::uint64_t d0 = r0.pdu_offset;
+  const std::uint64_t d1 =
+      r1.pdu_offset +
+      static_cast<std::uint64_t>(r1.cell_count) * atm::kCellPayload;
+
+  std::uint64_t advised = 0;
+  advised += advise_range(packets_ + p0, (p1 - p0) * sizeof(CorpusPacketRec));
+  advised += advise_range(cell_inet_ + c0, cells * 2);
+  advised += advise_range(cell_f255_ + 2 * c0, cells * 8);
+  advised += advise_range(cell_f256_ + 2 * c0, cells * 8);
+  advised += advise_range(cell_crc_ + c0, cells * 4);
+  advised += advise_range(cell_hash_ + c0, cells * 8);
+  advised += advise_range(cell_kd_ + 2 * c0, cells * 8);
+  advised += advise_range(cell_ks_ + c0, cells * 8);
+  advised += advise_range(hdr_ok_ + h0, h1 - h0);
+  advised += advise_range(pdu_bytes_ + d0, d1 - d0);
+
+  const ReadaheadMetrics& mx = rmx();
+  mx.calls.add(1);
+  mx.bytes.add(advised);
 }
 
 }  // namespace cksum::fsgen

@@ -131,6 +131,15 @@ struct CorpusInfo {
 bool build_corpus(const CorpusBuildParams& params, const Filesystem& fs,
                   const std::string& path, std::string* error);
 
+/// Seal already-packetised files — the corpus-from-capture path
+/// (src/trace/ingest.hpp feeds this). `files` must be grouped exactly
+/// as packetize_file would have produced them under params.flow;
+/// params.compress is recorded but no compression happens here (a
+/// capture carries post-compression bytes already).
+bool build_corpus(const CorpusBuildParams& params,
+                  const std::vector<std::vector<core::SimPacket>>& files,
+                  const std::string& path, std::string* error);
+
 /// Read side: mmaps the file, validates magic/version/endianness/
 /// CRCs/section bounds/alignment and every packet index once, then
 /// serves packets by memcpy-reconstruction. Thread-safe after open()
@@ -155,6 +164,14 @@ class CorpusReader {
   /// (asserted by tests/test_corpus_store.cpp for every registry
   /// checksum). No checksum is recomputed.
   std::vector<core::SimPacket> file_packets(std::size_t i) const;
+
+  /// Ask the kernel to prefetch the byte ranges files [begin, end)
+  /// touch — each SoA column slice plus the packet records and PDU
+  /// bytes — via posix_madvise(WILLNEED). Purely advisory: a shard
+  /// streams correctly (just colder) if the call is a no-op, so
+  /// failures are ignored. Called by core::run_corpus_range at the
+  /// start of every lease (docs/PERF.md).
+  void advise_will_need(std::size_t begin, std::size_t end) const;
 
  private:
   CorpusReader() = default;

@@ -1,0 +1,66 @@
+// Ingest stage: captured datagrams -> the simulator's PDU model.
+//
+// Each record of a capture is pushed through the receiver-side checks
+// the splice simulator itself uses — net::check_headers for the
+// syntactic gate and net::verify_transport_checksum for the checksum
+// validate step — and, when it passes, packetised into a
+// core::SimPacket exactly as packetize_file would have produced it.
+// Records are grouped into "files": the paper's flow model restarts
+// the TCP sequence number at FlowConfig::initial_seq for every file
+// transfer, so a datagram whose sequence number equals initial_seq
+// opens a new file. The result feeds build_corpus() bit-for-bit
+// (docs/TRACE.md): a capture written by util::PcapWriter round-trips
+// to a corpus whose splice report is identical to the in-memory path.
+//
+// Rejection is explicit and fully accounted: every record lands in
+// exactly one of accepted / the reject classes below, an identity
+// check_manifest.py --require-trace enforces on exported manifests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pdu_model.hpp"
+#include "net/flow.hpp"
+#include "trace/pcap_reader.hpp"
+
+namespace cksum::trace {
+
+struct IngestConfig {
+  /// Flow the capture is assumed to carry. The transport checksum and
+  /// placement decide how datagrams are validated; segment size and
+  /// initial seq/ip-id drive the file grouping.
+  net::FlowConfig flow;
+};
+
+/// Per-class reject counters. accepted + sum of these == records.
+struct IngestCounts {
+  std::uint64_t records = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  // Reject classes, mutually exclusive, checked in this order:
+  std::uint64_t truncated = 0;       ///< snap-length-cut record
+  std::uint64_t link_too_short = 0;  ///< Ethernet frame < 14 bytes
+  std::uint64_t non_ipv4 = 0;        ///< ethertype != 0x0800
+  std::uint64_t header_fail = 0;     ///< net::check_headers != kOk
+  std::uint64_t checksum_fail = 0;   ///< transport checksum invalid
+  std::uint64_t orphan = 0;          ///< data before the first flow start
+
+  std::uint64_t reject_sum() const noexcept {
+    return truncated + link_too_short + non_ipv4 + header_fail +
+           checksum_fail + orphan;
+  }
+};
+
+struct IngestResult {
+  /// Packets grouped by file transfer, in capture order — the shape
+  /// run_filesystem consumes and build_corpus persists.
+  std::vector<std::vector<core::SimPacket>> files;
+  IngestCounts counts;
+};
+
+/// Map every record of `pcap` through parsing + checksum validation
+/// into SimPackets. Never throws on any capture content.
+IngestResult ingest_capture(const PcapReader& pcap, const IngestConfig& cfg);
+
+}  // namespace cksum::trace

@@ -1,0 +1,26 @@
+#include "trace/metrics.hpp"
+
+#include "trace/pcap_reader.hpp"
+
+namespace cksum::trace {
+
+const TraceMetrics& tmx() {
+  static const TraceMetrics m = [] {
+    obs::Registry& r = obs::Registry::global();
+    TraceMetrics mx;
+    mx.captures = r.counter("trace.captures");
+    mx.records = r.counter("trace.records");
+    mx.frame_bytes = r.counter("trace.frame_bytes");
+    mx.truncated = r.counter("trace.truncated");
+    mx.accepted = r.counter("trace.accepted");
+    mx.rejected = r.counter("trace.rejected");
+    mx.files = r.counter("trace.files");
+    mx.profile_bytes = r.counter("trace.profile_bytes");
+    return mx;
+  }();
+  return m;
+}
+
+void register_trace_metrics() { (void)tmx(); }
+
+}  // namespace cksum::trace

@@ -1,0 +1,25 @@
+// The trace.* metric family (docs/OBSERVABILITY.md): counters the
+// pcap reader, ingest stage and data profiler record. All counters
+// are deterministic — for a given capture and flow configuration the
+// values are bitwise identical run to run.
+#pragma once
+
+#include "obs/registry.hpp"
+
+namespace cksum::trace {
+
+struct TraceMetrics {
+  obs::Counter captures;       ///< captures successfully opened
+  obs::Counter records;        ///< pcap records parsed
+  obs::Counter frame_bytes;    ///< captured link-layer bytes
+  obs::Counter truncated;      ///< records cut short by the snap length
+  obs::Counter accepted;       ///< records ingested into the PDU model
+  obs::Counter rejected;       ///< records the ingest stage refused
+  obs::Counter files;          ///< flow restarts (file transfers) found
+  obs::Counter profile_bytes;  ///< payload bytes fed to the profiler
+};
+
+/// Lazily registered singleton (same pattern as the splice metrics).
+const TraceMetrics& tmx();
+
+}  // namespace cksum::trace

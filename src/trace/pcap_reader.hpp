@@ -1,0 +1,112 @@
+// Never-fault classic-pcap reader — the front door of the trace lab
+// (docs/TRACE.md).
+//
+// Accepts the classic (pre-pcapng) capture format in all four magic
+// flavours: native and byte-swapped order, microsecond and nanosecond
+// timestamp resolution. Two link types are understood:
+//  * LINKTYPE_RAW (101): each record IS an IP datagram.
+//  * LINKTYPE_ETHERNET (1): a 14-byte Ethernet II header precedes the
+//    datagram; only ethertype 0x0800 (IPv4) records carry one.
+//
+// Like fsgen::CorpusReader, open()/parse() validate every structural
+// invariant up front and reject with an explicit reason string — a
+// truncated header, a bad magic, an absurd snap length or a mid-record
+// EOF is a diagnosis, never a crash. Snap-length truncation (captured
+// length < original length) is legal pcap and is surfaced per record,
+// not rejected: the ingest stage decides what to do with partial
+// datagrams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace cksum::trace {
+
+inline constexpr std::uint32_t kLinkEthernet = 1;
+inline constexpr std::uint32_t kLinkRaw = 101;
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+
+/// Ceiling on plausible snap lengths. Classic tools use 65535 or
+/// 262144; anything beyond 1 MiB is rejected as absurd (a corrupt
+/// header would otherwise license equally absurd record lengths).
+inline constexpr std::uint32_t kMaxSnaplen = 1u << 20;
+
+/// Link-layer disposition of one record: whether (and why not) it
+/// yields an IP datagram view.
+enum class RecordClass : std::uint8_t {
+  kDatagram,      ///< datagram() is the captured IP datagram
+  kLinkTooShort,  ///< Ethernet record shorter than its 14-byte header
+  kNonIpv4,       ///< Ethernet record with ethertype != 0x0800
+};
+
+constexpr std::string_view to_string(RecordClass c) noexcept {
+  switch (c) {
+    case RecordClass::kDatagram: return "datagram";
+    case RecordClass::kLinkTooShort: return "link-too-short";
+    case RecordClass::kNonIpv4: return "non-ipv4-ethertype";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_frac = 0;  ///< µs, or ns under a nanosecond magic
+  std::uint32_t captured_len = 0;
+  std::uint32_t original_len = 0;
+  bool truncated = false;  ///< captured_len < original_len (snaplen cut)
+  RecordClass cls = RecordClass::kDatagram;
+  util::ByteView frame;     ///< captured link-layer bytes
+  util::ByteView datagram;  ///< IP datagram view; empty unless kDatagram
+};
+
+struct PcapInfo {
+  std::uint16_t version_major = 0;
+  std::uint16_t version_minor = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+  bool swapped = false;  ///< capture written on a foreign-endian host
+  bool nanos = false;    ///< nanosecond-resolution magic
+  std::uint64_t records = 0;
+  std::uint64_t truncated = 0;   ///< records cut short by the snap length
+  std::uint64_t datagrams = 0;   ///< records classified kDatagram
+  std::uint64_t frame_bytes = 0; ///< captured bytes across all records
+};
+
+class PcapReader {
+ public:
+  /// Read and validate a capture file. nullptr + reason in *error on
+  /// any structural violation; never faults on corrupt input.
+  static std::unique_ptr<PcapReader> open(const std::string& path,
+                                          std::string* error);
+
+  /// Same validation over an in-memory capture (takes ownership so
+  /// record views stay stable). Exposed for tests and benchmarks.
+  static std::unique_ptr<PcapReader> parse(util::Bytes bytes,
+                                           std::string* error);
+
+  const PcapInfo& info() const noexcept { return info_; }
+  std::size_t record_count() const noexcept { return records_.size(); }
+  const TraceRecord& record(std::size_t i) const { return records_.at(i); }
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  PcapReader() = default;
+
+  util::Bytes data_;
+  PcapInfo info_;
+  std::vector<TraceRecord> records_;
+};
+
+/// Idempotently register the trace.* metric family with
+/// obs::Registry::global() (docs/OBSERVABILITY.md). Drivers call this
+/// up front so exported manifests carry the full family.
+void register_trace_metrics();
+
+}  // namespace cksum::trace

@@ -1,0 +1,112 @@
+#include "trace/profile.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "checksum/internet.hpp"
+#include "checksum/kernels/kernel.hpp"
+#include "trace/metrics.hpp"
+
+namespace cksum::trace {
+
+namespace {
+
+constexpr std::size_t kCell = 48;
+
+void append_u64(std::string& out, const char* key, std::uint64_t v) {
+  out += "\"";
+  out += key;
+  out += "\": " + std::to_string(v);
+}
+
+void append_f(std::string& out, const char* key, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += "\"";
+  out += key;
+  out += "\": ";
+  out += buf;
+}
+
+}  // namespace
+
+void RunStats::add_run(std::uint64_t len) {
+  if (len == 0) return;
+  runs += 1;
+  run_bytes += len;
+  if (len > max_run) max_run = len;
+  length_log2.add(static_cast<std::uint32_t>(std::bit_width(len)));
+}
+
+DataProfile::DataProfile() = default;
+
+void DataProfile::add_payload(util::ByteView payload) {
+  bytes_ += payload.size();
+  tmx().profile_bytes.add(payload.size());
+
+  std::uint64_t zero_run = 0, ff_run = 0;
+  for (const std::uint8_t b : payload) {
+    byte_.add(b);
+    if (b == 0x00) {
+      ++zero_run;
+    } else {
+      zero_.add_run(zero_run);
+      zero_run = 0;
+    }
+    if (b == 0xFF) {
+      ++ff_run;
+    } else {
+      ff_.add_run(ff_run);
+      ff_run = 0;
+    }
+  }
+  zero_.add_run(zero_run);
+  ff_.add_run(ff_run);
+
+  for (std::size_t i = 0; i + 2 <= payload.size(); i += 2)
+    word_.add(util::load_be16(payload.data() + i));
+
+  for (std::size_t off = 0; off + kCell <= payload.size(); off += kCell) {
+    const std::uint16_t sum = alg::ones_canonical(
+        alg::kern::internet_sum(payload.subspan(off, kCell)));
+    cell_.add(sum % 65535u);
+    ++cells_;
+  }
+}
+
+double DataProfile::byte_fraction(std::uint8_t v) const {
+  return bytes_ == 0 ? 0.0
+                     : static_cast<double>(byte_.count(v)) /
+                           static_cast<double>(bytes_);
+}
+
+std::string DataProfile::json() const {
+  std::string out = "{";
+  append_u64(out, "bytes", bytes_);
+  out += ", ";
+  append_f(out, "byte_entropy_bits", byte_.entropy_bits());
+  out += ", ";
+  append_f(out, "word_entropy_bits", word_.entropy_bits());
+  out += ", ";
+  append_f(out, "zero_fraction", byte_fraction(0x00));
+  out += ", ";
+  append_u64(out, "zero_runs", zero_.runs);
+  out += ", ";
+  append_u64(out, "max_zero_run", zero_.max_run);
+  out += ", ";
+  append_u64(out, "ff_runs", ff_.runs);
+  out += ", ";
+  append_u64(out, "max_ff_run", ff_.max_run);
+  out += ", ";
+  append_u64(out, "cells", cells_);
+  out += ", ";
+  append_f(out, "cell_entropy_bits", cell_.entropy_bits());
+  out += ", ";
+  append_f(out, "cell_pmax", cell_.pmax());
+  out += ", ";
+  append_u64(out, "cell_mode", cell_.mode());
+  out += "}";
+  return out;
+}
+
+}  // namespace cksum::trace

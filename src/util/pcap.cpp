@@ -19,27 +19,54 @@ void put16(std::ostream& out, std::uint16_t v) {
   out.write(reinterpret_cast<const char*>(b), 2);
 }
 
+/// Synthetic Ethernet II header for LINKTYPE_ETHERNET captures:
+/// locally administered src/dst MACs, ethertype 0x0800 (IPv4).
+constexpr std::uint8_t kEthernetHeader[14] = {
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x02,  // dst
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x01,  // src
+    0x08, 0x00,                          // ethertype IPv4
+};
+
 }  // namespace
 
-PcapWriter::PcapWriter(std::ostream& out) : out_(out) {
+PcapWriter::PcapWriter(std::ostream& out, PcapLink link)
+    : out_(out), link_(link) {
   put32(out_, 0xa1b2c3d4u);  // magic
   put16(out_, 2);            // version major
   put16(out_, 4);            // version minor
   put32(out_, 0);            // thiszone
   put32(out_, 0);            // sigfigs
   put32(out_, 65535);        // snaplen
-  put32(out_, 101);          // LINKTYPE_RAW
+  put32(out_, static_cast<std::uint32_t>(link_));
+  if (!out_.good()) ok_ = false;
 }
 
-void PcapWriter::write_packet(ByteView datagram) {
+bool PcapWriter::write_packet(ByteView datagram) {
+  if (!ok()) {
+    ok_ = false;  // sticky even if the caller cleared the stream state
+    return false;
+  }
+  const std::size_t frame_len =
+      datagram.size() +
+      (link_ == PcapLink::kEthernet ? sizeof(kEthernetHeader) : 0);
   const auto ts = static_cast<std::uint32_t>(count_);
   put32(out_, ts / 1000000u);  // seconds
   put32(out_, ts % 1000000u);  // microseconds
-  put32(out_, static_cast<std::uint32_t>(datagram.size()));  // captured
-  put32(out_, static_cast<std::uint32_t>(datagram.size()));  // original
+  put32(out_, static_cast<std::uint32_t>(frame_len));  // captured
+  put32(out_, static_cast<std::uint32_t>(frame_len));  // original
+  if (link_ == PcapLink::kEthernet) {
+    out_.write(reinterpret_cast<const char*>(kEthernetHeader),
+               sizeof(kEthernetHeader));
+  }
   out_.write(reinterpret_cast<const char*>(datagram.data()),
              static_cast<std::streamsize>(datagram.size()));
+  if (!out_.good()) {
+    // The record is (at best) partial on disk; do not count it.
+    ok_ = false;
+    return false;
+  }
   ++count_;
+  return true;
 }
 
 }  // namespace cksum::util

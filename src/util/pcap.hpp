@@ -1,7 +1,17 @@
-// Minimal classic-pcap writer (LINKTYPE_RAW: packets are raw IP
-// datagrams), so simulated transfers and splices can be inspected in
-// Wireshark/tcpdump. Timestamps are synthetic (one packet per
-// microsecond) — the simulator has no clock.
+// Minimal classic-pcap writer, so simulated transfers and splices can
+// be inspected in Wireshark/tcpdump and re-ingested by the trace lab
+// (src/trace/pcap_reader.hpp). Timestamps are synthetic (one packet
+// per microsecond) — the simulator has no clock.
+//
+// Two link types:
+//  * LINKTYPE_RAW (101): each record is the raw IPv4 datagram.
+//  * LINKTYPE_ETHERNET (1): each datagram is wrapped in a synthetic
+//    14-byte Ethernet II header (locally administered MACs, ethertype
+//    0x0800) so the capture exercises the link-layer decap path.
+//
+// Write failures are detected: a record only counts toward
+// packets_written() if every byte of it reached the stream, and ok()
+// reports whether the capture on disk is complete and well-formed.
 #pragma once
 
 #include <cstdint>
@@ -11,20 +21,37 @@
 
 namespace cksum::util {
 
+enum class PcapLink : std::uint32_t {
+  kEthernet = 1,
+  kRaw = 101,
+};
+
 class PcapWriter {
  public:
   /// Binds to an output stream and writes the global header.
-  /// LINKTYPE_RAW (101): each record is a raw IPv4/IPv6 datagram.
-  explicit PcapWriter(std::ostream& out);
+  explicit PcapWriter(std::ostream& out, PcapLink link = PcapLink::kRaw);
 
-  /// Append one datagram as a capture record.
-  void write_packet(ByteView datagram);
+  /// Append one datagram as a capture record (Ethernet-framed when the
+  /// writer was constructed with PcapLink::kEthernet). Returns false —
+  /// and does NOT count the packet — if the stream rejected any byte.
+  bool write_packet(ByteView datagram);
 
+  /// Records fully written so far. Never over-reports: a partially
+  /// written record is not counted (but may still occupy trailing
+  /// bytes of a failed stream — check ok() before trusting the file).
   std::size_t packets_written() const noexcept { return count_; }
+
+  /// True while every byte written so far (global header included)
+  /// was accepted by the stream. Sticky once false.
+  bool ok() const noexcept { return ok_ && out_.good(); }
+
+  PcapLink link() const noexcept { return link_; }
 
  private:
   std::ostream& out_;
+  PcapLink link_;
   std::size_t count_ = 0;
+  bool ok_ = true;
 };
 
 }  // namespace cksum::util

@@ -52,6 +52,9 @@
 #include "fsgen/corpus_store.hpp"
 #include "obs/exporter.hpp"
 #include "stats/uniformity.hpp"
+#include "trace/ingest.hpp"
+#include "trace/pcap_reader.hpp"
+#include "trace/profile.hpp"
 #include "util/pcap.hpp"
 
 using namespace cksum;
@@ -64,8 +67,13 @@ int usage() {
                "       cksumlab profiles\n"
                "       cksumlab gen <kind> <bytes> [seed]\n"
                "       cksumlab manifest <profile> [scale]\n"
-               "       cksumlab pcap <out.pcap> [profile] [max-packets]\n"
-               "       cksumlab corpus build (--profile <name> | --manifest <file> | --quick) "
+               "       cksumlab pcap <out.pcap> [profile] [max-packets] "
+               "[--link raw|eth] [--scale x] [--segment n] "
+               "[--transport ...] [--trailer]\n"
+               "       cksumlab trace (info|profile|ingest) <capture.pcap> "
+               "[--transport ...] [--trailer] [--segment n] [--json] "
+               "[--metrics-out <path>]\n"
+               "       cksumlab corpus build (--profile <name> | --manifest <file> | --from-pcap <capture> | --quick) "
                "--out <path> [--compress] [--scale x] [--segment n] "
                "[--transport ...] [--trailer]\n"
                "       cksumlab corpus info <path>\n"
@@ -158,6 +166,7 @@ struct CommonOpts {
   std::string dir;
   std::string manifest;  // corpus pinned by `cksumlab manifest`
   std::string corpus;    // prebuilt store from `cksumlab corpus build`
+  std::string from_pcap; // capture file (corpus build only)
   std::string metrics_out;  // telemetry run-manifest path ("" = off)
   net::PacketConfig pkt;
   double scale = 1.0;
@@ -197,6 +206,8 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
       o.dir = next();
     } else if (a == "--corpus") {
       o.corpus = next();
+    } else if (a == "--from-pcap") {
+      o.from_pcap = next();
     } else if (a == "--scale") {
       o.scale = std::stod(next());
       scale_set = true;
@@ -259,7 +270,8 @@ CommonOpts parse_common(const std::vector<std::string>& args) {
     }
   }
   int sources = (!o.profile.empty() ? 1 : 0) + (!o.dir.empty() ? 1 : 0) +
-                (!o.manifest.empty() ? 1 : 0) + (!o.corpus.empty() ? 1 : 0);
+                (!o.manifest.empty() ? 1 : 0) + (!o.corpus.empty() ? 1 : 0) +
+                (!o.from_pcap.empty() ? 1 : 0);
   if (quick && sources == 0) {
     // CI shorthand: a corpus small enough for smoke jobs.
     o.profile = "nsc05";
@@ -311,20 +323,64 @@ int cmd_manifest(const std::vector<std::string>& args) {
 
 int cmd_pcap(const std::vector<std::string>& args) {
   // cksumlab pcap <out.pcap> [profile] [max-packets]
-  if (args.empty()) return usage();
-  const std::string prof_name =
-      args.size() > 1 ? args[1] : "sics.se:/opt";
-  const std::size_t max_pkts =
-      args.size() > 2 ? std::stoull(args[2]) : 200;
-  const fsgen::Filesystem fs(fsgen::profile(prof_name), 0.2);
-  const net::FlowConfig flow = core::paper_flow_config();
+  //               [--link raw|eth] [--scale x] [--segment n]
+  //               [--transport tcp|f255|f256] [--trailer]
+  // Writes a synthetic capture whose datagrams carry the configured
+  // flow — the fixture generator for the trace lab (docs/TRACE.md).
+  std::vector<std::string> pos;
+  util::PcapLink link = util::PcapLink::kRaw;
+  double scale = 0.2;
+  net::FlowConfig flow = core::paper_flow_config();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (a == "--link") {
+      const std::string v = next();
+      if (v == "raw") {
+        link = util::PcapLink::kRaw;
+      } else if (v == "eth") {
+        link = util::PcapLink::kEthernet;
+      } else {
+        std::fprintf(stderr, "cksumlab: --link wants raw or eth\n");
+        return usage();
+      }
+    } else if (a == "--scale") {
+      scale = std::stod(next());
+    } else if (a == "--segment") {
+      flow.segment_size = std::stoull(next());
+    } else if (a == "--trailer") {
+      flow.packet.placement = net::ChecksumPlacement::kTrailer;
+    } else if (a == "--transport") {
+      const std::string v = next();
+      if (v == "tcp") {
+        flow.packet.transport = alg::Algorithm::kInternet;
+      } else if (v == "f255") {
+        flow.packet.transport = alg::Algorithm::kFletcher255;
+      } else if (v == "f256") {
+        flow.packet.transport = alg::Algorithm::kFletcher256;
+      } else {
+        return usage();
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown pcap option '%s'\n", a.c_str());
+      return usage();
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.empty()) return usage();
+  const std::string prof_name = pos.size() > 1 ? pos[1] : "sics.se:/opt";
+  const std::size_t max_pkts = pos.size() > 2 ? std::stoull(pos[2]) : 200;
+  const fsgen::Filesystem fs(fsgen::profile(prof_name), scale);
 
-  std::ofstream out(args[0], std::ios::binary);
+  std::ofstream out(pos[0], std::ios::binary);
   if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
+    std::fprintf(stderr, "cannot open %s\n", pos[0].c_str());
     return 1;
   }
-  util::PcapWriter pcap(out);
+  util::PcapWriter pcap(out, link);
   for (std::size_t f = 0; f < fs.file_count(); ++f) {
     if (pcap.packets_written() >= max_pkts) break;
     const util::Bytes file = fs.file(f);
@@ -333,8 +389,207 @@ int cmd_pcap(const std::vector<std::string>& args) {
       pcap.write_packet(p.ip_bytes());
     }
   }
-  std::fprintf(stderr, "%zu packets -> %s (LINKTYPE_RAW)\n",
-               pcap.packets_written(), args[0].c_str());
+  if (!pcap.ok()) {
+    std::fprintf(stderr, "cksumlab: write error on %s\n", pos[0].c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu packets -> %s (%s)\n", pcap.packets_written(),
+               pos[0].c_str(),
+               link == util::PcapLink::kRaw ? "LINKTYPE_RAW"
+                                            : "LINKTYPE_ETHERNET");
+  return 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// The manifest's "trace" member: capture shape, the full ingest
+/// accounting (records == accepted + rejected; rejected == sum of the
+/// reject classes — identities check_manifest.py --require-trace
+/// enforces) and the data profile of the accepted payload bytes.
+std::string trace_json(const std::string& capture, const trace::PcapInfo& pi,
+                       const trace::IngestCounts& c, std::size_t files,
+                       const trace::DataProfile& prof) {
+  const auto b = [](bool v) { return v ? "true" : "false"; };
+  std::string j = "{\"capture\": \"" + json_escape(capture) + "\"";
+  j += ", \"linktype\": " + std::to_string(pi.linktype);
+  j += ", \"swapped\": " + std::string(b(pi.swapped));
+  j += ", \"nanos\": " + std::string(b(pi.nanos));
+  j += ", \"snaplen\": " + std::to_string(pi.snaplen);
+  j += ", \"records\": " + std::to_string(c.records);
+  j += ", \"accepted\": " + std::to_string(c.accepted);
+  j += ", \"rejected\": " + std::to_string(c.rejected);
+  j += ", \"files\": " + std::to_string(files);
+  j += ", \"rejects\": {";
+  j += "\"truncated\": " + std::to_string(c.truncated);
+  j += ", \"link_too_short\": " + std::to_string(c.link_too_short);
+  j += ", \"non_ipv4\": " + std::to_string(c.non_ipv4);
+  j += ", \"header\": " + std::to_string(c.header_fail);
+  j += ", \"checksum\": " + std::to_string(c.checksum_fail);
+  j += ", \"orphan\": " + std::to_string(c.orphan);
+  j += "}, \"profile\": " + prof.json() + "}";
+  return j;
+}
+
+/// Fold every accepted packet's payload into the profiler. The profile
+/// is over delivered payload bytes (what the paper's Figure 2/3 data
+/// characterises), not headers or AAL5 framing.
+trace::DataProfile profile_ingest(const trace::IngestResult& res) {
+  trace::DataProfile prof;
+  for (const auto& file : res.files)
+    for (const core::SimPacket& sp : file) prof.add_payload(sp.pkt.payload());
+  return prof;
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  // cksumlab trace (info|profile|ingest) <capture.pcap> [options]
+  if (args.size() < 2) return usage();
+  const std::string verb = args[0];
+  const std::string capture = args[1];
+  if (verb != "info" && verb != "profile" && verb != "ingest") {
+    std::fprintf(stderr, "unknown trace verb '%s'\n", verb.c_str());
+    return usage();
+  }
+  net::FlowConfig flow = core::paper_flow_config();
+  bool json = false;
+  std::string metrics_out;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (a == "--segment") {
+      flow.segment_size = std::stoull(next());
+    } else if (a == "--trailer") {
+      flow.packet.placement = net::ChecksumPlacement::kTrailer;
+    } else if (a == "--transport") {
+      const std::string v = next();
+      if (v == "tcp") {
+        flow.packet.transport = alg::Algorithm::kInternet;
+      } else if (v == "f255") {
+        flow.packet.transport = alg::Algorithm::kFletcher255;
+      } else if (v == "f256") {
+        flow.packet.transport = alg::Algorithm::kFletcher256;
+      } else {
+        return usage();
+      }
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--metrics-out") {
+      metrics_out = next();
+    } else {
+      std::fprintf(stderr, "unknown trace option '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+
+  trace::register_trace_metrics();
+  alg::kern::register_kernel_metrics();
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!metrics_out.empty()) {
+    obs::MetricsExporter::Options eo;
+    eo.manifest_path = metrics_out;
+    eo.ticker = false;
+    exporter = std::make_unique<obs::MetricsExporter>(obs::Registry::global(),
+                                                      std::move(eo));
+  }
+
+  std::string err;
+  const auto pcap = trace::PcapReader::open(capture, &err);
+  if (!pcap) {
+    std::fprintf(stderr, "cksumlab: trace %s: %s\n", capture.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  const trace::PcapInfo& pi = pcap->info();
+
+  if (verb == "info") {
+    std::printf("capture      %s\n", capture.c_str());
+    std::printf("version      %u.%u\n", pi.version_major, pi.version_minor);
+    std::printf("byte order   %s\n", pi.swapped ? "swapped" : "native");
+    std::printf("resolution   %s\n",
+                pi.nanos ? "nanoseconds" : "microseconds");
+    std::printf("snaplen      %u\n", pi.snaplen);
+    std::printf("linktype     %s (%u)\n",
+                pi.linktype == trace::kLinkRaw ? "LINKTYPE_RAW"
+                                               : "LINKTYPE_ETHERNET",
+                pi.linktype);
+    std::printf("records      %s\n", core::fmt_count(pi.records).c_str());
+    std::printf("datagrams    %s\n", core::fmt_count(pi.datagrams).c_str());
+    std::printf("truncated    %s\n", core::fmt_count(pi.truncated).c_str());
+    std::printf("frame bytes  %s\n", core::fmt_count(pi.frame_bytes).c_str());
+    return 0;
+  }
+
+  trace::IngestConfig icfg;
+  icfg.flow = flow;
+  const trace::IngestResult res = trace::ingest_capture(*pcap, icfg);
+  const trace::DataProfile prof = profile_ingest(res);
+  const std::string tj =
+      trace_json(capture, pi, res.counts, res.files.size(), prof);
+
+  if (exporter) {
+    obs::RunInfo info;
+    info.tool = "cksumlab trace";
+    info.corpus = capture;
+    info.seed = 0;
+    info.threads = 1;
+    info.extra_json = tools::kernel_manifest_json() + ", \"trace\": " + tj;
+    if (!exporter->finish(std::move(info))) {
+      std::fprintf(stderr, "cksumlab: cannot write manifest to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+
+  if (json) {
+    std::printf("%s\n", tj.c_str());
+    return 0;
+  }
+  if (verb == "ingest") {
+    const trace::IngestCounts& c = res.counts;
+    core::TextTable t({"", "count"});
+    t.add_row({"records", core::fmt_count(c.records)});
+    t.add_row({"accepted", core::fmt_count(c.accepted)});
+    t.add_row({"rejected", core::fmt_count(c.rejected)});
+    t.add_row({"  snap-truncated", core::fmt_count(c.truncated)});
+    t.add_row({"  link too short", core::fmt_count(c.link_too_short)});
+    t.add_row({"  non-IPv4", core::fmt_count(c.non_ipv4)});
+    t.add_row({"  header check", core::fmt_count(c.header_fail)});
+    t.add_row({"  bad checksum", core::fmt_count(c.checksum_fail)});
+    t.add_row({"  orphan data", core::fmt_count(c.orphan)});
+    t.add_row({"file transfers", core::fmt_count(res.files.size())});
+    t.print(std::cout);
+    return 0;
+  }
+  // verb == "profile"
+  std::printf("payload bytes     %s\n", core::fmt_count(prof.bytes()).c_str());
+  std::printf("byte entropy      %.2f bits of 8\n",
+              prof.byte_values().entropy_bits());
+  std::printf("word entropy      %.2f bits of 16\n",
+              prof.word_values().entropy_bits());
+  std::printf("zero bytes        %s%%  (%s runs, longest %s)\n",
+              core::fmt_pct(prof.byte_fraction(0x00)).c_str(),
+              core::fmt_count(prof.zero_runs().runs).c_str(),
+              core::fmt_count(prof.zero_runs().max_run).c_str());
+  std::printf("0xFF bytes        %s%%  (%s runs, longest %s)\n",
+              core::fmt_pct(prof.byte_fraction(0xFF)).c_str(),
+              core::fmt_count(prof.ff_runs().runs).c_str(),
+              core::fmt_count(prof.ff_runs().max_run).c_str());
+  std::printf("48-byte cells     %s\n", core::fmt_count(prof.cells()).c_str());
+  std::printf("cell entropy      %.2f bits of 16\n",
+              prof.cell_checksums().entropy_bits());
+  std::printf("most common cell  0x%04x (%s%% of cells)\n",
+              prof.cell_checksums().mode(),
+              core::fmt_pct(prof.cell_checksums().pmax()).c_str());
   return 0;
 }
 
@@ -523,6 +778,12 @@ int cmd_splice(const std::vector<std::string>& args) {
     if (a == "--connect") return cmd_splice_worker(args);
   CommonOpts o = parse_common(args);
   if (!o.ok) return usage();
+  if (!o.from_pcap.empty()) {
+    std::fprintf(stderr,
+                 "cksumlab: splice does not read captures directly; seal one "
+                 "first with `corpus build --from-pcap`, then --corpus\n");
+    return 2;
+  }
 
   // Register every metric family up front so exported manifests carry
   // complete (if zero-valued) families, not just the ones touched.
@@ -684,7 +945,13 @@ int cmd_corpus(const std::vector<std::string>& args) {
   if (!o.dir.empty()) {
     std::fprintf(stderr,
                  "cksumlab: corpus build wants a reproducible synthetic "
-                 "source (--profile/--manifest), not --dir\n");
+                 "source (--profile/--manifest/--from-pcap), not --dir\n");
+    return 2;
+  }
+  if (!o.from_pcap.empty() && compress) {
+    std::fprintf(stderr,
+                 "cksumlab: --compress is a packetisation step; a capture "
+                 "already carries the bytes that crossed the wire\n");
     return 2;
   }
 
@@ -697,7 +964,43 @@ int cmd_corpus(const std::vector<std::string>& args) {
 
   std::string err;
   bool built = false;
-  if (!o.profile.empty()) {
+  if (!o.from_pcap.empty()) {
+    // Capture -> ingest -> seal: real packets enter the exact store the
+    // synthetic path writes, so `splice --corpus` (and --serve, and
+    // faultlab) run over them bitwise-identically (docs/TRACE.md).
+    trace::register_trace_metrics();
+    const auto pcap = trace::PcapReader::open(o.from_pcap, &err);
+    if (!pcap) {
+      std::fprintf(stderr, "cksumlab: trace %s: %s\n", o.from_pcap.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    trace::IngestConfig icfg;
+    icfg.flow = params.flow;
+    const trace::IngestResult res = trace::ingest_capture(*pcap, icfg);
+    if (res.files.empty()) {
+      std::fprintf(stderr,
+                   "cksumlab: no complete file transfer ingested from %s "
+                   "(%llu records: %llu accepted, %llu rejected) — check "
+                   "--transport/--trailer/--segment against the capture\n",
+                   o.from_pcap.c_str(),
+                   static_cast<unsigned long long>(res.counts.records),
+                   static_cast<unsigned long long>(res.counts.accepted),
+                   static_cast<unsigned long long>(res.counts.rejected));
+      return 1;
+    }
+    // Display name: the capture's basename, clipped to the header field.
+    const std::size_t slash = o.from_pcap.find_last_of('/');
+    params.profile =
+        o.from_pcap.substr(slash == std::string::npos ? 0 : slash + 1);
+    if (params.profile.size() > 64) params.profile.resize(64);
+    std::fprintf(stderr, "%s: %llu records, %llu accepted, %llu rejected\n",
+                 o.from_pcap.c_str(),
+                 static_cast<unsigned long long>(res.counts.records),
+                 static_cast<unsigned long long>(res.counts.accepted),
+                 static_cast<unsigned long long>(res.counts.rejected));
+    built = fsgen::build_corpus(params, res.files, out_path, &err);
+  } else if (!o.profile.empty()) {
     params.profile = o.profile;
     const fsgen::Filesystem fs(fsgen::profile(o.profile), o.scale);
     built = fsgen::build_corpus(params, fs, out_path, &err);
@@ -735,7 +1038,7 @@ int cmd_corpus(const std::vector<std::string>& args) {
 
 int cmd_dist(const std::vector<std::string>& args) {
   const CommonOpts o = parse_common(args);
-  if (!o.ok) return usage();
+  if (!o.ok || !o.from_pcap.empty()) return usage();
   core::CellStatsConfig cfg;
   cfg.ks = {1, 2, 4};
   cfg.segment_size = o.segment;
@@ -782,6 +1085,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "manifest") return cmd_manifest(args);
     if (cmd == "pcap") return cmd_pcap(args);
+    if (cmd == "trace") return cmd_trace(args);
     if (cmd == "splice") return cmd_splice(args);
     if (cmd == "corpus") return cmd_corpus(args);
     if (cmd == "dist") return cmd_dist(args);
